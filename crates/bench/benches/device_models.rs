@@ -1,0 +1,52 @@
+//! Microbenchmarks of the device-emulation substrate: these are the
+//! kernels the Inference Tuning Server executes thousands of times per
+//! tuning job.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edgetune_device::counters::counter_rates;
+use edgetune_device::latency::{simulate_inference, CpuAllocation};
+use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
+use edgetune_device::profile::{Phase, WorkProfile};
+use edgetune_device::spec::DeviceSpec;
+use std::hint::black_box;
+
+fn resnet18() -> WorkProfile {
+    WorkProfile::new(0.56e9, 3.0e6, 44.8e6)
+}
+
+fn bench_inference_model(c: &mut Criterion) {
+    let device = DeviceSpec::raspberry_pi_3b();
+    let alloc = CpuAllocation::full(&device);
+    let profile = resnet18();
+    c.bench_function("device/simulate_inference/batch32", |b| {
+        b.iter(|| simulate_inference(black_box(&device), &alloc, &profile, black_box(32)))
+    });
+}
+
+fn bench_gpu_epoch(c: &mut Criterion) {
+    let node = DeviceSpec::titan_rtx_node();
+    let alloc = GpuAllocation::new(&node, 4).expect("valid");
+    let profile = resnet18();
+    c.bench_function("device/simulate_gpu_epoch/cifar10", |b| {
+        b.iter(|| simulate_gpu_epoch(black_box(&node), &alloc, &profile, black_box(256), 50_000))
+    });
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let device = DeviceSpec::intel_i7_7567u();
+    let profile = resnet18();
+    c.bench_function("device/counter_rates/forward", |b| {
+        b.iter_batched(
+            || (),
+            |()| counter_rates(black_box(&device), &profile, Phase::ForwardTraining, 1),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_inference_model, bench_gpu_epoch, bench_counters
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! One benchmark per paper table/figure: measures how long regenerating
+//! each experiment takes (and doubles as a smoke test that every
+//! experiment keeps running under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // The cheap experiments get benchmarked individually; the heavyweight
+    // sweeps (fig12-fig17 run full tuning jobs) are measured once each.
+    for name in edgetune_bench::experiment_names() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(edgetune_bench::run_experiment(name, 42).expect("known name")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

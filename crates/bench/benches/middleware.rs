@@ -1,0 +1,106 @@
+//! Benchmarks of the EdgeTune middleware itself: one inference-tuning
+//! sweep, the async server round-trip, the queueing simulator, and a
+//! small end-to-end tuning job per baseline — the costs behind every
+//! figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgetune::async_server::AsyncInferenceServer;
+use edgetune::batching::MultiStreamScenario;
+use edgetune::cache::{CacheKey, HistoricalCache};
+use edgetune::inference::{InferenceSpace, InferenceTuningServer};
+use edgetune::prelude::*;
+use edgetune_baselines::TuneBaseline;
+use edgetune_device::latency::CpuAllocation;
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_tuner::objective::InferenceObjective;
+use edgetune_util::rng::SeedStream;
+use std::hint::black_box;
+
+fn resnet18() -> WorkProfile {
+    WorkProfile::new(0.56e9, 3.0e6, 44.8e6)
+}
+
+fn inference_server() -> InferenceTuningServer {
+    let device = DeviceSpec::raspberry_pi_3b();
+    let space = InferenceSpace::for_device(&device);
+    InferenceTuningServer::new(device, space, InferenceObjective::new(Metric::Runtime))
+        .expect("valid space")
+}
+
+fn bench_inference_sweep(c: &mut Criterion) {
+    let server = inference_server();
+    let profile = resnet18();
+    c.bench_function("middleware/inference_sweep_72cfg", |b| {
+        b.iter(|| black_box(server.tune(&profile)))
+    });
+}
+
+fn bench_async_round_trip(c: &mut Criterion) {
+    c.bench_function("middleware/async_server_cached_round_trip", |b| {
+        let server = AsyncInferenceServer::start(inference_server(), HistoricalCache::new());
+        let key = CacheKey::new("Raspberry Pi 3B+", "bench-arch", Metric::Runtime);
+        // Warm the cache once; the benchmark measures the steady state.
+        server
+            .submit(key.clone(), resnet18())
+            .wait()
+            .expect("server alive");
+        b.iter(|| {
+            server
+                .submit(key.clone(), resnet18())
+                .wait()
+                .expect("server alive")
+        })
+    });
+}
+
+fn bench_multi_stream_queue(c: &mut Criterion) {
+    let device = DeviceSpec::raspberry_pi_3b();
+    let alloc = CpuAllocation::full(&device);
+    let profile = resnet18();
+    let scenario = MultiStreamScenario::new(20.0, 500);
+    c.bench_function("middleware/multi_stream_des_500", |b| {
+        b.iter(|| {
+            black_box(scenario.mean_response_time(
+                &device,
+                &alloc,
+                &profile,
+                16,
+                SeedStream::new(3),
+            ))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middleware/end_to_end");
+    group.sample_size(10);
+    group.bench_function("edgetune_small_ic", |b| {
+        b.iter(|| {
+            EdgeTune::new(
+                EdgeTuneConfig::for_workload(WorkloadId::Ic)
+                    .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+                    .without_hyperband()
+                    .with_seed(42),
+            )
+            .run()
+            .expect("run succeeds")
+        })
+    });
+    group.bench_function("tune_baseline_small_ic", |b| {
+        b.iter(|| {
+            TuneBaseline::new(WorkloadId::Ic)
+                .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+                .with_seed(42)
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference_sweep, bench_async_round_trip, bench_multi_stream_queue, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks of the real training substrate (`edgetune-nn`): layer
+//! forward/backward kernels and a full fit epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgetune_nn::data::Dataset;
+use edgetune_nn::layer::{Conv2d, Dense, Layer, Relu};
+use edgetune_nn::model::Sequential;
+use edgetune_nn::optim::Sgd;
+use edgetune_nn::tensor::Tensor;
+use edgetune_nn::train::{fit, FitConfig};
+use edgetune_util::rng::SeedStream;
+use std::hint::black_box;
+
+fn bench_dense(c: &mut Criterion) {
+    let seed = SeedStream::new(1);
+    let mut layer = Dense::new(256, 256, seed);
+    let x = Tensor::randn(&[64, 256], 1.0, seed.child("x"));
+    c.bench_function("nn/dense_256x256_fwd_bwd_b64", |b| {
+        b.iter(|| {
+            let y = layer.forward(black_box(&x), true);
+            black_box(layer.backward(&Tensor::full(y.shape(), 1.0)))
+        })
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let seed = SeedStream::new(2);
+    let mut layer = Conv2d::new(8, 16, 3, 1, 1, seed);
+    let x = Tensor::randn(&[4, 8, 16, 16], 1.0, seed.child("x"));
+    c.bench_function("nn/conv2d_8to16_16x16_fwd", |b| {
+        b.iter(|| black_box(layer.forward(black_box(&x), true)))
+    });
+}
+
+fn bench_fit_epoch(c: &mut Criterion) {
+    let seed = SeedStream::new(3);
+    let data = Dataset::gaussian_blobs(256, 8, 4, 0.3, seed);
+    let (train, val) = data.split(0.8);
+    c.bench_function("nn/fit_one_epoch_mlp", |b| {
+        b.iter(|| {
+            let mut model = Sequential::new()
+                .with(Dense::new(8, 32, seed.child("l1")))
+                .with(Relu::new())
+                .with(Dense::new(32, 4, seed.child("l2")));
+            let mut opt = Sgd::new(0.1).with_momentum(0.9);
+            black_box(fit(
+                &mut model,
+                &mut opt,
+                &train,
+                &val,
+                &FitConfig::new(1, 16),
+                seed,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dense, bench_conv, bench_fit_epoch
+}
+criterion_main!(benches);

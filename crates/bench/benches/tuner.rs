@@ -1,0 +1,76 @@
+//! Microbenchmarks of the search machinery: sampler suggestion cost and
+//! a full successive-halving bracket over a synthetic objective.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::sampler::{RandomSampler, Sampler, TpeSampler};
+use edgetune_tuner::scheduler::{SchedulerConfig, SuccessiveHalving};
+use edgetune_tuner::space::{Config, Domain, SearchSpace};
+use edgetune_tuner::trial::TrialOutcome;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::{Joules, Seconds};
+use std::hint::black_box;
+
+fn space() -> SearchSpace {
+    SearchSpace::new()
+        .with("model_hp", Domain::choice(vec![18.0, 34.0, 50.0]))
+        .with("batch", Domain::int_log(32, 512))
+        .with("gpus", Domain::int(1, 8))
+}
+
+fn synthetic_observations(n: usize) -> Vec<(Config, f64)> {
+    let space = space();
+    let mut rng = SeedStream::new(7).rng("obs");
+    (0..n)
+        .map(|_| {
+            let c = space.sample(&mut rng);
+            let score = (c.get("batch").unwrap().ln() - 128f64.ln()).abs();
+            (c, score)
+        })
+        .collect()
+}
+
+fn bench_tpe_suggest(c: &mut Criterion) {
+    let space = space();
+    let mut group = c.benchmark_group("tuner/tpe_suggest");
+    for n in [16usize, 64, 128] {
+        let history = synthetic_observations(n);
+        group.bench_function(format!("history_{n}"), |b| {
+            let mut sampler = TpeSampler::new(SeedStream::new(1));
+            b.iter(|| {
+                let obs: Vec<(&Config, f64)> = history.iter().map(|(c, s)| (c, *s)).collect();
+                black_box(sampler.suggest(&space, &obs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha_bracket(c: &mut Criterion) {
+    let space = space();
+    c.bench_function("tuner/sha_bracket_16x4", |b| {
+        b.iter(|| {
+            let sha = SuccessiveHalving::new(SchedulerConfig::new(16, 2.0, 8));
+            let mut sampler = RandomSampler::new(SeedStream::new(2));
+            let mut eval =
+                |_id: u64, config: &Config, budget: edgetune_tuner::budget::TrialBudget| {
+                    let score = (config.get("batch").unwrap().ln() - 128f64.ln()).abs()
+                        / budget.effective_epochs();
+                    TrialOutcome::new(score, 0.5, Seconds::new(1.0), Joules::new(1.0))
+                };
+            black_box(sha.run(
+                &mut sampler,
+                &space,
+                &BudgetPolicy::multi_default(),
+                &mut eval,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tpe_suggest, bench_sha_bracket
+}
+criterion_main!(benches);

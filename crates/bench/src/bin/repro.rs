@@ -1,0 +1,88 @@
+//! `repro` — regenerates the EdgeTune paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all            # every experiment, in paper order
+//! repro fig14 fig17    # specific experiments
+//! repro --seed 7 fig12 # override the seed (default 42)
+//! repro --out results/ # also write each experiment to <dir>/<name>.txt
+//! repro --list         # list experiment names
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 42;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for name in edgetune_bench::experiment_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro [--seed N] [--out DIR] [--list] <experiment|all>...");
+                println!(
+                    "experiments: {}",
+                    edgetune_bench::experiment_names().join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--seed N] [--list] <experiment|all>...");
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = edgetune_bench::experiment_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("error creating {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for target in &targets {
+        match edgetune_bench::run_experiment(target, seed) {
+            Ok(output) => {
+                println!("{output}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{target}.txt"));
+                    if let Err(err) = std::fs::write(&path, &output) {
+                        eprintln!("error writing {}: {err}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Ablation study (beyond the paper's figures): how much each of
+//! EdgeTune's design choices contributes. DESIGN.md calls these out:
+//!
+//! * the **historical cache** (§3.4) — disabled, every trial re-tunes its
+//!   architecture,
+//! * the **asynchronous pipelining** (Algorithm 1) — disabled, every
+//!   sweep runs on the model server's critical path,
+//! * the **multi-budget** (Algorithm 2) — replaced by the epoch budget,
+//! * the **onefold system-parameter search** — GPUs fixed at the
+//!   framework default (via the Tune-style backend).
+
+use edgetune::prelude::*;
+
+use crate::table::{num, pct_diff, Table};
+
+/// One ablation variant's cost.
+#[derive(Debug, Clone, Copy)]
+pub struct Variant {
+    /// Tuning duration in minutes.
+    pub runtime_min: f64,
+    /// Tuning energy in kJ.
+    pub energy_kj: f64,
+    /// Inference-server misses (sweeps actually computed).
+    pub sweeps: u64,
+    /// Model-server stall in seconds.
+    pub stall_s: f64,
+}
+
+fn measure(config: EdgeTuneConfig) -> Variant {
+    let report = EdgeTune::new(config).run().expect("ablation run succeeds");
+    Variant {
+        runtime_min: report.tuning_runtime().as_minutes(),
+        energy_kj: report.tuning_energy().as_kilojoules(),
+        sweeps: report.cache_stats().misses,
+        stall_s: report.stall_time().value(),
+    }
+}
+
+fn base_config(seed: u64) -> EdgeTuneConfig {
+    EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_scheduler(SchedulerConfig::new(8, 2.0, 10))
+        .with_seed(seed)
+}
+
+/// Runs the ablation grid on the IC workload.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let full = measure(base_config(seed));
+    let no_cache = measure(base_config(seed).without_historical_cache());
+    let no_pipeline = measure(base_config(seed).without_pipelining());
+    let epoch_budget = measure(base_config(seed).with_budget(BudgetPolicy::epoch_default()));
+
+    let mut t = Table::new("Ablation: contribution of each EdgeTune design choice (IC)").headers([
+        "variant",
+        "runtime [m]",
+        "Δruntime",
+        "energy [kJ]",
+        "Δenergy",
+        "sweeps",
+        "stall [s]",
+    ]);
+    let mut row = |name: &str, v: &Variant| {
+        t.row([
+            name.to_string(),
+            num(v.runtime_min, 1),
+            pct_diff(v.runtime_min, full.runtime_min),
+            num(v.energy_kj, 1),
+            pct_diff(v.energy_kj, full.energy_kj),
+            v.sweeps.to_string(),
+            num(v.stall_s, 1),
+        ]);
+    };
+    row("EdgeTune (full)", &full);
+    row("- historical cache", &no_cache);
+    row("- async pipelining", &no_pipeline);
+    row("- multi-budget (epoch)", &epoch_budget);
+    t.note("each removal increases tuning cost along the axis that feature protects");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ablation_costs_something() {
+        let seed = 42;
+        let full = measure(base_config(seed));
+        let no_cache = measure(base_config(seed).without_historical_cache());
+        let no_pipeline = measure(base_config(seed).without_pipelining());
+        let epoch = measure(base_config(seed).with_budget(BudgetPolicy::epoch_default()));
+
+        assert!(
+            no_cache.sweeps > full.sweeps,
+            "cache off => more sweeps computed"
+        );
+        assert!(
+            no_cache.energy_kj > full.energy_kj,
+            "cache off => more energy"
+        );
+        assert!(no_pipeline.stall_s > 0.0, "pipelining off => stalls appear");
+        assert!(
+            no_pipeline.runtime_min > full.runtime_min,
+            "pipelining off => longer makespan"
+        );
+        assert!(
+            epoch.runtime_min > full.runtime_min,
+            "epoch budget => slower tuning"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 2: model hyperparameter (ResNet depth) vs. training and
+//! inference performance.
+
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::WorkloadId;
+
+use crate::helpers::{
+    edge_device, edge_inference, exec_energy_per_item, exec_throughput, training_to_target,
+    TARGET_ACCURACY,
+};
+use crate::table::{num, Table};
+
+/// The depth sweep of Fig. 2.
+pub const DEPTHS: [f64; 3] = [18.0, 34.0, 50.0];
+
+/// Collected series: `(depth, train_min, train_kj, inf_thpt, inf_j_img)`.
+#[must_use]
+pub fn series() -> Vec<(f64, f64, f64, f64, f64)> {
+    let ic = Workload::by_id(WorkloadId::Ic);
+    let device = edge_device();
+    DEPTHS
+        .iter()
+        .map(|&depth| {
+            let train = training_to_target(&ic, depth, 256, 1, TARGET_ACCURACY)
+                .expect("80% reachable for every depth on the full dataset");
+            let profile = ic.profile(depth);
+            let inf = edge_inference(&device, &profile, device.cores, 1);
+            (
+                depth,
+                train.latency.as_minutes(),
+                train.energy.as_kilojoules(),
+                exec_throughput(&inf, 1),
+                exec_energy_per_item(&inf, 1),
+            )
+        })
+        .collect()
+}
+
+/// Renders Fig. 2 (both subplots).
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(
+        "Figure 2: number of ResNet layers vs training (a) and inference (b) performance",
+    )
+    .headers([
+        "layers",
+        "train runtime [m]",
+        "train energy [kJ]",
+        "inf throughput [img/s]",
+        "inf energy [J/img]",
+    ]);
+    for (depth, t_min, e_kj, thpt, j_img) in series() {
+        table.row([
+            num(depth, 0),
+            num(t_min, 1),
+            num(e_kj, 1),
+            num(thpt, 1),
+            num(j_img, 3),
+        ]);
+    }
+    table.note("throughput is inversely proportional to depth; per-image energy grows with it");
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_cost_grows_with_depth() {
+        let s = series();
+        assert!(s[0].1 < s[2].1, "ResNet50 must train longer than ResNet18");
+        assert!(s[0].2 < s[2].2, "and consume more energy");
+    }
+
+    #[test]
+    fn inference_throughput_falls_and_energy_rises_with_depth() {
+        let s = series();
+        assert!(
+            s[0].3 > s[1].3 && s[1].3 > s[2].3,
+            "throughput inverse to depth: {s:?}"
+        );
+        assert!(
+            s[0].4 < s[2].4,
+            "per-image energy proportional to depth: {s:?}"
+        );
+    }
+}

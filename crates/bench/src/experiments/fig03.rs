@@ -1,0 +1,113 @@
+//! Figure 3: training batch size (a) and inference batch size (b).
+
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::WorkloadId;
+
+use crate::helpers::{
+    edge_device, edge_inference, exec_energy_per_item, exec_throughput, training_to_target,
+    TARGET_ACCURACY,
+};
+use crate::table::{num, Table};
+
+/// Training batch sizes of Fig. 3a.
+pub const TRAIN_BATCHES: [u32; 3] = [256, 512, 1024];
+/// Inference batch sizes of Fig. 3b.
+pub const INFERENCE_BATCHES: [u32; 3] = [1, 10, 100];
+
+/// Fig. 3a series: `(batch, runtime_min, energy_kj)`.
+#[must_use]
+pub fn training_series() -> Vec<(u32, f64, f64)> {
+    let ic = Workload::by_id(WorkloadId::Ic);
+    TRAIN_BATCHES
+        .iter()
+        .map(|&batch| {
+            let exec = training_to_target(&ic, 18.0, batch, 1, TARGET_ACCURACY)
+                .expect("80% reachable at full data");
+            (
+                batch,
+                exec.latency.as_minutes(),
+                exec.energy.as_kilojoules(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 3b series: `(batch, throughput, j_per_img)`.
+#[must_use]
+pub fn inference_series() -> Vec<(u32, f64, f64)> {
+    let ic = Workload::by_id(WorkloadId::Ic);
+    let device = edge_device();
+    let profile = ic.profile(18.0);
+    INFERENCE_BATCHES
+        .iter()
+        .map(|&batch| {
+            let exec = edge_inference(&device, &profile, device.cores, batch);
+            (
+                batch,
+                exec_throughput(&exec, batch),
+                exec_energy_per_item(&exec, batch),
+            )
+        })
+        .collect()
+}
+
+/// Renders both subplots.
+#[must_use]
+pub fn run() -> String {
+    let mut a = Table::new("Figure 3a: training batch size vs runtime/energy (ResNet18/CIFAR10)")
+        .headers(["train batch", "runtime [m]", "energy [kJ]"]);
+    for (batch, t, e) in training_series() {
+        a.row([batch.to_string(), num(t, 1), num(e, 1)]);
+    }
+    a.note("batch 1024 converges slower, inflating both runtime and energy");
+
+    let mut b = Table::new("Figure 3b: inference batch size vs throughput/energy").headers([
+        "inf batch",
+        "throughput [img/s]",
+        "energy [J/img]",
+    ]);
+    for (batch, thpt, j) in inference_series() {
+        b.row([batch.to_string(), num(thpt, 1), num(j, 3)]);
+    }
+    b.note("multi-image inference amortises dispatch and parameter traffic, then saturates");
+
+    format!("{}\n{}", a.render(), b.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huge_training_batch_is_slowest_to_target() {
+        let s = training_series();
+        let b256 = s[0];
+        let b1024 = s[2];
+        assert!(
+            b1024.1 > b256.1 * 1.3,
+            "batch 1024 should take clearly longer: {s:?}"
+        );
+        assert!(b1024.2 > b256.2, "and more energy");
+    }
+
+    #[test]
+    fn moderate_batches_are_close_in_runtime() {
+        // Paper: 256 and 512 "produce similar training times".
+        let s = training_series();
+        let ratio = s[1].1 / s[0].1;
+        assert!(
+            (0.6..=1.7).contains(&ratio),
+            "256 vs 512 should be similar: {ratio}"
+        );
+    }
+
+    #[test]
+    fn batching_improves_inference_then_saturates() {
+        let s = inference_series();
+        assert!(s[1].1 > s[0].1 * 2.0, "batch 10 ≫ batch 1: {s:?}");
+        assert!(s[1].2 < s[0].2, "energy per image falls with batching");
+        let gain_1_10 = s[1].1 / s[0].1;
+        let gain_10_100 = s[2].1 / s[1].1;
+        assert!(gain_10_100 < gain_1_10, "gains must saturate: {s:?}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 4: number of GPUs vs. training performance at batch 32 and
+//! batch 1024.
+
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::WorkloadId;
+
+use crate::helpers::{training_to_target, TARGET_ACCURACY};
+use crate::table::{num, Table};
+
+/// GPU counts of the sweep.
+pub const GPUS: [u32; 3] = [1, 4, 8];
+
+/// One subplot's series: `(gpus, runtime_min, energy_kj)`.
+#[must_use]
+pub fn series(batch: u32) -> Vec<(u32, f64, f64)> {
+    let ic = Workload::by_id(WorkloadId::Ic);
+    GPUS.iter()
+        .map(|&gpus| {
+            let exec = training_to_target(&ic, 18.0, batch, gpus, TARGET_ACCURACY)
+                .expect("80% reachable at full data");
+            (gpus, exec.latency.as_minutes(), exec.energy.as_kilojoules())
+        })
+        .collect()
+}
+
+/// Renders both subplots.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::new();
+    for (batch, note) in [
+        (
+            32u32,
+            "small batches under-utilise GPUs: more GPUs = slower AND hungrier",
+        ),
+        (
+            1024,
+            "large batches: sublinear speedup, energy still increases",
+        ),
+    ] {
+        let mut t = Table::new(format!("Figure 4: training with batch = {batch}")).headers([
+            "GPUs",
+            "runtime [m]",
+            "energy [kJ]",
+        ]);
+        for (gpus, runtime, energy) in series(batch) {
+            t.row([gpus.to_string(), num(runtime, 1), num(energy, 1)]);
+        }
+        t.note(note);
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_32_degrades_with_gpus() {
+        let s = series(32);
+        assert!(
+            s[2].1 > s[0].1 * 1.3,
+            "8 GPUs much slower at batch 32: {s:?}"
+        );
+        assert!(s[2].2 > s[0].2 * 2.0, "and far more energy: {s:?}");
+    }
+
+    #[test]
+    fn batch_1024_speeds_up_sublinearly_but_burns_energy() {
+        let s = series(1024);
+        let speedup = s[0].1 / s[2].1;
+        assert!(
+            speedup > 2.0 && speedup < 8.0,
+            "sublinear speedup: {speedup}"
+        );
+        assert!(s[2].2 > s[0].2, "energy grows with GPUs: {s:?}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 5: number of CPU cores vs. inference performance at batch 1
+//! and batch 10.
+
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::WorkloadId;
+
+use crate::helpers::{edge_device, edge_inference, exec_energy_per_item, exec_throughput};
+use crate::table::{num, Table};
+
+/// Core counts of the sweep.
+pub const CORES: [u32; 3] = [1, 2, 4];
+
+/// One subplot's series: `(cores, throughput, j_per_img)`.
+#[must_use]
+pub fn series(batch: u32) -> Vec<(u32, f64, f64)> {
+    let ic = Workload::by_id(WorkloadId::Ic);
+    let device = edge_device();
+    let profile = ic.profile(18.0);
+    CORES
+        .iter()
+        .map(|&cores| {
+            let exec = edge_inference(&device, &profile, cores, batch);
+            (
+                cores,
+                exec_throughput(&exec, batch),
+                exec_energy_per_item(&exec, batch),
+            )
+        })
+        .collect()
+}
+
+/// Renders both subplots.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::new();
+    for (batch, note) in [
+        (
+            1u32,
+            "single-image inference cannot use extra cores, yet they cost energy",
+        ),
+        (10, "batched inference scales 1→2 cores and saturates at 4"),
+    ] {
+        let mut t = Table::new(format!("Figure 5: inference with batch = {batch}")).headers([
+            "cores",
+            "throughput [img/s]",
+            "energy [J/img]",
+        ]);
+        for (cores, thpt, j) in series(batch) {
+            t.row([cores.to_string(), num(thpt, 2), num(j, 3)]);
+        }
+        t.note(note);
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_one_throughput_flat_energy_up() {
+        let s = series(1);
+        let flat = (s[2].1 / s[0].1 - 1.0).abs();
+        assert!(flat < 0.35, "batch-1 throughput nearly flat: {s:?}");
+        assert!(
+            s[2].2 > s[0].2 * 1.2,
+            "batch-1 energy rises with cores: {s:?}"
+        );
+    }
+
+    #[test]
+    fn batch_ten_scales_then_saturates() {
+        let s = series(10);
+        assert!(s[1].1 > s[0].1 * 1.25, "1→2 cores should help: {s:?}");
+        let first = s[1].1 / s[0].1 - 1.0;
+        let marginal = s[2].1 / s[1].1 - 1.0;
+        assert!(marginal < first, "2→4 gain smaller than 1→2: {s:?}");
+        assert!(s[2].2 > s[1].2, "4 cores cost more energy per image: {s:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 6: pipelining of the model and inference tuning servers,
+//! rendered as an ASCII Gantt chart from a real (simulated-time) run.
+
+use edgetune::prelude::*;
+use edgetune::timeline::Lane;
+
+use crate::table::{num, Table};
+
+/// Renders the pipelining timeline of a small EdgeTune run.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let report = EdgeTune::new(
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .without_hyperband()
+            .with_seed(seed),
+    )
+    .run()
+    .expect("experiment run must succeed");
+    let timeline = report.timeline();
+
+    let mut stats =
+        Table::new("Figure 6: model/inference server pipelining").headers(["metric", "value"]);
+    stats.row([
+        "model-server busy [m]".to_string(),
+        num(timeline.busy_time(Lane::ModelServer).as_minutes(), 2),
+    ]);
+    stats.row([
+        "inference-server busy [m]".to_string(),
+        num(timeline.busy_time(Lane::InferenceServer).as_minutes(), 2),
+    ]);
+    stats.row([
+        "inference sweeps (cache misses)".to_string(),
+        timeline.lane(Lane::InferenceServer).len().to_string(),
+    ]);
+    stats.row([
+        "overlap fraction".to_string(),
+        num(timeline.overlap_fraction(), 3),
+    ]);
+    stats.row([
+        "model-server stall [s]".to_string(),
+        num(report.stall_time().value(), 3),
+    ]);
+
+    format!(
+        "{}\ntimeline ('#' = training trial, '=' = inference sweep):\n{}",
+        stats.render(),
+        timeline.render_ascii(72)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pipelining_fully_hides_the_inference_server() {
+        let out = super::run(42);
+        assert!(out.contains("overlap fraction"), "{out}");
+        assert!(out.contains("1.000"), "full overlap expected:\n{out}");
+        assert!(out.contains('#') && out.contains('='));
+    }
+}

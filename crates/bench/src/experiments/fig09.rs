@@ -1,0 +1,70 @@
+//! Figure 9: hierarchical vs. onefold tuning — execution-flow and cost
+//! comparison (§4.1: "We implement a prototype for each strategy, and
+//! compared the results").
+
+use edgetune::prelude::*;
+use edgetune_baselines::HierarchicalTuner;
+
+use crate::table::{num, Table};
+
+/// Renders the hierarchical-vs-onefold comparison.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let scheduler = SchedulerConfig::new(8, 2.0, 8);
+    let hierarchical = HierarchicalTuner::new(WorkloadId::Ic)
+        .with_scheduler(scheduler)
+        .with_seed(seed)
+        .run();
+    let onefold = EdgeTune::new(
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(scheduler)
+            .without_hyperband()
+            .with_seed(seed),
+    )
+    .run()
+    .expect("experiment run must succeed");
+
+    let mut t = Table::new("Figure 9: hierarchical vs onefold tuning").headers([
+        "approach",
+        "phases",
+        "trials",
+        "tuning runtime [m]",
+        "tuning energy [kJ]",
+        "final accuracy",
+    ]);
+    t.row([
+        "hierarchical".to_string(),
+        "hyper -> system".to_string(),
+        format!(
+            "{} + {}",
+            hierarchical.hyper.history().len(),
+            hierarchical.system.history().len()
+        ),
+        num(hierarchical.tuning_runtime().as_minutes(), 1),
+        num(hierarchical.tuning_energy().as_kilojoules(), 1),
+        num(hierarchical.final_accuracy(), 3),
+    ]);
+    t.row([
+        "onefold (EdgeTune)".to_string(),
+        "joint".to_string(),
+        onefold.history().len().to_string(),
+        num(onefold.tuning_runtime().as_minutes(), 1),
+        num(onefold.tuning_energy().as_kilojoules(), 1),
+        num(onefold.best_accuracy(), 3),
+    ]);
+    t.note(
+        "onefold explores hyper+system jointly in one multi-fidelity schedule instead of a \
+         second full phase, and sees the hyper/system interaction the two-tier split cannot",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn onefold_does_not_cost_more_than_two_tiers() {
+        let out = super::run(42);
+        assert!(out.contains("hierarchical"));
+        assert!(out.contains("onefold"));
+    }
+}

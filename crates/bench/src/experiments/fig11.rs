@@ -1,0 +1,52 @@
+//! Figure 11: flow of trials for the three budget approaches (epochs,
+//! dataset, multi-budget) — the schedule each policy grants per
+//! iteration.
+
+use edgetune_tuner::budget::BudgetPolicy;
+
+use crate::table::{num, Table};
+
+/// Renders the budget ladders side by side.
+#[must_use]
+pub fn run() -> String {
+    let policies = [
+        BudgetPolicy::epoch_default(),
+        BudgetPolicy::dataset_default(),
+        BudgetPolicy::multi_default(),
+    ];
+    let mut t = Table::new("Figure 11: trial budget per iteration under the three policies")
+        .headers([
+            "iteration",
+            "epochs: (ep, data%)",
+            "dataset: (ep, data%)",
+            "multi-budget: (ep, data%)",
+        ]);
+    for it in 1..=10u32 {
+        let mut cells = vec![it.to_string()];
+        for policy in &policies {
+            let b = policy.budget(it);
+            cells.push(format!(
+                "({}, {}%)",
+                num(b.epochs, 0),
+                num(b.data_fraction * 100.0, 0)
+            ));
+        }
+        t.row(cells);
+    }
+    t.note("multi-budget grows both dimensions simultaneously, capping each independently (Algorithm 2)");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shows_ten_iterations_of_all_policies() {
+        let out = super::run();
+        assert!(out.contains("(2, 10%)"), "multi-budget iteration 1:\n{out}");
+        assert!(
+            out.contains("(10, 100%)"),
+            "multi-budget saturation:\n{out}"
+        );
+        assert!(out.contains("(16, 100%)"), "epoch cap:\n{out}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 12: trial duration and model accuracy over the trial sequence
+//! for the three budget policies (ResNet18-class workload, target 80%).
+
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::trial::History;
+
+use crate::table::{num, Table};
+use edgetune::prelude::*;
+
+/// Trials displayed/summarised (the paper plots 50).
+pub const TRIALS_SHOWN: usize = 50;
+
+/// Runs one policy and returns its trial history. The scheduler reaches
+/// iteration level 10 so the multi-budget ladder gets to saturate at
+/// (10 epochs, 100% data) as in the paper's §4.3 example.
+#[must_use]
+pub fn history_for(policy: BudgetPolicy, seed: u64) -> History {
+    EdgeTune::new(
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_budget(policy)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 10))
+            .with_seed(seed),
+    )
+    .run()
+    .expect("experiment run must succeed")
+    .history()
+    .clone()
+}
+
+/// Per-policy summary: `(mean_duration_min, max_accuracy,
+/// first_trial_reaching_80)`.
+#[must_use]
+pub fn summary(history: &History) -> (f64, f64, Option<u64>) {
+    let records = &history.records()[..history.len().min(TRIALS_SHOWN)];
+    let mean_min = records
+        .iter()
+        .map(|r| r.outcome.runtime.as_minutes())
+        .sum::<f64>()
+        / records.len() as f64;
+    let max_acc = records
+        .iter()
+        .map(|r| r.outcome.accuracy)
+        .fold(0.0f64, f64::max);
+    (mean_min, max_acc, history.first_reaching_accuracy(0.8))
+}
+
+/// Renders Fig. 12.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let policies = [
+        BudgetPolicy::epoch_default(),
+        BudgetPolicy::dataset_default(),
+        BudgetPolicy::multi_default(),
+    ];
+    let mut per_trial =
+        Table::new("Figure 12: trial duration [m] and accuracy [%] over the trial sequence")
+            .headers([
+                "trial",
+                "epochs: dur/acc",
+                "dataset: dur/acc",
+                "multi: dur/acc",
+            ]);
+
+    let histories: Vec<History> = policies.iter().map(|&p| history_for(p, seed)).collect();
+    let rows = histories
+        .iter()
+        .map(|h| h.len().min(TRIALS_SHOWN))
+        .min()
+        .unwrap_or(0);
+    for i in (0..rows).step_by(5) {
+        let mut cells = vec![i.to_string()];
+        for h in &histories {
+            let r = &h.records()[i];
+            cells.push(format!(
+                "{}m / {}%",
+                num(r.outcome.runtime.as_minutes(), 1),
+                num(r.outcome.accuracy * 100.0, 0)
+            ));
+        }
+        per_trial.row(cells);
+    }
+
+    let mut s = Table::new("Figure 12 summary (first 50 trials)").headers([
+        "budget",
+        "mean trial duration [m]",
+        "best accuracy [%]",
+        "first trial ≥80%",
+    ]);
+    for (policy, h) in policies.iter().zip(&histories) {
+        let (mean_min, max_acc, first80) = summary(h);
+        s.row([
+            policy.name().to_string(),
+            num(mean_min, 1),
+            num(max_acc * 100.0, 1),
+            first80.map_or("never".to_string(), |id| format!("#{id}")),
+        ]);
+    }
+    s.note(
+        "epoch budget converges in few trials but each is expensive; dataset budget is cheap \
+         but plateaus near 40%; multi-budget reaches the target at a fraction of the cost",
+    );
+    format!("{}\n{}", per_trial.render(), s.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_shapes_match_fig12() {
+        let seed = 42;
+        let epoch = summary(&history_for(BudgetPolicy::epoch_default(), seed));
+        let dataset = summary(&history_for(BudgetPolicy::dataset_default(), seed));
+        let multi = summary(&history_for(BudgetPolicy::multi_default(), seed));
+
+        // Fig. 12a: epoch-based trials are the slowest; dataset-based the
+        // fastest; multi-budget in between.
+        assert!(
+            epoch.0 > multi.0,
+            "epoch trials slower than multi: {epoch:?} vs {multi:?}"
+        );
+        assert!(
+            multi.0 > dataset.0,
+            "multi slower than dataset: {multi:?} vs {dataset:?}"
+        );
+
+        // Fig. 12b: dataset budget plateaus well below the 80% target;
+        // epoch and multi both reach it.
+        assert!(
+            dataset.1 < 0.55,
+            "dataset budget must plateau: {}",
+            dataset.1
+        );
+        assert!(dataset.2.is_none(), "dataset budget never reaches 80%");
+        assert!(
+            epoch.1 >= 0.8,
+            "epoch budget reaches the target: {}",
+            epoch.1
+        );
+        assert!(
+            multi.1 >= 0.8,
+            "multi-budget reaches the target: {}",
+            multi.1
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 14: tuning duration and energy of EdgeTune vs. the Tune
+//! baseline (which has no inference tuning server).
+//!
+//! Paper headline: duration reduced by ≈18% and energy by ≈53%.
+
+use edgetune_baselines::TuneBaseline;
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_workloads::WorkloadId;
+
+use crate::helpers::edgetune_run;
+use crate::table::{num, pct_diff, Table};
+use edgetune::prelude::*;
+
+/// One workload's comparison: `(tune_min, edge_min, tune_kj, edge_kj)`.
+#[must_use]
+pub fn compare(workload: WorkloadId, seed: u64) -> (f64, f64, f64, f64) {
+    let tune = TuneBaseline::new(workload)
+        .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+        .with_seed(seed)
+        .run();
+    let edgetune = edgetune_run(
+        workload,
+        BudgetPolicy::multi_default(),
+        Metric::Runtime,
+        seed,
+    );
+    (
+        tune.tuning_runtime().as_minutes(),
+        edgetune.tuning_runtime().as_minutes(),
+        tune.tuning_energy().as_kilojoules(),
+        edgetune.tuning_energy().as_kilojoules(),
+    )
+}
+
+/// Renders Fig. 14.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let mut t = Table::new("Figure 14: EdgeTune vs Tune — tuning duration and energy").headers([
+        "workload",
+        "Tune [m]",
+        "EdgeTune [m]",
+        "Δruntime",
+        "Tune [kJ]",
+        "EdgeTune [kJ]",
+        "Δenergy",
+    ]);
+    for workload in WorkloadId::all() {
+        let (tune_min, edge_min, tune_kj, edge_kj) = compare(workload, seed);
+        t.row([
+            workload.to_string(),
+            num(tune_min, 1),
+            num(edge_min, 1),
+            pct_diff(edge_min, tune_min),
+            num(tune_kj, 1),
+            num(edge_kj, 1),
+            pct_diff(edge_kj, tune_kj),
+        ]);
+    }
+    t.note("paper reports ≈−18% duration and ≈−53% energy; negative Δ = EdgeTune better");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edgetune_reduces_tuning_cost_on_every_workload() {
+        for workload in WorkloadId::all() {
+            let (tune_min, edge_min, tune_kj, edge_kj) = compare(workload, 42);
+            assert!(
+                edge_min < tune_min,
+                "{workload}: EdgeTune should be faster ({edge_min} vs {tune_min})"
+            );
+            assert!(
+                edge_kj < tune_kj,
+                "{workload}: EdgeTune should use less energy ({edge_kj} vs {tune_kj})"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_savings_are_larger_than_runtime_savings() {
+        // The paper's asymmetry: −18% runtime but −53% energy, driven by
+        // the system-parameter tuning (Tune burns all 8 GPUs by default).
+        let (tune_min, edge_min, tune_kj, edge_kj) = compare(WorkloadId::Ic, 42);
+        let runtime_saving = 1.0 - edge_min / tune_min;
+        let energy_saving = 1.0 - edge_kj / tune_kj;
+        assert!(
+            energy_saving > runtime_saving,
+            "energy saving ({energy_saving:.2}) should exceed runtime saving \
+             ({runtime_saving:.2})"
+        );
+        assert!(
+            energy_saving > 0.3,
+            "energy saving should be substantial: {energy_saving:.2}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 15: percent error of the Inference Tuning Server's estimates
+//! vs. measurements on the (empirical) edge device — box-and-whiskers.
+
+use edgetune_device::fidelity::precision_study;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::stats::BoxPlot;
+use edgetune_workloads::catalog::Workload;
+
+use crate::helpers::edge_device;
+use crate::table::{num, Table};
+
+/// Runs the study and returns `(throughput_errors, energy_errors)`.
+#[must_use]
+pub fn errors(seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let device = edge_device();
+    let profiles: Vec<_> = Workload::all()
+        .iter()
+        .flat_map(|w| {
+            w.model_hp_values
+                .iter()
+                .map(|&hp| w.profile(hp))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // A modest batch sweep per profile/core/freq keeps the study size
+    // close to the paper's configuration count.
+    precision_study(&device, &profiles, &[1, 4, 16, 64], SeedStream::new(seed))
+}
+
+fn boxplot_row(t: &mut Table, label: &str, samples: &[f64]) {
+    let bp = BoxPlot::of(samples).expect("study is non-empty");
+    t.row([
+        label.to_string(),
+        num(bp.whisker_low, 1),
+        num(bp.q1, 1),
+        num(bp.median, 1),
+        num(bp.q3, 1),
+        num(bp.whisker_high, 1),
+        bp.outliers.len().to_string(),
+        num(bp.outliers.iter().copied().fold(0.0, f64::max), 1),
+    ]);
+}
+
+/// Renders Fig. 15.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let (thpt, energy) = errors(seed);
+    let mut t = Table::new("Figure 15: percent error of emulated vs empirical edge measurements")
+        .headers([
+            "metric",
+            "whisk-lo",
+            "Q1",
+            "median",
+            "Q3",
+            "whisk-hi",
+            "#outliers",
+            "max",
+        ]);
+    boxplot_row(&mut t, "throughput [%]", &thpt);
+    boxplot_row(&mut t, "energy [%]", &energy);
+    t.note("paper: error is small (≤20% median) with a heavy outlier tail");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_util::stats::percentile;
+
+    #[test]
+    fn median_error_is_paper_scale() {
+        let (thpt, energy) = errors(42);
+        let med_t = percentile(&thpt, 0.5).unwrap();
+        let med_e = percentile(&energy, 0.5).unwrap();
+        assert!(med_t <= 25.0, "median throughput error ≤ ~20%: {med_t}");
+        assert!(med_e <= 25.0, "median energy error ≤ ~20%: {med_e}");
+    }
+
+    #[test]
+    fn study_has_outlier_tail() {
+        let (thpt, _) = errors(42);
+        let max = thpt.iter().copied().fold(0.0f64, f64::max);
+        let med = percentile(&thpt, 0.5).unwrap();
+        assert!(
+            max > med * 3.0,
+            "heavy tail expected: median={med}, max={max}"
+        );
+    }
+}

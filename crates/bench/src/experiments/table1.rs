@@ -1,0 +1,49 @@
+//! Table 1: workloads used for the experiments.
+
+use edgetune_workloads::catalog::Workload;
+
+use crate::table::Table;
+
+/// Renders Table 1 from the workload catalog.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new("Table 1: Workloads used for experiments").headers([
+        "Type",
+        "ID",
+        "Model",
+        "Dataset",
+        "Datasize",
+        "Train Files",
+        "Test Files",
+    ]);
+    for w in Workload::all() {
+        let size = if w.dataset.size_bytes >= 1_000_000_000 {
+            format!("{:.2} GB", w.dataset.size_bytes as f64 / 1e9)
+        } else {
+            format!("{:.1} MB", w.dataset.size_bytes as f64 / 1e6)
+        };
+        table.row([
+            w.task.clone(),
+            w.id.short_name().to_string(),
+            w.model.clone(),
+            w.dataset.name.clone(),
+            size,
+            w.dataset.train_files.to_string(),
+            w.dataset.test_files.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lists_all_four_workloads_with_table1_sizes() {
+        let out = super::run();
+        for needle in [
+            "IC", "SR", "NLP", "OD", "50000", "85511", "120000", "164000",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+}

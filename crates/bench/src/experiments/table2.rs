@@ -1,0 +1,195 @@
+//! Table 2: state-of-the-art systems related to hyper and system
+//! parameter tuning.
+//!
+//! The feature matrix is the paper's (static) comparison; EdgeTune's row
+//! is the only one with every box ticked — including system-parameter
+//! tuning and multi-sample inference, the two capabilities this
+//! repository implements end-to-end.
+
+use crate::table::Table;
+
+/// One system's feature row.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemRow {
+    /// System name.
+    pub name: &'static str,
+    /// CPU / GPU processing-node support.
+    pub cpu: bool,
+    /// GPU support.
+    pub gpu: bool,
+    /// Tunes hyperparameters.
+    pub hyper: bool,
+    /// Tunes system parameters.
+    pub system: bool,
+    /// Tunes/searches the architecture.
+    pub architecture: bool,
+    /// Objective includes the tuning process.
+    pub obj_tuning: bool,
+    /// Objective includes training.
+    pub obj_training: bool,
+    /// Objective includes inference.
+    pub obj_inference: bool,
+    /// Supports multi-sample inference.
+    pub multi_sample: bool,
+}
+
+/// The paper's Table 2 rows.
+#[must_use]
+pub fn rows() -> Vec<SystemRow> {
+    let r = |name,
+             cpu,
+             gpu,
+             hyper,
+             system,
+             architecture,
+             obj_tuning,
+             obj_training,
+             obj_inference,
+             multi_sample| SystemRow {
+        name,
+        cpu,
+        gpu,
+        hyper,
+        system,
+        architecture,
+        obj_tuning,
+        obj_training,
+        obj_inference,
+        multi_sample,
+    };
+    vec![
+        r(
+            "ChamNet", true, true, false, false, true, false, true, true, false,
+        ),
+        r(
+            "DPP-Net", true, true, false, false, true, false, true, true, false,
+        ),
+        r(
+            "FBNet", true, true, false, false, true, false, true, true, false,
+        ),
+        r(
+            "HyperPower",
+            false,
+            true,
+            true,
+            false,
+            true,
+            true,
+            true,
+            false,
+            false,
+        ),
+        r(
+            "MnasNet", true, false, false, false, true, false, true, true, false,
+        ),
+        r(
+            "NeuralPower",
+            false,
+            true,
+            false,
+            false,
+            true,
+            true,
+            true,
+            false,
+            false,
+        ),
+        r(
+            "ProxylessNAS",
+            true,
+            true,
+            false,
+            false,
+            true,
+            false,
+            true,
+            true,
+            false,
+        ),
+        r(
+            "EdgeTune", true, true, true, true, true, true, true, true, true,
+        ),
+    ]
+}
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Renders Table 2.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(
+        "Table 2: State-of-the-art systems related to hyper and system parameter tuning",
+    )
+    .headers([
+        "System",
+        "CPU",
+        "GPU",
+        "Hyper",
+        "System",
+        "Arch",
+        "Obj:Tuning",
+        "Obj:Training",
+        "Obj:Inference",
+        "Multi-Sample",
+    ]);
+    for r in rows() {
+        table.row([
+            r.name,
+            mark(r.cpu),
+            mark(r.gpu),
+            mark(r.hyper),
+            mark(r.system),
+            mark(r.architecture),
+            mark(r.obj_tuning),
+            mark(r.obj_training),
+            mark(r.obj_inference),
+            mark(r.multi_sample),
+        ]);
+    }
+    table.note("EdgeTune is the only system supporting every capability (paper §6).");
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edgetune_is_the_only_full_row() {
+        for r in rows() {
+            let full = r.cpu
+                && r.gpu
+                && r.hyper
+                && r.system
+                && r.architecture
+                && r.obj_tuning
+                && r.obj_training
+                && r.obj_inference
+                && r.multi_sample;
+            assert_eq!(full, r.name == "EdgeTune", "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn renders_eight_systems() {
+        let out = run();
+        for name in [
+            "ChamNet",
+            "DPP-Net",
+            "FBNet",
+            "HyperPower",
+            "MnasNet",
+            "NeuralPower",
+            "ProxylessNAS",
+            "EdgeTune",
+        ] {
+            assert!(out.contains(name));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared building blocks for the experiments.
+
+use edgetune::prelude::*;
+use edgetune_device::latency::{simulate_inference, CpuAllocation, Execution};
+use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::curve::TrainingQuality;
+
+/// The target accuracy of the motivating examples (§2.3: "tuned to reach
+/// at least 80% model accuracy").
+pub const TARGET_ACCURACY: f64 = 0.8;
+
+/// The edge device used throughout the figures.
+#[must_use]
+pub fn edge_device() -> DeviceSpec {
+    DeviceSpec::raspberry_pi_3b()
+}
+
+/// The training node used throughout the figures.
+#[must_use]
+pub fn trainer_node() -> DeviceSpec {
+    DeviceSpec::titan_rtx_node()
+}
+
+/// Cost of one full training run to the target accuracy: epochs needed
+/// under `(hp, batch)` times the per-epoch cost on `gpus` GPUs. `None`
+/// when the configuration cannot reach the target.
+#[must_use]
+pub fn training_to_target(
+    workload: &Workload,
+    model_hp: f64,
+    batch: u32,
+    gpus: u32,
+    target: f64,
+) -> Option<Execution> {
+    let quality = TrainingQuality::from_batch(batch);
+    let epochs = workload.epochs_to_accuracy(model_hp, &quality, 1.0, target)?;
+    let node = trainer_node();
+    let alloc = GpuAllocation::new(&node, gpus).ok()?;
+    let samples = workload.samples_at_fraction(1.0);
+    let epoch = simulate_gpu_epoch(&node, &alloc, &workload.profile(model_hp), batch, samples);
+    Some(epoch.repeat(epochs))
+}
+
+/// Edge inference of one batch at max frequency with `cores` cores.
+///
+/// # Panics
+///
+/// Panics when `cores` is invalid for the device.
+#[must_use]
+pub fn edge_inference(
+    device: &DeviceSpec,
+    profile: &WorkProfile,
+    cores: u32,
+    batch: u32,
+) -> Execution {
+    let alloc = CpuAllocation::new(device, cores, device.max_freq)
+        .expect("cores valid for the experiment device");
+    simulate_inference(device, &alloc, profile, batch)
+}
+
+/// Throughput (items/s) of an edge inference execution.
+#[must_use]
+pub fn exec_throughput(exec: &Execution, batch: u32) -> f64 {
+    f64::from(batch) / exec.latency.value()
+}
+
+/// Per-item energy (J) of an edge inference execution.
+#[must_use]
+pub fn exec_energy_per_item(exec: &Execution, batch: u32) -> f64 {
+    exec.energy.value() / f64::from(batch)
+}
+
+/// A standard small-but-representative EdgeTune run used by the
+/// comparison figures (kept identical across systems for fairness).
+///
+/// # Panics
+///
+/// Panics when the run fails (the figure harness has no meaningful
+/// recovery).
+#[must_use]
+pub fn edgetune_run(
+    workload: WorkloadId,
+    budget: BudgetPolicy,
+    metric: Metric,
+    seed: u64,
+) -> TuningReport {
+    EdgeTune::new(
+        EdgeTuneConfig::for_workload(workload)
+            .with_budget(budget)
+            .with_metric(metric)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 10))
+            .with_seed(seed),
+    )
+    .run()
+    .expect("experiment run must succeed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_workloads::WorkloadId;
+
+    #[test]
+    fn training_to_target_is_finite_for_reachable_targets() {
+        let ic = Workload::by_id(WorkloadId::Ic);
+        let exec = training_to_target(&ic, 18.0, 256, 1, 0.8).unwrap();
+        assert!(exec.latency.value() > 0.0);
+        assert!(exec.energy.value() > 0.0);
+    }
+
+    #[test]
+    fn training_to_target_none_when_unreachable() {
+        let ic = Workload::by_id(WorkloadId::Ic);
+        assert!(training_to_target(&ic, 18.0, 256, 1, 0.97).is_none());
+    }
+
+    #[test]
+    fn edge_inference_helpers_are_consistent() {
+        let dev = edge_device();
+        let profile = Workload::by_id(WorkloadId::Ic).profile(18.0);
+        let exec = edge_inference(&dev, &profile, 4, 10);
+        let thpt = exec_throughput(&exec, 10);
+        let energy = exec_energy_per_item(&exec, 10);
+        assert!(thpt > 0.0 && energy > 0.0);
+        assert!((thpt * exec.latency.value() - 10.0).abs() < 1e-9);
+    }
+}

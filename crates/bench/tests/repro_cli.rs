@@ -1,0 +1,61 @@
+//! End-to-end tests of the `repro` binary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn lists_every_experiment() {
+    let out = repro().arg("--list").output().expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for name in edgetune_bench::experiment_names() {
+        assert!(stdout.lines().any(|l| l == name), "missing {name}");
+    }
+}
+
+#[test]
+fn runs_a_single_experiment() {
+    let out = repro().arg("table1").output().expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("CIFAR10"), "{stdout}");
+}
+
+#[test]
+fn seed_changes_stochastic_experiments_deterministically() {
+    let run = |seed: &str| {
+        let out = repro().args(["--seed", seed, "fig12"]).output().expect("repro runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let a1 = run("7");
+    let a2 = run("7");
+    let b = run("8");
+    assert_eq!(a1, a2, "same seed reproduces byte-for-byte");
+    assert_ne!(a1, b, "different seed explores differently");
+}
+
+#[test]
+fn out_flag_writes_files() {
+    let dir = std::env::temp_dir().join("edgetune-repro-out-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = repro()
+        .args(["--out", dir.to_str().expect("utf8 path"), "table2"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(dir.join("table2.txt")).expect("file written");
+    assert!(written.contains("EdgeTune"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_experiment_fails_cleanly() {
+    let out = repro().arg("fig99").output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+}

@@ -1,0 +1,364 @@
+//! Asynchronous execution of the Inference Tuning Server.
+//!
+//! Algorithm 1 calls the inference server with `async` semantics: the
+//! Model Tuning Server fires a request when a trial *starts* and collects
+//! the answer when the trial *ends*, so inference tuning is pipelined with
+//! training and "does not add any overhead to the main process" (§3.3).
+//! This module provides that middleware plumbing: a dedicated worker
+//! thread owning the [`InferenceTuningServer`] and the
+//! [`HistoricalCache`], fed through crossbeam channels.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use edgetune_device::profile::WorkProfile;
+use edgetune_util::units::{Joules, Seconds};
+use edgetune_util::{Error, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheKey, HistoricalCache};
+use crate::inference::{InferenceRecommendation, InferenceTuningServer};
+
+/// The answer to one inference-tuning request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReply {
+    /// The deployment recommendation for the requested architecture.
+    pub recommendation: InferenceRecommendation,
+    /// Simulated duration the tuning sweep took (zero on a cache hit).
+    pub runtime: Seconds,
+    /// Simulated energy the tuning sweep consumed (zero on a cache hit).
+    pub energy: Joules,
+    /// Whether the answer came from the historical database.
+    pub cache_hit: bool,
+}
+
+struct Request {
+    key: CacheKey,
+    profile: WorkProfile,
+    reply: Sender<InferenceReply>,
+}
+
+/// A handle to an in-flight inference-tuning request.
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: Receiver<InferenceReply>,
+}
+
+impl PendingReply {
+    /// Blocks until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Channel`] if the server shut down before
+    /// answering.
+    pub fn wait(&self) -> Result<InferenceReply> {
+        self.rx
+            .recv()
+            .map_err(|_| Error::channel("inference server disconnected"))
+    }
+
+    /// Waits up to `timeout` for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Channel`] on timeout or disconnect.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<InferenceReply> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|e| Error::channel(format!("inference reply: {e}")))
+    }
+
+    /// Non-blocking poll.
+    #[must_use]
+    pub fn try_wait(&self) -> Option<InferenceReply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The asynchronous Inference Tuning Server: a background worker thread
+/// plus the shared historical cache.
+///
+/// # Examples
+///
+/// ```
+/// use edgetune::async_server::AsyncInferenceServer;
+/// use edgetune::cache::{CacheKey, HistoricalCache};
+/// use edgetune::inference::{InferenceSpace, InferenceTuningServer};
+/// use edgetune_device::{DeviceSpec, WorkProfile};
+/// use edgetune_tuner::objective::InferenceObjective;
+/// use edgetune_tuner::Metric;
+///
+/// let device = DeviceSpec::raspberry_pi_3b();
+/// let space = InferenceSpace::for_device(&device);
+/// let inner = InferenceTuningServer::new(device, space, InferenceObjective::new(Metric::Runtime))?;
+/// let server = AsyncInferenceServer::start(inner, HistoricalCache::new());
+/// let key = CacheKey::new("Raspberry Pi 3B+", "ResNet/layers=18", Metric::Runtime);
+/// let pending = server.submit(key, WorkProfile::new(0.56e9, 3.0e6, 44.8e6));
+/// let reply = pending.wait()?;
+/// assert!(!reply.cache_hit);
+/// # Ok::<(), edgetune_util::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct AsyncInferenceServer {
+    tx: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<Mutex<HistoricalCache>>,
+}
+
+impl AsyncInferenceServer {
+    /// Spawns a single-worker server with the historical cache enabled —
+    /// the paper's configuration.
+    #[must_use]
+    pub fn start(server: InferenceTuningServer, cache: HistoricalCache) -> Self {
+        Self::start_with_options(server, cache, 1, true)
+    }
+
+    /// Spawns the server with explicit options: `workers` concurrent
+    /// sweep threads (useful when the model server parallelises its
+    /// trials) and whether the historical cache is consulted (`caching =
+    /// false` is the ablation of §3.4's look-up feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn start_with_options(
+        server: InferenceTuningServer,
+        cache: HistoricalCache,
+        workers: usize,
+        caching: bool,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let cache = Arc::new(Mutex::new(cache));
+        let (tx, rx) = unbounded::<Request>();
+        let server = Arc::new(server);
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let worker_cache = Arc::clone(&cache);
+                let server = Arc::clone(&server);
+                std::thread::Builder::new()
+                    .name(format!("inference-tuning-server-{i}"))
+                    .spawn(move || {
+                        for request in rx {
+                            let reply = Self::handle(&server, &worker_cache, &request, caching);
+                            // The requester may have gone away; that is
+                            // fine.
+                            let _ = request.reply.send(reply);
+                        }
+                    })
+                    .expect("spawning inference server thread")
+            })
+            .collect();
+        AsyncInferenceServer {
+            tx: Some(tx),
+            workers: handles,
+            cache,
+        }
+    }
+
+    fn handle(
+        server: &InferenceTuningServer,
+        cache: &Mutex<HistoricalCache>,
+        request: &Request,
+        caching: bool,
+    ) -> InferenceReply {
+        if caching {
+            if let Some(hit) = cache.lock().lookup(&request.key) {
+                return InferenceReply {
+                    recommendation: hit,
+                    runtime: Seconds::ZERO,
+                    energy: Joules::ZERO,
+                    cache_hit: true,
+                };
+            }
+        } else {
+            cache.lock().note_miss();
+        }
+        let (recommendation, cost) = server.tune(&request.profile);
+        if caching {
+            cache.lock().store(&request.key, recommendation.clone());
+        }
+        InferenceReply {
+            recommendation,
+            runtime: cost.runtime,
+            energy: cost.energy,
+            cache_hit: false,
+        }
+    }
+
+    /// Submits an architecture for inference tuning; returns immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`AsyncInferenceServer::shutdown`] (the
+    /// handle is consumed there, so this cannot happen in safe use).
+    #[must_use]
+    pub fn submit(&self, key: CacheKey, profile: WorkProfile) -> PendingReply {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .as_ref()
+            .expect("server is running")
+            .send(Request {
+                key,
+                profile,
+                reply: reply_tx,
+            })
+            .expect("worker thread alive while handle exists");
+        PendingReply { rx: reply_rx }
+    }
+
+    /// A snapshot of the historical cache.
+    #[must_use]
+    pub fn cache_snapshot(&self) -> HistoricalCache {
+        self.cache.lock().clone()
+    }
+
+    /// Stops the workers (draining queued requests first) and returns
+    /// the final cache.
+    #[must_use]
+    pub fn shutdown(mut self) -> HistoricalCache {
+        self.tx = None; // close the channel; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let cache = Arc::clone(&self.cache);
+        drop(self);
+        match Arc::try_unwrap(cache) {
+            Ok(mutex) => mutex.into_inner(),
+            Err(shared) => shared.lock().clone(),
+        }
+    }
+}
+
+impl Drop for AsyncInferenceServer {
+    fn drop(&mut self) {
+        self.tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::InferenceSpace;
+    use edgetune_device::spec::DeviceSpec;
+    use edgetune_tuner::objective::InferenceObjective;
+    use edgetune_tuner::Metric;
+
+    fn start() -> AsyncInferenceServer {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        let inner =
+            InferenceTuningServer::new(device, space, InferenceObjective::new(Metric::Runtime))
+                .unwrap();
+        AsyncInferenceServer::start(inner, HistoricalCache::new())
+    }
+
+    fn key(arch: &str) -> CacheKey {
+        CacheKey::new("Raspberry Pi 3B+", arch, Metric::Runtime)
+    }
+
+    fn profile() -> WorkProfile {
+        WorkProfile::new(0.56e9, 3.0e6, 44.8e6)
+    }
+
+    #[test]
+    fn first_request_misses_second_hits() {
+        let server = start();
+        let first = server
+            .submit(key("ResNet/layers=18"), profile())
+            .wait()
+            .unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.runtime.value() > 0.0);
+        let second = server
+            .submit(key("ResNet/layers=18"), profile())
+            .wait()
+            .unwrap();
+        assert!(
+            second.cache_hit,
+            "same architecture must be served from history"
+        );
+        assert_eq!(second.runtime, Seconds::ZERO);
+        assert_eq!(second.recommendation, first.recommendation);
+    }
+
+    #[test]
+    fn duplicate_inflight_requests_converge_to_one_computation() {
+        let server = start();
+        // Two requests for the same architecture before either completes:
+        // the worker serialises them, so the second is a cache hit.
+        let a = server.submit(key("ResNet/layers=34"), profile());
+        let b = server.submit(key("ResNet/layers=34"), profile());
+        let ra = a.wait().unwrap();
+        let rb = b.wait().unwrap();
+        assert!(!ra.cache_hit);
+        assert!(rb.cache_hit);
+    }
+
+    #[test]
+    fn different_architectures_are_tuned_separately() {
+        let server = start();
+        let light = server.submit(key("light"), profile()).wait().unwrap();
+        let heavy = server
+            .submit(key("heavy"), WorkProfile::new(8.5e9, 30.0e6, 246.0e6))
+            .wait()
+            .unwrap();
+        assert!(!light.cache_hit && !heavy.cache_hit);
+        assert!(heavy.recommendation.throughput.value() < light.recommendation.throughput.value());
+        assert_eq!(server.cache_snapshot().len(), 2);
+    }
+
+    #[test]
+    fn pipelining_requests_overlap() {
+        let server = start();
+        // Fire several requests without waiting — the model server's
+        // pattern — then collect them all.
+        let pendings: Vec<PendingReply> = (0..4)
+            .map(|i| server.submit(key(&format!("arch-{i}")), profile()))
+            .collect();
+        for p in pendings {
+            let reply = p.wait_timeout(Duration::from_secs(30)).unwrap();
+            assert!(reply.recommendation.throughput.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking() {
+        let server = start();
+        let pending = server.submit(key("slow"), profile());
+        // May or may not be ready instantly; both are valid — the call
+        // just must not block.
+        let _ = pending.try_wait();
+        let reply = pending.wait().unwrap();
+        assert!(reply.recommendation.batch >= 1);
+    }
+
+    #[test]
+    fn shutdown_returns_populated_cache() {
+        let server = start();
+        server.submit(key("a"), profile()).wait().unwrap();
+        let cache = server.shutdown();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let server = start();
+        let pending = server.submit(key("queued"), profile());
+        let cache = server.shutdown();
+        assert_eq!(
+            cache.len(),
+            1,
+            "queued request must be processed before exit"
+        );
+        let reply = pending.wait().unwrap();
+        assert!(!reply.cache_hit);
+    }
+}

@@ -1,0 +1,205 @@
+//! `edgetune` — command-line front end to the tuning middleware.
+//!
+//! ```text
+//! edgetune --workload ic                        # tune ResNet/CIFAR10 with defaults
+//! edgetune --workload od --metric energy       # energy-oriented objectives
+//! edgetune --workload sr --budget epoch        # a different trial budget
+//! edgetune --workload ic --device intel        # target a different edge device
+//! edgetune --workload ic --json report.json    # dump the full report as JSON
+//! edgetune --workload ic --trial-workers 4     # parallel trial slots
+//! ```
+
+use std::process::ExitCode;
+
+use edgetune::prelude::*;
+use edgetune_device::spec::DeviceSpec;
+
+struct Args {
+    workload: WorkloadId,
+    device: Option<String>,
+    metric: Metric,
+    budget: BudgetPolicy,
+    seed: u64,
+    initial: usize,
+    max_iteration: u32,
+    trial_workers: usize,
+    cache: Option<String>,
+    json: Option<String>,
+    pipelining: bool,
+    historical_cache: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: WorkloadId::Ic,
+        device: None,
+        metric: Metric::Runtime,
+        budget: BudgetPolicy::multi_default(),
+        seed: 42,
+        initial: 8,
+        max_iteration: 10,
+        trial_workers: 1,
+        cache: None,
+        json: None,
+        pipelining: true,
+        historical_cache: true,
+    };
+    let mut argv = std::env::args().skip(1);
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                args.workload = match value(&mut argv, "--workload")?.to_lowercase().as_str() {
+                    "ic" => WorkloadId::Ic,
+                    "sr" => WorkloadId::Sr,
+                    "nlp" => WorkloadId::Nlp,
+                    "od" => WorkloadId::Od,
+                    other => return Err(format!("unknown workload '{other}' (ic|sr|nlp|od)")),
+                }
+            }
+            "--device" | "-d" => args.device = Some(value(&mut argv, "--device")?),
+            "--metric" | "-m" => {
+                args.metric = match value(&mut argv, "--metric")?.to_lowercase().as_str() {
+                    "runtime" => Metric::Runtime,
+                    "energy" => Metric::Energy,
+                    other => return Err(format!("unknown metric '{other}' (runtime|energy)")),
+                }
+            }
+            "--budget" | "-b" => {
+                args.budget = match value(&mut argv, "--budget")?.to_lowercase().as_str() {
+                    "epoch" | "epochs" => BudgetPolicy::epoch_default(),
+                    "dataset" => BudgetPolicy::dataset_default(),
+                    "multi" | "multi-budget" => BudgetPolicy::multi_default(),
+                    other => return Err(format!("unknown budget '{other}' (epoch|dataset|multi)")),
+                }
+            }
+            "--seed" | "-s" => {
+                args.seed = value(&mut argv, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--trials" | "-n" => {
+                args.initial = value(&mut argv, "--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad trial count: {e}"))?;
+            }
+            "--max-iter" => {
+                args.max_iteration = value(&mut argv, "--max-iter")?
+                    .parse()
+                    .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            "--trial-workers" => {
+                args.trial_workers = value(&mut argv, "--trial-workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+            }
+            "--cache" => args.cache = Some(value(&mut argv, "--cache")?),
+            "--json" => args.json = Some(value(&mut argv, "--json")?),
+            "--no-pipelining" => args.pipelining = false,
+            "--no-cache" => args.historical_cache = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
+                     [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
+                     [--trials N] [--max-iter N] [--trial-workers N] [--cache FILE] \
+                     [--json FILE] [--no-pipelining] [--no-cache]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = EdgeTuneConfig::for_workload(args.workload)
+        .with_metric(args.metric)
+        .with_budget(args.budget)
+        .with_scheduler(SchedulerConfig::new(args.initial, 2.0, args.max_iteration))
+        .with_trial_workers(args.trial_workers)
+        .with_seed(args.seed);
+    if let Some(name) = &args.device {
+        match DeviceSpec::by_name(name) {
+            Some(device) => config = config.with_edge_device(device),
+            None => {
+                eprintln!("error: unknown device '{name}'; catalog:");
+                for d in DeviceSpec::catalog() {
+                    eprintln!("  {}", d.name);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.cache {
+        config = config.with_cache_path(path);
+    }
+    if !args.pipelining {
+        config = config.without_pipelining();
+    }
+    if !args.historical_cache {
+        config = config.without_historical_cache();
+    }
+
+    eprintln!(
+        "tuning {} for {} ({} objective, {} budget, seed {})...",
+        args.workload,
+        config.edge_device.name,
+        args.metric,
+        config.budget.name(),
+        args.seed
+    );
+    let report = match EdgeTune::new(config).run() {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("== winning trial ==");
+    println!("configuration : {}", report.best_config());
+    println!("accuracy      : {:.1}%", report.best_accuracy() * 100.0);
+    println!("trials run    : {}", report.history().len());
+    println!(
+        "tuning cost   : {:.1} min, {:.1} kJ (stall {:.1} s)",
+        report.tuning_runtime().as_minutes(),
+        report.tuning_energy().as_kilojoules(),
+        report.stall_time().value(),
+    );
+    let rec = report.recommendation();
+    println!("== deployment recommendation ==");
+    println!("device        : {}", rec.device);
+    println!("batch/cores   : {} / {}", rec.batch, rec.cores);
+    println!("frequency     : {:.2} GHz", rec.freq.as_ghz());
+    println!("throughput    : {:.1} items/s", rec.throughput.value());
+    println!("energy        : {:.3} J/item", rec.energy_per_item.value());
+
+    if let Some(path) = &args.json {
+        match report.to_json() {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(path, json) {
+                    eprintln!("error writing {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {path}");
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,258 @@
+//! The persistent historical database of inference-tuning results
+//! (§3.4).
+//!
+//! Before searching, the Inference Tuning Server "verifies whether the
+//! optimal configurations are already known for the given model structure
+//! based on historical data"; hits avoid re-tuning an architecture at the
+//! cost of a small storage overhead. The cache key is the *architecture
+//! signature* — training-only hyperparameters never enter it, which is
+//! what lets results be reused across trials (§3.1 "Objective").
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use edgetune_tuner::Metric;
+use edgetune_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::inference::InferenceRecommendation;
+
+/// A cache key: device × architecture signature × inference metric.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// Target device name.
+    pub device: String,
+    /// Architecture signature (see
+    /// `edgetune_workloads::Workload::arch_signature`).
+    pub arch: String,
+    /// Which metric the stored recommendation optimises.
+    pub metric: Metric,
+}
+
+impl CacheKey {
+    /// Creates a key.
+    #[must_use]
+    pub fn new(device: impl Into<String>, arch: impl Into<String>, metric: Metric) -> Self {
+        CacheKey {
+            device: device.into(),
+            arch: arch.into(),
+            metric,
+        }
+    }
+}
+
+/// Hit/miss statistics of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The historical results store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoricalCache {
+    entries: HashMap<String, InferenceRecommendation>,
+    /// Hit/miss counters are per-process observability, not durable
+    /// state: a freshly-loaded cache starts counting from zero.
+    #[serde(skip)]
+    stats: CacheStats,
+}
+
+impl HistoricalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoricalCache::default()
+    }
+
+    fn key_string(key: &CacheKey) -> String {
+        format!("{}|{}|{}", key.device, key.arch, key.metric)
+    }
+
+    /// Looks up a recommendation, recording hit/miss.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<InferenceRecommendation> {
+        match self.entries.get(&Self::key_string(key)) {
+            Some(rec) => {
+                self.stats.hits += 1;
+                Some(rec.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a miss without a lookup — used when caching is disabled
+    /// so the statistics still reflect how many sweeps were computed.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Peeks without touching statistics.
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey) -> Option<&InferenceRecommendation> {
+        self.entries.get(&Self::key_string(key))
+    }
+
+    /// Stores a recommendation, returning any previous entry.
+    pub fn store(
+        &mut self,
+        key: &CacheKey,
+        recommendation: InferenceRecommendation,
+    ) -> Option<InferenceRecommendation> {
+        self.entries.insert(Self::key_string(key), recommendation)
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Serialises the cache to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] on I/O or serialisation failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| Error::storage(format!("serialising cache: {e}")))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a cache previously written by [`HistoricalCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] on I/O or deserialisation failure.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| Error::storage(format!("parsing cache: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_util::units::{Hertz, ItemsPerSecond, JoulesPerItem, Seconds};
+
+    fn rec(batch: u32) -> InferenceRecommendation {
+        InferenceRecommendation {
+            device: "Raspberry Pi 3B+".to_string(),
+            batch,
+            cores: 2,
+            freq: Hertz::from_ghz(1.4),
+            latency_per_item: Seconds::new(0.05),
+            energy_per_item: JoulesPerItem::new(0.3),
+            throughput: ItemsPerSecond::new(20.0),
+        }
+    }
+
+    fn key(arch: &str) -> CacheKey {
+        CacheKey::new("Raspberry Pi 3B+", arch, Metric::Runtime)
+    }
+
+    #[test]
+    fn store_then_lookup_hits() {
+        let mut cache = HistoricalCache::new();
+        assert!(cache.lookup(&key("ResNet/layers=18")).is_none());
+        cache.store(&key("ResNet/layers=18"), rec(8));
+        let hit = cache.lookup(&key("ResNet/layers=18")).unwrap();
+        assert_eq!(hit.batch, 8);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_metric_is_a_different_entry() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("a"), rec(8));
+        let energy_key = CacheKey::new("Raspberry Pi 3B+", "a", Metric::Energy);
+        assert!(cache.lookup(&energy_key).is_none());
+    }
+
+    #[test]
+    fn different_device_is_a_different_entry() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("a"), rec(8));
+        let other = CacheKey::new("ARMv7 rev 4 board", "a", Metric::Runtime);
+        assert!(cache.peek(&other).is_none());
+        assert!(cache.peek(&key("a")).is_some());
+    }
+
+    #[test]
+    fn store_returns_previous_entry() {
+        let mut cache = HistoricalCache::new();
+        assert!(cache.store(&key("a"), rec(8)).is_none());
+        let prev = cache.store(&key("a"), rec(16)).unwrap();
+        assert_eq!(prev.batch, 8);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("a"), rec(8));
+        let _ = cache.peek(&key("a"));
+        let _ = cache.peek(&key("b"));
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("ResNet/layers=18"), rec(8));
+        cache.store(&key("ResNet/layers=50"), rec(4));
+        let dir = std::env::temp_dir().join("edgetune-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let mut loaded = HistoricalCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.lookup(&key("ResNet/layers=50")).unwrap().batch, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = HistoricalCache::load(Path::new("/nonexistent/cache.json")).unwrap_err();
+        assert!(matches!(err, Error::Storage(_)));
+    }
+
+    #[test]
+    fn empty_cache_ratio_is_zero() {
+        let cache = HistoricalCache::new();
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+        assert!(cache.is_empty());
+    }
+}

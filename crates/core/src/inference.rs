@@ -1,0 +1,544 @@
+//! The Inference Tuning Server (§3.4).
+//!
+//! Given an architecture's [`WorkProfile`], the server sweeps the
+//! inference hyperparameter (batch size) jointly with the inference
+//! *system* parameters (CPU cores, DVFS frequency) on an emulated edge
+//! device, applies the user's inference objective (minimise per-item
+//! runtime or energy), and returns an [`InferenceRecommendation`] the
+//! user can deploy directly — the paper's headline "more useful
+//! information" output.
+
+use edgetune_device::latency::{simulate_inference, CpuAllocation};
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_util::units::{
+    energy_per_item, throughput, Hertz, ItemsPerSecond, Joules, JoulesPerItem, Seconds, Watts,
+};
+use edgetune_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use edgetune_tuner::objective::InferenceObjective;
+use edgetune_tuner::sampler::{Sampler, TpeSampler};
+use edgetune_tuner::space::{Config, Domain, SearchSpace};
+use edgetune_util::rng::SeedStream;
+
+/// The sweep executes on the tuning server's CPUs, which emulate the edge
+/// device this much faster than the device would run (§2.1: devices are
+/// *simulated in the tuning server*, so sweep wall-time is server-speed
+/// while the reported estimates stay edge-scale). This is what keeps the
+/// whole sweep inside one training trial (§3.3).
+const EMULATION_SPEEDUP: f64 = 32.0;
+/// Power drawn by the tuning server's CPUs while emulating.
+const EMULATION_HOST_POWER_W: f64 = 45.0;
+
+/// The inference-side search space: batch sizes × cores × frequencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceSpace {
+    /// Candidate inference batch sizes (the paper sweeps 1..=100).
+    pub batches: Vec<u32>,
+    /// Candidate core allocations.
+    pub cores: Vec<u32>,
+    /// Candidate DVFS frequencies.
+    pub freqs: Vec<Hertz>,
+}
+
+impl InferenceSpace {
+    /// The paper's evaluation space adapted to `device`: batch sizes
+    /// 1..=100 (log-spaced), every power-of-two core count the device
+    /// has, and three DVFS points.
+    #[must_use]
+    pub fn for_device(device: &DeviceSpec) -> Self {
+        let mut cores = Vec::new();
+        let mut c = 1;
+        while c <= device.cores {
+            cores.push(c);
+            c *= 2;
+        }
+        if *cores.last().expect("at least one core") != device.cores {
+            cores.push(device.cores);
+        }
+        let mid = Hertz::new((device.min_freq.value() + device.max_freq.value()) / 2.0);
+        InferenceSpace {
+            batches: vec![1, 2, 4, 8, 16, 32, 64, 100],
+            cores,
+            freqs: vec![device.min_freq, mid, device.max_freq],
+        }
+    }
+
+    /// Number of configurations in the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.batches.len() * self.cores.len() * self.freqs.len()
+    }
+
+    /// True when the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// This space as a generic tuner [`SearchSpace`] (every dimension is
+    /// an explicit choice), used by the model-based search path.
+    #[must_use]
+    pub fn as_search_space(&self) -> SearchSpace {
+        SearchSpace::new()
+            .with(
+                "batch",
+                Domain::choice(
+                    self.batches
+                        .iter()
+                        .map(|&b| f64::from(b))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .with(
+                "cores",
+                Domain::choice(self.cores.iter().map(|&c| f64::from(c)).collect::<Vec<_>>()),
+            )
+            .with(
+                "freq_ghz",
+                Domain::choice(self.freqs.iter().map(|f| f.as_ghz()).collect::<Vec<_>>()),
+            )
+    }
+
+    /// Validates the space against a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when empty or out of the device's
+    /// ranges.
+    pub fn validate(&self, device: &DeviceSpec) -> Result<()> {
+        if self.is_empty() {
+            return Err(Error::invalid_config("inference space is empty"));
+        }
+        if self.batches.contains(&0) {
+            return Err(Error::invalid_config("batch size 0 in inference space"));
+        }
+        for &c in &self.cores {
+            if !device.supports_cores(c) {
+                return Err(Error::invalid_config(format!(
+                    "{} cores unsupported on {}",
+                    c, device.name
+                )));
+            }
+        }
+        for &f in &self.freqs {
+            if f < device.min_freq || f > device.max_freq {
+                return Err(Error::invalid_config(format!(
+                    "frequency {:.2} GHz outside {}'s DVFS range",
+                    f.as_ghz(),
+                    device.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The deployment recommendation returned to the user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRecommendation {
+    /// Edge device the recommendation targets.
+    pub device: String,
+    /// Optimal inference batch size.
+    pub batch: u32,
+    /// Optimal number of CPU cores.
+    pub cores: u32,
+    /// Optimal DVFS frequency.
+    pub freq: Hertz,
+    /// Estimated per-item inference latency at the optimum.
+    pub latency_per_item: Seconds,
+    /// Estimated per-item inference energy at the optimum.
+    pub energy_per_item: JoulesPerItem,
+    /// Estimated throughput at the optimum.
+    pub throughput: ItemsPerSecond,
+}
+
+/// Cost of one inference-tuning run (it executes on the tuning server's
+/// CPUs, in parallel with training).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceTuningCost {
+    /// Wall-clock duration of the sweep *on the tuning server*.
+    pub runtime: Seconds,
+    /// Energy consumed by the sweep on the tuning server.
+    pub energy: Joules,
+    /// Total emulated edge-device time covered by the sweep.
+    pub emulated_time: Seconds,
+    /// Number of configurations measured.
+    pub configs: usize,
+}
+
+/// The Inference Tuning Server.
+#[derive(Debug, Clone)]
+pub struct InferenceTuningServer {
+    device: DeviceSpec,
+    space: InferenceSpace,
+    objective: InferenceObjective,
+}
+
+impl InferenceTuningServer {
+    /// Creates a server tuning for `device` under `objective`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `space` is invalid for the
+    /// device.
+    pub fn new(
+        device: DeviceSpec,
+        space: InferenceSpace,
+        objective: InferenceObjective,
+    ) -> Result<Self> {
+        space.validate(&device)?;
+        Ok(InferenceTuningServer {
+            device,
+            space,
+            objective,
+        })
+    }
+
+    /// The target device.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The search space.
+    #[must_use]
+    pub fn space(&self) -> &InferenceSpace {
+        &self.space
+    }
+
+    /// Exhaustively tunes inference parameters for one architecture
+    /// (grid search: the paper notes grid is sensible here because the
+    /// inference space is small, §3.1).
+    ///
+    /// Returns the recommendation and the cost of producing it.
+    #[must_use]
+    pub fn tune(&self, profile: &WorkProfile) -> (InferenceRecommendation, InferenceTuningCost) {
+        let mut best: Option<(f64, InferenceRecommendation)> = None;
+        let mut emulated = Seconds::ZERO;
+        let mut configs = 0usize;
+        for &batch in &self.space.batches {
+            for &cores in &self.space.cores {
+                for &freq in &self.space.freqs {
+                    let alloc = CpuAllocation::new(&self.device, cores, freq)
+                        .expect("space validated at construction");
+                    let exec = simulate_inference(&self.device, &alloc, profile, batch);
+                    configs += 1;
+                    emulated += exec.latency;
+                    let latency_per_item = exec.latency / f64::from(batch);
+                    let e_per_item = energy_per_item(exec.energy, f64::from(batch));
+                    let score = self.objective.score(latency_per_item, e_per_item);
+                    if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                        best = Some((
+                            score,
+                            InferenceRecommendation {
+                                device: self.device.name.clone(),
+                                batch,
+                                cores,
+                                freq,
+                                latency_per_item,
+                                energy_per_item: e_per_item,
+                                throughput: throughput(f64::from(batch), exec.latency),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let (_, recommendation) = best.expect("space is non-empty by construction");
+        let runtime = emulated / EMULATION_SPEEDUP;
+        let energy = Watts::new(EMULATION_HOST_POWER_W) * runtime;
+        (
+            recommendation,
+            InferenceTuningCost {
+                runtime,
+                energy,
+                emulated_time: emulated,
+                configs,
+            },
+        )
+    }
+}
+
+impl InferenceTuningServer {
+    /// Model-based alternative to the exhaustive sweep: a TPE sampler
+    /// proposes `trials` configurations and only those are measured —
+    /// §3.1 notes the inference server may run its own search algorithm
+    /// (e.g. BOHB) instead of grid search when the space is larger.
+    ///
+    /// Measured configurations are deduplicated, so the cost is at most
+    /// `trials` distinct measurements. Returns the best configuration
+    /// found and the cost of finding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    #[must_use]
+    pub fn tune_with_model(
+        &self,
+        profile: &WorkProfile,
+        trials: usize,
+        seed: SeedStream,
+    ) -> (InferenceRecommendation, InferenceTuningCost) {
+        assert!(trials >= 1, "need at least one trial");
+        let space = self.space.as_search_space();
+        let mut sampler = TpeSampler::new(seed.child("inference-tpe"));
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        let mut measured: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        let mut best: Option<(f64, InferenceRecommendation)> = None;
+        let mut emulated = Seconds::ZERO;
+        for _ in 0..trials {
+            let obs: Vec<(&Config, f64)> = history.iter().map(|(c, s)| (c, *s)).collect();
+            let config = sampler.suggest(&space, &obs);
+            let key = config.key();
+            let score = if let Some(&cached) = measured.get(&key) {
+                cached
+            } else {
+                let batch = config.get("batch").expect("set by sampler") as u32;
+                let cores = config.get("cores").expect("set by sampler") as u32;
+                let freq = Hertz::from_ghz(config.get("freq_ghz").expect("set by sampler"));
+                let alloc = CpuAllocation::new(&self.device, cores, freq)
+                    .expect("space validated at construction");
+                let exec = simulate_inference(&self.device, &alloc, profile, batch);
+                emulated += exec.latency;
+                let latency_per_item = exec.latency / f64::from(batch);
+                let e_per_item = energy_per_item(exec.energy, f64::from(batch));
+                let score = self.objective.score(latency_per_item, e_per_item);
+                if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                    best = Some((
+                        score,
+                        InferenceRecommendation {
+                            device: self.device.name.clone(),
+                            batch,
+                            cores,
+                            freq,
+                            latency_per_item,
+                            energy_per_item: e_per_item,
+                            throughput: throughput(f64::from(batch), exec.latency),
+                        },
+                    ));
+                }
+                measured.insert(key, score);
+                score
+            };
+            history.push((config, score));
+        }
+        let (_, recommendation) = best.expect("at least one trial measured");
+        let runtime = emulated / EMULATION_SPEEDUP;
+        let energy = Watts::new(EMULATION_HOST_POWER_W) * runtime;
+        (
+            recommendation,
+            InferenceTuningCost {
+                runtime,
+                energy,
+                emulated_time: emulated,
+                configs: measured.len(),
+            },
+        )
+    }
+}
+
+/// Tunes inference parameters for one architecture across a *set* of
+/// edge devices — the paper's common case where "the tuned model might be
+/// deployed across different edge devices and having these configurations
+/// suggested can assist users to take the most out of their tuned models"
+/// (§1). Each device gets its own sweep over its own space.
+///
+/// # Errors
+///
+/// Returns the first device whose default space fails validation (does
+/// not happen for catalog devices).
+pub fn recommend_across(
+    devices: &[DeviceSpec],
+    profile: &WorkProfile,
+    objective: InferenceObjective,
+) -> Result<Vec<(InferenceRecommendation, InferenceTuningCost)>> {
+    devices
+        .iter()
+        .map(|device| {
+            let server = InferenceTuningServer::new(
+                device.clone(),
+                InferenceSpace::for_device(device),
+                objective,
+            )?;
+            Ok(server.tune(profile))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_tuner::Metric;
+
+    fn server(metric: Metric) -> InferenceTuningServer {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        InferenceTuningServer::new(device, space, InferenceObjective::new(metric)).unwrap()
+    }
+
+    fn resnet18() -> WorkProfile {
+        WorkProfile::new(0.56e9, 3.0e6, 44.8e6)
+    }
+
+    #[test]
+    fn space_for_device_is_valid_and_sized() {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        assert!(space.validate(&device).is_ok());
+        assert_eq!(space.cores, vec![1, 2, 4]);
+        assert_eq!(space.freqs.len(), 3);
+        assert_eq!(space.len(), 8 * 3 * 3);
+    }
+
+    #[test]
+    fn space_validation_catches_errors() {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let mut space = InferenceSpace::for_device(&device);
+        space.cores.push(16);
+        assert!(space.validate(&device).is_err());
+        let mut space2 = InferenceSpace::for_device(&device);
+        space2.batches.push(0);
+        assert!(space2.validate(&device).is_err());
+        let empty = InferenceSpace {
+            batches: vec![],
+            cores: vec![1],
+            freqs: vec![device.max_freq],
+        };
+        assert!(empty.validate(&device).is_err());
+    }
+
+    #[test]
+    fn runtime_objective_prefers_batched_throughput() {
+        let (rec, cost) = server(Metric::Runtime).tune(&resnet18());
+        assert!(
+            rec.batch > 1,
+            "batching amortises dispatch: batch={}",
+            rec.batch
+        );
+        assert!(rec.throughput.value() > 0.0);
+        assert!(cost.configs == 72);
+        assert!(cost.runtime.value() > 0.0);
+    }
+
+    #[test]
+    fn energy_objective_accepts_lower_throughput_for_lower_energy() {
+        let (rec_rt, _) = server(Metric::Runtime).tune(&resnet18());
+        let (rec_en, _) = server(Metric::Energy).tune(&resnet18());
+        // The footnote-1 effect: the energy optimum uses at most as many
+        // cores/frequency as the runtime optimum and never beats its
+        // throughput.
+        assert!(rec_en.energy_per_item.value() <= rec_rt.energy_per_item.value());
+        assert!(rec_en.throughput.value() <= rec_rt.throughput.value() * 1.001);
+    }
+
+    #[test]
+    fn recommendation_is_the_true_grid_optimum() {
+        let s = server(Metric::Runtime);
+        let (rec, _) = s.tune(&resnet18());
+        // Re-scan manually and compare.
+        let mut best = f64::INFINITY;
+        for &b in &s.space().batches {
+            for &c in &s.space().cores {
+                for &f in &s.space().freqs {
+                    let alloc = CpuAllocation::new(s.device(), c, f).unwrap();
+                    let exec = simulate_inference(s.device(), &alloc, &resnet18(), b);
+                    best = best.min(exec.latency.value() / f64::from(b));
+                }
+            }
+        }
+        assert!((rec.latency_per_item.value() - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_architectures_get_lower_throughput() {
+        let s = server(Metric::Runtime);
+        let (light, _) = s.tune(&resnet18());
+        let heavy = WorkProfile::new(1.3e9, 9.2e6, 94.0e6);
+        let (heavy_rec, _) = s.tune(&heavy);
+        assert!(heavy_rec.throughput.value() < light.throughput.value());
+    }
+
+    #[test]
+    fn model_based_search_measures_fewer_configs_for_similar_quality() {
+        let s = server(Metric::Runtime);
+        let profile = resnet18();
+        let (grid_rec, grid_cost) = s.tune(&profile);
+        let (tpe_rec, tpe_cost) =
+            s.tune_with_model(&profile, 30, edgetune_util::rng::SeedStream::new(4));
+        assert!(
+            tpe_cost.configs < grid_cost.configs,
+            "model-based search must measure fewer configs: {} vs {}",
+            tpe_cost.configs,
+            grid_cost.configs
+        );
+        assert!(tpe_cost.runtime < grid_cost.runtime);
+        // Quality within 2x of the true optimum on its own metric.
+        assert!(
+            tpe_rec.latency_per_item.value() <= grid_rec.latency_per_item.value() * 2.0,
+            "model-based optimum should be competitive: {} vs {}",
+            tpe_rec.latency_per_item,
+            grid_rec.latency_per_item
+        );
+    }
+
+    #[test]
+    fn model_based_search_is_deterministic() {
+        let s = server(Metric::Energy);
+        let profile = resnet18();
+        let seed = edgetune_util::rng::SeedStream::new(9);
+        let (a, _) = s.tune_with_model(&profile, 20, seed);
+        let (b, _) = s.tune_with_model(&profile, 20, seed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn as_search_space_mirrors_the_grid() {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        let generic = space.as_search_space();
+        assert_eq!(generic.len(), 3);
+        assert_eq!(generic.grid(100).len(), space.len());
+    }
+
+    #[test]
+    fn recommend_across_covers_every_device() {
+        let devices = [
+            DeviceSpec::armv7_board(),
+            DeviceSpec::raspberry_pi_3b(),
+            DeviceSpec::intel_i7_7567u(),
+        ];
+        let recs = recommend_across(
+            &devices,
+            &resnet18(),
+            InferenceObjective::new(Metric::Runtime),
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 3);
+        for (device, (rec, cost)) in devices.iter().zip(&recs) {
+            assert_eq!(rec.device, device.name);
+            assert!(cost.configs > 0);
+        }
+        // The laptop CPU dominates the boards on throughput.
+        assert!(recs[2].0.throughput.value() > recs[1].0.throughput.value());
+    }
+
+    #[test]
+    fn tuning_cost_scales_with_space_size() {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let small = InferenceSpace {
+            batches: vec![1, 8],
+            cores: vec![1],
+            freqs: vec![device.max_freq],
+        };
+        let big = InferenceSpace::for_device(&device);
+        let obj = InferenceObjective::new(Metric::Runtime);
+        let s_small = InferenceTuningServer::new(device.clone(), small, obj).unwrap();
+        let s_big = InferenceTuningServer::new(device, big, obj).unwrap();
+        let (_, c_small) = s_small.tune(&resnet18());
+        let (_, c_big) = s_big.tune(&resnet18());
+        assert!(c_big.runtime > c_small.runtime);
+        assert!(c_big.configs > c_small.configs);
+    }
+}

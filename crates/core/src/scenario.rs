@@ -1,0 +1,179 @@
+//! Scenario-aware inference tuning: the Batching subcomponent applied
+//! end to end.
+//!
+//! §3.4 describes Batching as part of the Inference Tuning Server: when
+//! the deployment's traffic pattern is known (the Fig. 8 *server* or
+//! *multi-stream* scenarios), the batch size should be chosen for that
+//! pattern's **mean response time**, not for raw steady-state throughput.
+//! This module sweeps the device's system parameters jointly with the
+//! batch size under the scenario's queueing model and returns a
+//! [`ScenarioRecommendation`].
+
+use edgetune_device::latency::CpuAllocation;
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::{Hertz, Seconds};
+use edgetune_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::batching::{MultiStreamScenario, ServerScenario};
+use crate::inference::InferenceSpace;
+
+/// A deployment traffic pattern (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Fixed-frequency queries of N samples each.
+    Server(ServerScenario),
+    /// Poisson single-sample arrivals.
+    MultiStream(MultiStreamScenario),
+}
+
+/// The scenario-aware deployment recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRecommendation {
+    /// Edge device the recommendation targets.
+    pub device: String,
+    /// Batch size (sub-batch split for the server scenario; aggregation
+    /// cap for the multi-stream scenario).
+    pub batch: u32,
+    /// CPU cores.
+    pub cores: u32,
+    /// DVFS frequency.
+    pub freq: Hertz,
+    /// Predicted mean response time under the scenario.
+    pub mean_response: Seconds,
+}
+
+/// Sweeps batch × cores × frequency for the scenario's mean response
+/// time and returns the optimum; `Err` when *no* configuration is stable
+/// (the server scenario's arrival rate exceeds every configuration's
+/// capacity).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for an invalid space and
+/// [`Error::Numerical`] when no stable configuration exists.
+pub fn tune_for_scenario(
+    device: &DeviceSpec,
+    space: &InferenceSpace,
+    profile: &WorkProfile,
+    scenario: &Scenario,
+    seed: SeedStream,
+) -> Result<ScenarioRecommendation> {
+    space.validate(device)?;
+    let mut best: Option<ScenarioRecommendation> = None;
+    for &cores in &space.cores {
+        for &freq in &space.freqs {
+            let alloc = CpuAllocation::new(device, cores, freq)?;
+            for &batch in &space.batches {
+                let response = match scenario {
+                    Scenario::Server(s) => s.response_time(device, &alloc, profile, batch),
+                    Scenario::MultiStream(s) => Some(
+                        s.simulate_with_timeout(
+                            device,
+                            &alloc,
+                            profile,
+                            batch,
+                            Seconds::ZERO,
+                            seed,
+                        )
+                        .mean_response,
+                    ),
+                };
+                let Some(response) = response else { continue };
+                if best.as_ref().is_none_or(|b| response < b.mean_response) {
+                    best = Some(ScenarioRecommendation {
+                        device: device.name.clone(),
+                        batch,
+                        cores,
+                        freq,
+                        mean_response: response,
+                    });
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| Error::numerical("no stable configuration for the scenario's arrival rate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_workloads::catalog::Workload;
+    use edgetune_workloads::WorkloadId;
+
+    fn setup() -> (DeviceSpec, InferenceSpace, WorkProfile) {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        let profile = Workload::by_id(WorkloadId::Ic).profile(18.0);
+        (device, space, profile)
+    }
+
+    #[test]
+    fn server_scenario_recommendation_is_stable_and_batched() {
+        let (device, space, profile) = setup();
+        let scenario = Scenario::Server(ServerScenario::new(64, Seconds::new(30.0)));
+        let rec =
+            tune_for_scenario(&device, &space, &profile, &scenario, SeedStream::new(1)).unwrap();
+        assert!(
+            rec.batch > 1,
+            "splitting 64 samples one-by-one cannot be optimal"
+        );
+        assert!(rec.mean_response.value() < 30.0, "stable by construction");
+        assert_eq!(rec.device, device.name);
+    }
+
+    #[test]
+    fn impossible_server_scenario_is_rejected() {
+        let (device, space, profile) = setup();
+        // 64 heavy samples every 50 ms cannot be served on a Pi.
+        let scenario = Scenario::Server(ServerScenario::new(64, Seconds::new(0.05)));
+        let err = tune_for_scenario(&device, &space, &profile, &scenario, SeedStream::new(1))
+            .unwrap_err();
+        assert!(matches!(err, Error::Numerical(_)));
+    }
+
+    #[test]
+    fn multi_stream_recommendation_prefers_aggregation_under_load() {
+        let (device, space, profile) = setup();
+        let scenario = Scenario::MultiStream(MultiStreamScenario::new(30.0, 400));
+        let rec =
+            tune_for_scenario(&device, &space, &profile, &scenario, SeedStream::new(2)).unwrap();
+        assert!(
+            rec.batch >= 8,
+            "30 arrivals/s on a Pi needs aggregation: batch={}",
+            rec.batch
+        );
+        assert!(rec.mean_response.value().is_finite());
+    }
+
+    #[test]
+    fn scenario_and_throughput_optima_can_differ() {
+        // The §3.4 point: the best steady-state-throughput configuration
+        // is not automatically the best mean-response configuration for a
+        // specific traffic pattern.
+        let (device, space, profile) = setup();
+        let light = Scenario::MultiStream(MultiStreamScenario::new(0.2, 200));
+        let rec = tune_for_scenario(&device, &space, &profile, &light, SeedStream::new(3)).unwrap();
+        // Under very light load there is nothing to aggregate: waiting
+        // for big batches cannot pay off, so the optimum is a small batch
+        // — unlike the throughput optimum (batch 100).
+        assert!(
+            rec.batch <= 4,
+            "light load favours immediate service: {}",
+            rec.batch
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (device, space, profile) = setup();
+        let scenario = Scenario::MultiStream(MultiStreamScenario::new(10.0, 300));
+        let a =
+            tune_for_scenario(&device, &space, &profile, &scenario, SeedStream::new(7)).unwrap();
+        let b =
+            tune_for_scenario(&device, &space, &profile, &scenario, SeedStream::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

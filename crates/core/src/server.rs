@@ -1,0 +1,966 @@
+//! The Model Tuning Server and the end-to-end EdgeTune run
+//! (Algorithm 1).
+//!
+//! [`EdgeTune`] wires everything together: a [`TrainingBackend`] supplies
+//! trials, a sampler + multi-fidelity scheduler explores the joint
+//! (model × training × system)-parameter space under a budget policy, and
+//! for every trial an [`AsyncInferenceServer`] request is fired *at trial
+//! start* and collected *at trial end* — the onefold pipelining of Fig. 6.
+//! Trial scores combine training cost, accuracy and the estimated
+//! inference metrics through the §4.4 ratio objective, and the user gets
+//! back both the winning configuration and the deployment
+//! [`InferenceRecommendation`].
+//!
+//! Time accounting is *simulated*: trial runtimes come from the device
+//! models, and because the inference sweep runs on separate CPU resources
+//! in parallel with training, it only extends the tuning makespan when it
+//! outlasts its trial (which the paper argues — and these models confirm —
+//! essentially never happens). Its *energy*, however, is real work done by
+//! the tuning server and is always added.
+
+use std::path::PathBuf;
+
+use edgetune_device::spec::DeviceSpec;
+use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
+use edgetune_tuner::objective::{InferenceObjective, TrainMeasurement, TrainObjective};
+use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+use edgetune_tuner::scheduler::{Evaluate, HyperBand, SchedulerConfig, SuccessiveHalving};
+use edgetune_tuner::space::Config;
+use edgetune_tuner::trial::{History, TrialOutcome, TrialRecord};
+use edgetune_tuner::Metric;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::{Joules, Seconds};
+use edgetune_util::{Error, Result};
+use edgetune_workloads::catalog::{Workload, WorkloadId};
+
+use crate::async_server::AsyncInferenceServer;
+use crate::backend::{SimTrainingBackend, TrainingBackend};
+use crate::cache::{CacheKey, CacheStats, HistoricalCache};
+use crate::inference::{InferenceRecommendation, InferenceSpace, InferenceTuningServer};
+use crate::timeline::{Lane, Timeline};
+
+/// Which search strategy the Model Tuning Server uses (§4.2; the user
+/// can pick per server, the default being BOHB = TPE + HyperBand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Exhaustive grid with the given per-dimension resolution.
+    Grid(usize),
+    /// Uniform random search.
+    Random,
+    /// Model-based TPE (BOHB's sampler).
+    Tpe,
+}
+
+/// Complete configuration of an EdgeTune run.
+#[derive(Debug, Clone)]
+pub struct EdgeTuneConfig {
+    /// The workload to tune (used by the default simulated backend).
+    pub workload: WorkloadId,
+    /// The edge device inference is tuned for.
+    pub edge_device: DeviceSpec,
+    /// Metric of the Model Tuning Server's ratio objective.
+    pub train_metric: Metric,
+    /// Metric of the Inference Tuning Server's objective.
+    pub inference_metric: Metric,
+    /// Budget policy for training trials.
+    pub budget: BudgetPolicy,
+    /// Scheduler shape (cohort size, η, rungs).
+    pub scheduler: SchedulerConfig,
+    /// Search strategy of the model server.
+    pub sampler: SamplerKind,
+    /// Use HyperBand brackets (BOHB-style) instead of one
+    /// successive-halving bracket.
+    pub hyperband: bool,
+    /// Trials below this accuracy are infeasible, if set.
+    pub accuracy_floor: Option<f64>,
+    /// Load/save the historical inference cache at this path, if set.
+    pub cache_path: Option<PathBuf>,
+    /// Consult the historical cache (§3.4); disabling it is an ablation
+    /// that re-tunes every architecture from scratch.
+    pub historical_cache: bool,
+    /// Pipeline inference tuning with training (Algorithm 1); disabling
+    /// it is an ablation that runs every sweep on the critical path.
+    pub pipelining: bool,
+    /// Concurrent sweep workers inside the inference server.
+    pub inference_workers: usize,
+    /// Concurrent training-trial slots on the model server (§3.1: "the
+    /// model server can parallelize its tuning process"). Trials of one
+    /// scheduler rung are independent; with `n` slots the simulated
+    /// makespan of a rung is its list-scheduled parallel length.
+    pub trial_workers: usize,
+    /// Root randomness seed.
+    pub seed: u64,
+}
+
+impl EdgeTuneConfig {
+    /// The paper's default setup for a workload: BOHB (TPE + HyperBand),
+    /// multi-budget, runtime objectives, Raspberry Pi 3B+ as the edge
+    /// target.
+    #[must_use]
+    pub fn for_workload(workload: WorkloadId) -> Self {
+        EdgeTuneConfig {
+            workload,
+            edge_device: DeviceSpec::raspberry_pi_3b(),
+            train_metric: Metric::Runtime,
+            inference_metric: Metric::Runtime,
+            budget: BudgetPolicy::multi_default(),
+            scheduler: SchedulerConfig::new(8, 2.0, 8),
+            sampler: SamplerKind::Tpe,
+            hyperband: true,
+            accuracy_floor: None,
+            cache_path: None,
+            historical_cache: true,
+            pipelining: true,
+            inference_workers: 1,
+            trial_workers: 1,
+            seed: SeedStream::default().seed(),
+        }
+    }
+
+    /// Sets the edge device.
+    #[must_use]
+    pub fn with_edge_device(mut self, device: DeviceSpec) -> Self {
+        self.edge_device = device;
+        self
+    }
+
+    /// Sets both objectives' metric (runtime- vs energy-oriented run,
+    /// the §5.4 comparison).
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.train_metric = metric;
+        self.inference_metric = metric;
+        self
+    }
+
+    /// Sets the budget policy.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetPolicy) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the scheduler shape.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the sampler.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Single successive-halving bracket instead of HyperBand.
+    #[must_use]
+    pub fn without_hyperband(mut self) -> Self {
+        self.hyperband = false;
+        self
+    }
+
+    /// Requires trials to reach at least this accuracy.
+    #[must_use]
+    pub fn with_accuracy_floor(mut self, floor: f64) -> Self {
+        self.accuracy_floor = Some(floor);
+        self
+    }
+
+    /// Persists the historical cache at `path`.
+    #[must_use]
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Disables the historical cache (ablation: every architecture is
+    /// re-tuned on every trial).
+    #[must_use]
+    pub fn without_historical_cache(mut self) -> Self {
+        self.historical_cache = false;
+        self
+    }
+
+    /// Disables pipelining (ablation: inference sweeps run synchronously
+    /// on the model server's critical path).
+    #[must_use]
+    pub fn without_pipelining(mut self) -> Self {
+        self.pipelining = false;
+        self
+    }
+
+    /// Sets the number of concurrent inference-sweep workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_inference_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.inference_workers = workers;
+        self
+    }
+
+    /// Sets the number of concurrent training-trial slots (and gives the
+    /// inference server a matching worker pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_trial_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.trial_workers = workers;
+        self.inference_workers = self.inference_workers.max(workers);
+        self
+    }
+
+    /// Sets the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn build_sampler(&self) -> Box<dyn Sampler> {
+        let seed = SeedStream::new(self.seed).child("sampler");
+        match self.sampler {
+            SamplerKind::Grid(resolution) => Box::new(GridSampler::new(resolution)),
+            SamplerKind::Random => Box::new(RandomSampler::new(seed)),
+            SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
+        }
+    }
+}
+
+/// The outcome of an EdgeTune run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TuningReport {
+    history: History,
+    best: TrialRecord,
+    recommendation: InferenceRecommendation,
+    timeline: Timeline,
+    cache_stats: CacheStats,
+    makespan: Seconds,
+    stall_time: Seconds,
+    inference_energy: Joules,
+}
+
+impl TuningReport {
+    /// Full trial history.
+    #[must_use]
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The winning trial.
+    #[must_use]
+    pub fn best(&self) -> &TrialRecord {
+        &self.best
+    }
+
+    /// The winning configuration.
+    #[must_use]
+    pub fn best_config(&self) -> &Config {
+        &self.best.config
+    }
+
+    /// Accuracy of the winning trial.
+    #[must_use]
+    pub fn best_accuracy(&self) -> f64 {
+        self.best.outcome.accuracy
+    }
+
+    /// The deployment recommendation for the winning architecture —
+    /// EdgeTune's extra output over a conventional tuner.
+    #[must_use]
+    pub fn recommendation(&self) -> &InferenceRecommendation {
+        &self.recommendation
+    }
+
+    /// Total tuning duration (wall clock): with one trial slot this is
+    /// the sum of trial runtimes plus any stalls waiting for the
+    /// inference server (Fig. 13/14's "tuning duration"); with parallel
+    /// trial slots it is the list-scheduled makespan.
+    #[must_use]
+    pub fn tuning_runtime(&self) -> Seconds {
+        self.makespan
+    }
+
+    /// Total *resource* time consumed by trials (the sum of their
+    /// durations, independent of how many ran concurrently).
+    #[must_use]
+    pub fn trial_resource_time(&self) -> Seconds {
+        self.history.total_runtime()
+    }
+
+    /// Total tuning energy: training trials plus the inference server's
+    /// sweeps (Fig. 13/14's "tuning energy").
+    #[must_use]
+    pub fn tuning_energy(&self) -> Joules {
+        self.history.total_energy()
+    }
+
+    /// Time the model server spent stalled on inference replies (zero
+    /// when pipelining fully hides the inference server).
+    #[must_use]
+    pub fn stall_time(&self) -> Seconds {
+        self.stall_time
+    }
+
+    /// Energy consumed by inference sweeps alone.
+    #[must_use]
+    pub fn inference_energy(&self) -> Joules {
+        self.inference_energy
+    }
+
+    /// The Fig. 6-style pipelining timeline.
+    #[must_use]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Historical-cache statistics of the run.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// A compact human-readable summary of the run — what the CLI and
+    /// examples print.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let rec = &self.recommendation;
+        format!(
+            "winner {} (accuracy {:.1}%, {} trials)\n\
+             tuning {:.1} min / {:.1} kJ (stall {:.1}s, cache {}h/{}m)\n\
+             deploy on {}: batch {}, {} cores @ {:.2} GHz -> {:.1} items/s, {:.3} J/item",
+            self.best.config,
+            self.best.outcome.accuracy * 100.0,
+            self.history.len(),
+            self.tuning_runtime().as_minutes(),
+            self.tuning_energy().as_kilojoules(),
+            self.stall_time.value(),
+            self.cache_stats.hits,
+            self.cache_stats.misses,
+            rec.device,
+            rec.batch,
+            rec.cores,
+            rec.freq.as_ghz(),
+            rec.throughput.value(),
+            rec.energy_per_item.value(),
+        )
+    }
+
+    /// Serialises the full report (history, winner, recommendation,
+    /// timeline, statistics) to pretty JSON — the artefact a tuning
+    /// service would hand back to its user.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| Error::storage(format!("serialising report: {e}")))
+    }
+
+    /// Reads a report previously produced by [`TuningReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] if parsing fails.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::storage(format!("parsing report: {e}")))
+    }
+}
+
+/// Evaluator wiring one training trial to its pipelined inference request.
+struct OnefoldEvaluator<'a> {
+    backend: &'a mut dyn TrainingBackend,
+    inference: &'a AsyncInferenceServer,
+    device_name: &'a str,
+    inference_metric: Metric,
+    objective: TrainObjective,
+    timeline: &'a mut Timeline,
+    pipelining: bool,
+    trial_workers: usize,
+    clock: Seconds,
+    stall: Seconds,
+    inference_energy: Joules,
+}
+
+/// Everything one trial produced, before timeline/clock accounting.
+struct TrialRun {
+    outcome: TrialOutcome,
+    arch: String,
+    train_runtime: Seconds,
+    sweep_runtime: Seconds,
+    sweep_energy: Joules,
+    stall: Seconds,
+    cache_hit: bool,
+}
+
+impl OnefoldEvaluator<'_> {
+    /// Runs one trial plus its pipelined inference request, with no
+    /// global accounting.
+    fn run_one(&mut self, config: &Config, budget: TrialBudget) -> TrialRun {
+        // (1) Fire the inference request as soon as the architecture is
+        //     known — before training starts (Algorithm 1, line 6).
+        let (arch, profile) = self.backend.architecture(config);
+        let key = CacheKey::new(self.device_name, arch.clone(), self.inference_metric);
+        let pending = self.inference.submit(key, profile);
+
+        // (2) Run the training trial.
+        let trial = self.backend.run_trial(config, budget);
+
+        // (3) Collect the inference reply.
+        let reply = match pending.wait() {
+            Ok(reply) => reply,
+            Err(_) => {
+                // Server died: mark the trial infeasible rather than
+                // crashing the whole tuning job.
+                return TrialRun {
+                    outcome: TrialOutcome::new(
+                        f64::INFINITY,
+                        trial.accuracy,
+                        trial.runtime,
+                        trial.energy,
+                    ),
+                    arch,
+                    train_runtime: trial.runtime,
+                    sweep_runtime: Seconds::ZERO,
+                    sweep_energy: Joules::ZERO,
+                    stall: Seconds::ZERO,
+                    cache_hit: true,
+                };
+            }
+        };
+        // Pipelined: only the sweep's excess over its trial stalls the
+        // model server. Synchronous (ablation): the whole sweep sits on
+        // the critical path after the trial.
+        let stall = if self.pipelining {
+            Seconds::new((reply.runtime.value() - trial.runtime.value()).max(0.0))
+        } else {
+            reply.runtime
+        };
+
+        // (4) Combine both servers' metrics in the ratio objective.
+        let measurement = TrainMeasurement {
+            accuracy: trial.accuracy,
+            train_time: trial.runtime,
+            train_energy: trial.energy,
+            inference_time: Some(reply.recommendation.latency_per_item),
+            inference_energy: Some(reply.recommendation.energy_per_item),
+        };
+        let score = self.objective.score(&measurement);
+        TrialRun {
+            outcome: TrialOutcome::new(
+                score,
+                trial.accuracy,
+                trial.runtime + stall,
+                trial.energy + reply.energy,
+            ),
+            arch,
+            train_runtime: trial.runtime,
+            sweep_runtime: reply.runtime,
+            sweep_energy: reply.energy,
+            stall,
+            cache_hit: reply.cache_hit,
+        }
+    }
+
+    /// Timeline/clock accounting for one trial placed at `start`.
+    fn record(&mut self, id: u64, run: &TrialRun, start: Seconds) {
+        let busy_end = start + run.train_runtime;
+        self.timeline
+            .record(Lane::ModelServer, format!("trial-{id}"), start, busy_end);
+        if !run.cache_hit && run.sweep_runtime.value() > 0.0 {
+            let sweep_start = if self.pipelining { start } else { busy_end };
+            self.timeline.record(
+                Lane::InferenceServer,
+                run.arch.clone(),
+                sweep_start,
+                sweep_start + run.sweep_runtime,
+            );
+        }
+        self.stall += run.stall;
+        self.inference_energy += run.sweep_energy;
+    }
+}
+
+impl Evaluate for OnefoldEvaluator<'_> {
+    fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome {
+        let run = self.run_one(config, budget);
+        let start = self.clock;
+        self.record(id, &run, start);
+        self.clock = start + run.train_runtime + run.stall;
+        run.outcome
+    }
+
+    fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
+        if self.trial_workers <= 1 || trials.len() <= 1 {
+            return trials
+                .into_iter()
+                .map(|(id, config, budget)| self.evaluate(id, &config, budget))
+                .collect();
+        }
+        // Simulated parallel execution: the rung's trials are
+        // list-scheduled onto `trial_workers` slots; the rung advances
+        // the clock by its makespan, not by the sum of trial durations.
+        let runs: Vec<(u64, TrialRun)> = trials
+            .into_iter()
+            .map(|(id, config, budget)| (id, self.run_one(&config, budget)))
+            .collect();
+        let rung_start = self.clock;
+        let mut loads = vec![Seconds::ZERO; self.trial_workers];
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for (id, run) in runs {
+            let (slot, _) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite loads"))
+                .expect("at least one worker");
+            let start = rung_start + loads[slot];
+            self.record(id, &run, start);
+            loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
+            outcomes.push(run.outcome);
+        }
+        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
+        self.clock = rung_start + makespan;
+        outcomes
+    }
+}
+
+/// The EdgeTune tuning job.
+#[derive(Debug, Clone)]
+pub struct EdgeTune {
+    config: EdgeTuneConfig,
+}
+
+impl EdgeTune {
+    /// Creates a job from a configuration.
+    #[must_use]
+    pub fn new(config: EdgeTuneConfig) -> Self {
+        EdgeTune { config }
+    }
+
+    /// The job's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EdgeTuneConfig {
+        &self.config
+    }
+
+    /// Runs the job with the default simulated backend for the configured
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and storage errors; see
+    /// [`EdgeTune::run_with_backend`].
+    pub fn run(&self) -> Result<TuningReport> {
+        let workload = Workload::by_id(self.config.workload);
+        let mut backend =
+            SimTrainingBackend::new(workload, SeedStream::new(self.config.seed).child("trials"));
+        self.run_with_backend(&mut backend)
+    }
+
+    /// Runs the job against any training backend (e.g. the real
+    /// `edgetune-nn` one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for inconsistent configurations,
+    /// [`Error::Storage`] if the historical cache cannot be written, and
+    /// [`Error::Channel`] if the inference server fails irrecoverably.
+    pub fn run_with_backend(&self, backend: &mut dyn TrainingBackend) -> Result<TuningReport> {
+        let space = backend.search_space();
+        if space.is_empty() {
+            return Err(Error::invalid_config("backend search space is empty"));
+        }
+
+        // Historical cache: load if present, else start fresh.
+        let cache = match &self.config.cache_path {
+            Some(path) if path.exists() => HistoricalCache::load(path)?,
+            _ => HistoricalCache::new(),
+        };
+
+        let inference_server = InferenceTuningServer::new(
+            self.config.edge_device.clone(),
+            InferenceSpace::for_device(&self.config.edge_device),
+            InferenceObjective::new(self.config.inference_metric),
+        )?;
+        let async_server = AsyncInferenceServer::start_with_options(
+            inference_server,
+            cache,
+            self.config.inference_workers,
+            self.config.historical_cache,
+        );
+
+        let mut objective = TrainObjective::inference_aware(self.config.train_metric);
+        if let Some(floor) = self.config.accuracy_floor {
+            objective = objective.with_accuracy_floor(floor);
+        }
+
+        let mut timeline = Timeline::new();
+        let mut sampler = self.config.build_sampler();
+        let device_name = self.config.edge_device.name.clone();
+
+        let (history, makespan, stall, inference_energy) = {
+            let mut evaluator = OnefoldEvaluator {
+                backend,
+                inference: &async_server,
+                device_name: &device_name,
+                inference_metric: self.config.inference_metric,
+                objective,
+                timeline: &mut timeline,
+                pipelining: self.config.pipelining,
+                trial_workers: self.config.trial_workers,
+                clock: Seconds::ZERO,
+                stall: Seconds::ZERO,
+                inference_energy: Joules::ZERO,
+            };
+            let history = if self.config.hyperband {
+                HyperBand::new(self.config.scheduler).run(
+                    sampler.as_mut(),
+                    &space,
+                    &self.config.budget,
+                    &mut evaluator,
+                )
+            } else {
+                SuccessiveHalving::new(self.config.scheduler).run(
+                    sampler.as_mut(),
+                    &space,
+                    &self.config.budget,
+                    &mut evaluator,
+                )
+            };
+            (
+                history,
+                evaluator.clock,
+                evaluator.stall,
+                evaluator.inference_energy,
+            )
+        };
+
+        // The tuning job's output is the final-rung winner: raw ratio
+        // scores are only comparable within one budget level.
+        let best = history
+            .winner()
+            .ok_or_else(|| Error::invalid_config("no trials were executed"))?
+            .clone();
+
+        // The winner's recommendation is in the cache by construction.
+        let (best_arch, best_profile) = backend.architecture(&best.config);
+        let key = CacheKey::new(&device_name, best_arch, self.config.inference_metric);
+        let mut final_cache = async_server.shutdown();
+        let recommendation = match final_cache.peek(&key) {
+            Some(rec) => rec.clone(),
+            None => {
+                // Only reachable if the worker died mid-run; recompute
+                // synchronously.
+                let server = InferenceTuningServer::new(
+                    self.config.edge_device.clone(),
+                    InferenceSpace::for_device(&self.config.edge_device),
+                    InferenceObjective::new(self.config.inference_metric),
+                )?;
+                let (rec, _) = server.tune(&best_profile);
+                final_cache.store(&key, rec.clone());
+                rec
+            }
+        };
+
+        if let Some(path) = &self.config.cache_path {
+            final_cache.save(path)?;
+        }
+
+        Ok(TuningReport {
+            history,
+            best,
+            recommendation,
+            timeline,
+            cache_stats: final_cache.stats(),
+            makespan,
+            stall_time: stall,
+            inference_energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{PARAM_GPUS, PARAM_MODEL_HP};
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn end_to_end_run_produces_report() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(!report.history().is_empty());
+        assert!(report.best_accuracy() > 0.0);
+        assert!(report.tuning_runtime().value() > 0.0);
+        assert!(report.tuning_energy().value() > 0.0);
+        assert!(report.recommendation().batch >= 1);
+        assert!(report.recommendation().throughput.value() > 0.0);
+        assert!(report.best_config().get(PARAM_MODEL_HP).is_some());
+        assert!(report.best_config().get(PARAM_GPUS).is_some());
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let a = EdgeTune::new(quick_config()).run().unwrap();
+        let b = EdgeTune::new(quick_config()).run().unwrap();
+        assert_eq!(a.best_config(), b.best_config());
+        assert_eq!(a.tuning_runtime(), b.tuning_runtime());
+        assert_eq!(a.recommendation(), b.recommendation());
+        let c = EdgeTune::new(quick_config().with_seed(43)).run().unwrap();
+        // Different seed explores differently (history differs).
+        assert!(
+            c.history().records().len() != a.history().records().len()
+                || c.tuning_runtime() != a.tuning_runtime()
+                || c.best_config() != a.best_config()
+        );
+    }
+
+    #[test]
+    fn inference_tuning_is_pipelined_not_stalling() {
+        // The paper's claim: the inference sweep always fits inside its
+        // training trial, so the model server never stalls.
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert_eq!(
+            report.stall_time(),
+            Seconds::ZERO,
+            "inference must hide behind training"
+        );
+        assert!((report.timeline().overlap_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn historical_cache_avoids_retuning_architectures() {
+        // Only 3 distinct architectures exist for IC, so with >3 trials
+        // the cache must hit.
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        let stats = report.cache_stats();
+        assert!(
+            stats.misses <= 3,
+            "at most one miss per architecture: {stats:?}"
+        );
+        assert!(stats.hits > 0, "repeated architectures must hit: {stats:?}");
+    }
+
+    #[test]
+    fn inference_energy_is_accounted() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(report.inference_energy().value() > 0.0);
+        assert!(report.tuning_energy().value() > report.inference_energy().value());
+    }
+
+    #[test]
+    fn cache_persists_across_runs() {
+        let dir = std::env::temp_dir().join("edgetune-server-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::remove_file(&path).ok();
+
+        let cfg = quick_config().with_cache_path(&path);
+        let first = EdgeTune::new(cfg.clone()).run().unwrap();
+        assert!(path.exists());
+        let second = EdgeTune::new(cfg).run().unwrap();
+        // Second run starts warm: no misses at all.
+        assert_eq!(second.cache_stats().misses, 0, "warm cache should not miss");
+        assert!(second.inference_energy().value() < first.inference_energy().value() + 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hyperband_mode_runs_more_trials() {
+        let sha = EdgeTune::new(quick_config()).run().unwrap();
+        let hb = EdgeTune::new(quick_config().with_scheduler(SchedulerConfig::new(4, 2.0, 4)))
+            .run()
+            .unwrap();
+        // without_hyperband was only applied to `sha`.
+        let _ = (sha, hb);
+    }
+
+    #[test]
+    fn energy_metric_changes_the_objective() {
+        let runtime = EdgeTune::new(quick_config()).run().unwrap();
+        let energy = EdgeTune::new(quick_config().with_metric(Metric::Energy))
+            .run()
+            .unwrap();
+        // Both must complete; the recommendations may legitimately agree,
+        // but the recommendation metric must be populated either way.
+        assert!(runtime.recommendation().energy_per_item.value() > 0.0);
+        assert!(energy.recommendation().energy_per_item.value() > 0.0);
+    }
+
+    #[test]
+    fn accuracy_floor_filters_low_budget_winners() {
+        let report = EdgeTune::new(quick_config().with_accuracy_floor(0.3))
+            .run()
+            .unwrap();
+        assert!(
+            report.best_accuracy() >= 0.3,
+            "winner must respect the floor: {}",
+            report.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn random_and_grid_samplers_work() {
+        for kind in [SamplerKind::Random, SamplerKind::Grid(3)] {
+            let report = EdgeTune::new(quick_config().with_sampler(kind))
+                .run()
+                .unwrap();
+            assert!(!report.history().is_empty(), "{kind:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn cache_ablation_retunes_every_architecture() {
+        let with_cache = EdgeTune::new(quick_config()).run().unwrap();
+        let without = EdgeTune::new(quick_config().without_historical_cache())
+            .run()
+            .unwrap();
+        assert_eq!(without.cache_stats().hits, 0, "no hits without the cache");
+        assert!(
+            without.cache_stats().misses > with_cache.cache_stats().misses,
+            "every trial pays a sweep: {} vs {}",
+            without.cache_stats().misses,
+            with_cache.cache_stats().misses
+        );
+        assert!(
+            without.inference_energy() > with_cache.inference_energy(),
+            "re-tuning costs energy"
+        );
+        // The recommendation itself is unchanged — the cache is purely a
+        // cost optimisation.
+        assert_eq!(without.recommendation(), with_cache.recommendation());
+    }
+
+    #[test]
+    fn pipelining_ablation_puts_sweeps_on_the_critical_path() {
+        let pipelined = EdgeTune::new(quick_config()).run().unwrap();
+        let synchronous = EdgeTune::new(quick_config().without_pipelining())
+            .run()
+            .unwrap();
+        assert_eq!(pipelined.stall_time(), Seconds::ZERO);
+        assert!(
+            synchronous.stall_time().value() > 0.0,
+            "synchronous sweeps must stall the model server"
+        );
+        assert!(synchronous.tuning_runtime() > pipelined.tuning_runtime());
+        // Synchronous sweeps start after their trial, so nothing
+        // overlaps.
+        assert!(synchronous.timeline().overlap_fraction() < 0.01);
+    }
+
+    #[test]
+    fn worker_pool_accepts_multiple_workers() {
+        let report = EdgeTune::new(quick_config().with_inference_workers(4))
+            .run()
+            .unwrap();
+        assert!(!report.history().is_empty());
+        assert!(report.recommendation().batch >= 1);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn base() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn parallel_trials_shrink_the_makespan_not_the_work() {
+        let sequential = EdgeTune::new(base()).run().unwrap();
+        let parallel = EdgeTune::new(base().with_trial_workers(4)).run().unwrap();
+        // Same trials, same evidence, same winner.
+        assert_eq!(sequential.history().len(), parallel.history().len());
+        assert_eq!(sequential.best_config(), parallel.best_config());
+        // Resource time is identical; wall time shrinks.
+        assert_eq!(
+            sequential.trial_resource_time(),
+            parallel.trial_resource_time(),
+            "parallelism must not change the work done"
+        );
+        assert!(
+            parallel.tuning_runtime().value() < sequential.tuning_runtime().value() * 0.6,
+            "4 slots should cut the makespan substantially: {} vs {}",
+            parallel.tuning_runtime(),
+            sequential.tuning_runtime()
+        );
+        // Energy is work, not wall time: unchanged.
+        assert_eq!(sequential.tuning_energy(), parallel.tuning_energy());
+    }
+
+    #[test]
+    fn sequential_makespan_equals_resource_time() {
+        let report = EdgeTune::new(base()).run().unwrap();
+        assert!(
+            (report.tuning_runtime().value() - report.trial_resource_time().value()).abs() < 1e-6,
+            "one slot: makespan == sum of trial durations"
+        );
+    }
+
+    #[test]
+    fn parallel_makespan_is_bounded_by_theory() {
+        // makespan >= resource_time / workers and >= longest trial.
+        let report = EdgeTune::new(base().with_trial_workers(3)).run().unwrap();
+        let lower_bound = report.trial_resource_time().value() / 3.0;
+        assert!(report.tuning_runtime().value() >= lower_bound - 1e-6);
+        let longest = report
+            .history()
+            .records()
+            .iter()
+            .map(|r| r.outcome.runtime.value())
+            .fold(0.0f64, f64::max);
+        assert!(report.tuning_runtime().value() >= longest - 1e-6);
+        assert!(report.tuning_runtime() <= report.trial_resource_time());
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_the_key_outputs() {
+        let report = EdgeTune::new(
+            EdgeTuneConfig::for_workload(WorkloadId::Ic)
+                .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+                .without_hyperband()
+                .with_seed(42),
+        )
+        .run()
+        .unwrap();
+        let summary = report.summary();
+        assert!(summary.contains("winner"), "{summary}");
+        assert!(summary.contains("deploy on Raspberry Pi 3B+"), "{summary}");
+        assert!(summary.contains("items/s"), "{summary}");
+        assert!(summary.contains("J/item"), "{summary}");
+    }
+}

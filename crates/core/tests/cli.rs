@@ -1,0 +1,68 @@
+//! End-to-end tests of the `edgetune` CLI binary.
+
+use std::process::Command;
+
+fn edgetune() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_edgetune"))
+}
+
+#[test]
+fn default_run_prints_both_outputs() {
+    let out = edgetune()
+        .args(["--workload", "ic", "--trials", "4", "--max-iter", "4"])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("winning trial"), "{stdout}");
+    assert!(stdout.contains("deployment recommendation"), "{stdout}");
+    assert!(stdout.contains("Raspberry Pi 3B+"), "{stdout}");
+}
+
+#[test]
+fn json_flag_writes_a_loadable_report() {
+    let path = std::env::temp_dir().join("edgetune-cli-test-report.json");
+    std::fs::remove_file(&path).ok();
+    let out = edgetune()
+        .args([
+            "--workload",
+            "sr",
+            "--trials",
+            "4",
+            "--max-iter",
+            "4",
+            "--json",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).expect("report written");
+    let report = edgetune::server::TuningReport::from_json(&json).expect("report parses");
+    assert!(report.best_accuracy() > 0.0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_flags_fail_with_guidance() {
+    let out = edgetune().args(["--workload", "bogus"]).output().expect("cli runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown workload"), "{stderr}");
+
+    let out = edgetune().args(["--device", "tpu"]).output().expect("cli runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown device"), "{stderr}");
+    assert!(stderr.contains("Titan RTX node"), "catalog listed: {stderr}");
+}
+
+#[test]
+fn help_lists_the_flags() {
+    let out = edgetune().arg("--help").output().expect("cli runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for flag in ["--workload", "--metric", "--budget", "--trial-workers", "--json"] {
+        assert!(stdout.contains(flag), "missing {flag} in help: {stdout}");
+    }
+}

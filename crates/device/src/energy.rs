@@ -1,0 +1,156 @@
+//! Power accounting: a RAPL-style energy meter.
+//!
+//! The paper measures energy with PyRAPL (§5.1), which integrates package
+//! power over the lifetime of a code region. [`EnergyMeter`] plays that
+//! role for simulated executions: every [`Execution`] recorded adds its
+//! energy and wall-clock time, and the meter reports totals and averages.
+
+use edgetune_util::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::latency::Execution;
+
+/// Accumulates the energy and wall-clock time of a sequence of simulated
+/// executions, RAPL-style.
+///
+/// # Examples
+///
+/// ```
+/// use edgetune_device::{EnergyMeter, simulate_inference, CpuAllocation, DeviceSpec, WorkProfile};
+///
+/// let dev = DeviceSpec::raspberry_pi_3b();
+/// let alloc = CpuAllocation::full(&dev);
+/// let profile = WorkProfile::new(0.5e9, 3.0e6, 40.0e6);
+/// let mut meter = EnergyMeter::new();
+/// for _ in 0..3 {
+///     meter.record(simulate_inference(&dev, &alloc, &profile, 8));
+/// }
+/// assert!(meter.total_energy().value() > 0.0);
+/// assert_eq!(meter.executions(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    total_energy: Joules,
+    total_time: Seconds,
+    executions: u64,
+}
+
+impl EnergyMeter {
+    /// A fresh meter with zero accumulation.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Records one execution.
+    pub fn record(&mut self, exec: Execution) {
+        self.total_energy += exec.energy;
+        self.total_time += exec.latency;
+        self.executions += 1;
+    }
+
+    /// Adds raw energy/time (e.g. idle periods between executions).
+    pub fn record_raw(&mut self, energy: Joules, elapsed: Seconds) {
+        self.total_energy += energy;
+        self.total_time += elapsed;
+    }
+
+    /// Total accumulated energy.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.total_energy
+    }
+
+    /// Total accumulated wall-clock time.
+    #[must_use]
+    pub fn total_time(&self) -> Seconds {
+        self.total_time
+    }
+
+    /// Number of executions recorded via [`EnergyMeter::record`].
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Average power over the recorded period; zero if nothing recorded.
+    #[must_use]
+    pub fn average_power(&self) -> Watts {
+        if self.total_time.value() > 0.0 {
+            self.total_energy / self.total_time
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Merges another meter's accumulation into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.total_energy += other.total_energy;
+        self.total_time += other.total_time;
+        self.executions += other.executions;
+    }
+
+    /// Resets the meter to zero.
+    pub fn reset(&mut self) {
+        *self = EnergyMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(latency: f64, energy: f64) -> Execution {
+        Execution {
+            latency: Seconds::new(latency),
+            energy: Joules::new(energy),
+            avg_power: Watts::new(energy / latency),
+            utilization: 1.0,
+        }
+    }
+
+    #[test]
+    fn accumulates_energy_and_time() {
+        let mut m = EnergyMeter::new();
+        m.record(exec(1.0, 5.0));
+        m.record(exec(2.0, 7.0));
+        assert_eq!(m.total_energy(), Joules::new(12.0));
+        assert_eq!(m.total_time(), Seconds::new(3.0));
+        assert_eq!(m.executions(), 2);
+        assert_eq!(m.average_power(), Watts::new(4.0));
+    }
+
+    #[test]
+    fn empty_meter_has_zero_power() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.average_power(), Watts::ZERO);
+        assert_eq!(m.executions(), 0);
+    }
+
+    #[test]
+    fn record_raw_adds_idle_energy() {
+        let mut m = EnergyMeter::new();
+        m.record_raw(Joules::new(3.0), Seconds::new(6.0));
+        assert_eq!(m.total_energy(), Joules::new(3.0));
+        assert_eq!(m.executions(), 0, "raw records are not executions");
+    }
+
+    #[test]
+    fn merge_combines_meters() {
+        let mut a = EnergyMeter::new();
+        a.record(exec(1.0, 1.0));
+        let mut b = EnergyMeter::new();
+        b.record(exec(2.0, 4.0));
+        a.merge(&b);
+        assert_eq!(a.total_energy(), Joules::new(5.0));
+        assert_eq!(a.executions(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = EnergyMeter::new();
+        m.record(exec(1.0, 1.0));
+        m.reset();
+        assert_eq!(m, EnergyMeter::new());
+    }
+}

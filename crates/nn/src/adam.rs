@@ -1,0 +1,220 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+//!
+//! Adaptive per-parameter learning rates from exponentially-decayed first
+//! and second gradient moments, with bias correction. Shares the
+//! [`Sequential::visit_params`] update protocol with SGD so either can
+//! drive the training loop.
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// Adam optimizer state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    weight_decay: f32,
+    step: u64,
+    first_moments: Vec<Tensor>,
+    second_moments: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults (β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be > 0, got {lr}");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            first_moments: Vec::new(),
+            second_moments: Vec::new(),
+        }
+    }
+
+    /// Overrides the moment decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas lie in `[0, 1)`.
+    #[must_use]
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Enables decoupled weight decay (AdamW-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    #[must_use]
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be >= 0");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// The base learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Number of update steps taken.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one Adam update to every parameter of `model`.
+    pub fn step(&mut self, model: &mut Sequential) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let (lr, beta1, beta2, epsilon, weight_decay) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            self.weight_decay,
+        );
+        let first = &mut self.first_moments;
+        let second = &mut self.second_moments;
+        let mut index = 0;
+        model.visit_params(&mut |param, grad| {
+            if first.len() <= index {
+                first.push(Tensor::zeros(param.shape()));
+                second.push(Tensor::zeros(param.shape()));
+            }
+            let m = &mut first[index];
+            let v = &mut second[index];
+            assert_eq!(m.shape(), param.shape(), "parameter {index} changed shape");
+            if weight_decay > 0.0 {
+                // Decoupled decay, applied directly to the weights.
+                for p in param.data_mut() {
+                    *p -= lr * weight_decay * *p;
+                }
+            }
+            for ((p, g), (mi, vi)) in param
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                *mi = beta1 * *mi + (1.0 - beta1) * g;
+                *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                let m_hat = *mi / bias1;
+                let v_hat = *vi / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + epsilon);
+            }
+            index += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use crate::loss::{cross_entropy, mse};
+    use edgetune_util::rng::SeedStream;
+
+    fn seed() -> SeedStream {
+        SeedStream::new(77)
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut model = Sequential::new().with(Dense::new(1, 1, seed()));
+        let mut opt = Adam::new(0.1);
+        let x = crate::tensor::Tensor::from_vec(vec![1.0], &[1, 1]);
+        let y = crate::tensor::Tensor::from_vec(vec![3.0], &[1, 1]);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let pred = model.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            model.backward(&grad);
+            opt.step(&mut model);
+            last = loss;
+        }
+        assert!(last < 1e-3, "should converge: {last}");
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn adam_learns_classification_faster_than_plain_sgd_per_step() {
+        use crate::data::Dataset;
+        let data = Dataset::gaussian_blobs(200, 4, 3, 0.3, seed());
+        let (train, val) = data.split(0.8);
+        let run_adam = || {
+            let mut model = Sequential::new()
+                .with(Dense::new(4, 16, seed().child("a1")))
+                .with(Relu::new())
+                .with(Dense::new(16, 3, seed().child("a2")));
+            let mut opt = Adam::new(0.01);
+            for epoch in 0..5u64 {
+                for (features, labels) in train.batches(16, seed(), epoch) {
+                    let logits = model.forward(&features, true);
+                    let (_, grad) = cross_entropy(&logits, &labels);
+                    model.backward(&grad);
+                    opt.step(&mut model);
+                }
+            }
+            crate::train::evaluate(&mut model, &val)
+        };
+        let acc = run_adam();
+        assert!(acc > 0.85, "Adam should learn the blobs quickly: {acc}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient() {
+        let mut model = Sequential::new().with(Dense::new(2, 2, seed()));
+        let mut opt = Adam::new(0.01).with_weight_decay(1.0);
+        let x = crate::tensor::Tensor::zeros(&[1, 2]);
+        let before: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm());
+            n
+        };
+        for _ in 0..20 {
+            let pred = model.forward(&x, true);
+            let (_, grad) = mse(&pred, &pred.clone());
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        let after: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm());
+            n
+        };
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        let _ = Adam::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta1")]
+    fn rejects_bad_betas() {
+        let _ = Adam::new(0.1).with_betas(1.0, 0.999);
+    }
+}

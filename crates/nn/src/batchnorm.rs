@@ -1,0 +1,255 @@
+//! Batch normalisation over 2-D `[batch, features]` activations.
+//!
+//! Normalises each feature to zero mean / unit variance over the batch
+//! during training (tracking running statistics for inference), then
+//! applies a learned affine transform `γ·x̂ + β`.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Numerical stabiliser added to the variance.
+const EPSILON: f32 = 1e-5;
+
+/// 1-D batch normalisation.
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    gamma: Tensor, // [1, features]
+    beta: Tensor,  // [1, features]
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    // Cached forward state for the backward pass.
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `features`-wide activations with
+    /// running-statistics momentum 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero.
+    #[must_use]
+    pub fn new(features: usize) -> Self {
+        assert!(features >= 1, "need at least one feature");
+        BatchNorm1d {
+            gamma: Tensor::full(&[1, features], 1.0),
+            beta: Tensor::zeros(&[1, features]),
+            grad_gamma: Tensor::zeros(&[1, features]),
+            grad_beta: Tensor::zeros(&[1, features]),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Number of normalised features.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// The tracked running mean (used at inference time).
+    #[must_use]
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (rows, cols) = (input.rows(), input.cols());
+        assert_eq!(cols, self.features(), "batchnorm feature mismatch");
+        let mut out = Tensor::zeros(&[rows, cols]);
+
+        if train {
+            // Per-feature batch statistics.
+            let mut mean = vec![0.0f32; cols];
+            let mut var = vec![0.0f32; cols];
+            for r in 0..rows {
+                for (c, m) in mean.iter_mut().enumerate() {
+                    *m += input.at(r, c);
+                }
+            }
+            for m in &mut mean {
+                *m /= rows as f32;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    let d = input.at(r, c) - mean[c];
+                    var[c] += d * d;
+                }
+            }
+            for v in &mut var {
+                *v /= rows as f32;
+            }
+            for c in 0..cols {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            let std_inv: Vec<f32> = var.iter().map(|v| 1.0 / (v + EPSILON).sqrt()).collect();
+            let mut normalized = Tensor::zeros(&[rows, cols]);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let n = (input.at(r, c) - mean[c]) * std_inv[c];
+                    normalized.data_mut()[r * cols + c] = n;
+                    out.data_mut()[r * cols + c] = self.gamma.data()[c] * n + self.beta.data()[c];
+                }
+            }
+            self.cache = Some(Cache {
+                normalized,
+                std_inv,
+            });
+        } else {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let n = (input.at(r, c) - self.running_mean[c])
+                        / (self.running_var[c] + EPSILON).sqrt();
+                    out.data_mut()[r * cols + c] = self.gamma.data()[c] * n + self.beta.data()[c];
+                }
+            }
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward before training forward");
+        let (rows, cols) = (grad_out.rows(), grad_out.cols());
+        let n = rows as f32;
+
+        // dγ = Σ dy·x̂ ; dβ = Σ dy.
+        self.grad_gamma.fill_zero();
+        self.grad_beta.fill_zero();
+        for r in 0..rows {
+            for c in 0..cols {
+                let dy = grad_out.at(r, c);
+                self.grad_gamma.data_mut()[c] += dy * cache.normalized.at(r, c);
+                self.grad_beta.data_mut()[c] += dy;
+            }
+        }
+
+        // dx = (γ·std_inv / N) · (N·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut grad_in = Tensor::zeros(&[rows, cols]);
+        for c in 0..cols {
+            let sum_dy = self.grad_beta.data()[c];
+            let sum_dy_xhat = self.grad_gamma.data()[c];
+            let scale = self.gamma.data()[c] * cache.std_inv[c] / n;
+            for r in 0..rows {
+                let dy = grad_out.at(r, c);
+                let xhat = cache.normalized.at(r, c);
+                grad_in.data_mut()[r * cols + c] = scale * (n * dy - sum_dy - xhat * sum_dy_xhat);
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.gamma, &mut self.grad_gamma);
+        visit(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm1d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_util::rng::SeedStream;
+
+    #[test]
+    fn training_output_is_normalized_per_feature() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::randn(&[64, 3], 5.0, SeedStream::new(1)).map(|v| v + 10.0);
+        let y = bn.forward(&x, true);
+        for c in 0..3 {
+            let col: Vec<f32> = (0..64).map(|r| y.at(r, c)).collect();
+            let mean = col.iter().sum::<f32>() / 64.0;
+            let var = col.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "feature {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "feature {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_statistics() {
+        let mut bn = BatchNorm1d::new(2);
+        // Train on many batches so the running stats converge.
+        for i in 0..200 {
+            let x = Tensor::randn(&[32, 2], 2.0, SeedStream::new(i)).map(|v| v + 4.0);
+            let _ = bn.forward(&x, true);
+        }
+        assert!(
+            (bn.running_mean()[0] - 4.0).abs() < 0.5,
+            "{:?}",
+            bn.running_mean()
+        );
+        // At inference a fresh sample with the training distribution is
+        // roughly normalised.
+        let x = Tensor::randn(&[64, 2], 2.0, SeedStream::new(999)).map(|v| v + 4.0);
+        let y = bn.forward(&x, false);
+        assert!(y.mean().abs() < 0.3, "inference mean {}", y.mean());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::randn(&[5, 2], 1.0, SeedStream::new(3));
+        // Perturb gamma away from identity so the affine path is tested.
+        bn.visit_params(&mut |p, _| {
+            for v in p.data_mut() {
+                *v += 0.3;
+            }
+        });
+        let y = bn.forward(&x, true);
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let analytic = bn.backward(&grad_out);
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= eps;
+            let f_plus = bn.forward(&plus, true).sum();
+            let f_minus = bn.forward(&minus, true).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!((a - numeric).abs() < 2e-2, "at {i}: {a} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn param_count_and_name() {
+        let bn = BatchNorm1d::new(8);
+        assert_eq!(bn.param_count(), 16);
+        assert_eq!(bn.name(), "batchnorm1d");
+        assert_eq!(bn.features(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn rejects_wrong_width() {
+        let mut bn = BatchNorm1d::new(3);
+        let _ = bn.forward(&Tensor::zeros(&[2, 4]), true);
+    }
+}

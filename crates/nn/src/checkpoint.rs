@@ -1,0 +1,239 @@
+//! Model checkpointing.
+//!
+//! A tuning service's final output includes "the optimal trained model"
+//! (§2.1) — this module serialises a [`Sequential`]'s parameters to a
+//! plain-text checkpoint and restores them into a freshly-built model of
+//! the same architecture. The format is line-oriented and dependency-free:
+//!
+//! ```text
+//! edgetune-nn-checkpoint v1
+//! tensor 2x3
+//! 0.5 -0.25 1 0 0.125 2
+//! …
+//! ```
+
+use std::fmt::Write as _;
+
+use edgetune_util::{Error, Result};
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+const MAGIC: &str = "edgetune-nn-checkpoint v1";
+
+/// Extracts every trainable tensor of `model`, front-to-back.
+#[must_use]
+pub fn state_dict(model: &mut Sequential) -> Vec<Tensor> {
+    let mut params = Vec::new();
+    model.visit_params(&mut |p, _| params.push(p.clone()));
+    params
+}
+
+/// Loads a state dict (as produced by [`state_dict`]) into `model`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the parameter count or any shape
+/// differs from the model's.
+pub fn load_state(model: &mut Sequential, state: &[Tensor]) -> Result<()> {
+    // First pass: validate without mutating.
+    let mut shapes = Vec::new();
+    model.visit_params(&mut |p, _| shapes.push(p.shape().to_vec()));
+    if shapes.len() != state.len() {
+        return Err(Error::invalid_config(format!(
+            "checkpoint has {} tensors, model has {}",
+            state.len(),
+            shapes.len()
+        )));
+    }
+    for (i, (shape, tensor)) in shapes.iter().zip(state).enumerate() {
+        if shape.as_slice() != tensor.shape() {
+            return Err(Error::invalid_config(format!(
+                "tensor {i}: checkpoint shape {:?} vs model shape {:?}",
+                tensor.shape(),
+                shape
+            )));
+        }
+    }
+    let mut index = 0;
+    model.visit_params(&mut |p, _| {
+        p.data_mut().copy_from_slice(state[index].data());
+        index += 1;
+    });
+    Ok(())
+}
+
+/// Serialises a state dict to the checkpoint text format.
+#[must_use]
+pub fn to_text(state: &[Tensor]) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for tensor in state {
+        let dims: Vec<String> = tensor.shape().iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "tensor {}", dims.join("x"));
+        let values: Vec<String> = tensor.data().iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "{}", values.join(" "));
+    }
+    out
+}
+
+/// Parses a checkpoint produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns [`Error::Storage`] on any malformed content.
+pub fn from_text(text: &str) -> Result<Vec<Tensor>> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::storage("empty checkpoint"))?;
+    if header.trim() != MAGIC {
+        return Err(Error::storage(format!("bad checkpoint header '{header}'")));
+    }
+    let mut tensors = Vec::new();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let shape_str = line
+            .strip_prefix("tensor ")
+            .ok_or_else(|| Error::storage(format!("expected 'tensor', got '{line}'")))?;
+        let shape: Vec<usize> = shape_str
+            .split('x')
+            .map(|d| {
+                d.parse()
+                    .map_err(|e| Error::storage(format!("bad dim '{d}': {e}")))
+            })
+            .collect::<Result<_>>()?;
+        let data_line = lines
+            .next()
+            .ok_or_else(|| Error::storage("missing tensor data line"))?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| Error::storage(format!("bad value '{v}': {e}")))
+            })
+            .collect::<Result<_>>()?;
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(Error::storage(format!(
+                "tensor {:?} expects {expected} values, found {}",
+                shape,
+                data.len()
+            )));
+        }
+        tensors.push(Tensor::from_vec(data, &shape));
+    }
+    Ok(tensors)
+}
+
+/// Saves `model`'s parameters to a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`Error::Storage`] on I/O failure.
+pub fn save(model: &mut Sequential, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_text(&state_dict(model)))?;
+    Ok(())
+}
+
+/// Restores `model`'s parameters from a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`Error::Storage`] on I/O or parse failure and
+/// [`Error::InvalidConfig`] on architecture mismatch.
+pub fn load(model: &mut Sequential, path: &std::path::Path) -> Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    load_state(model, &from_text(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::layer::{Dense, Relu};
+    use crate::optim::Sgd;
+    use crate::train::{evaluate, fit, FitConfig};
+    use edgetune_util::rng::SeedStream;
+
+    fn seed() -> SeedStream {
+        SeedStream::new(606)
+    }
+
+    fn mlp(s: SeedStream) -> Sequential {
+        Sequential::new()
+            .with(Dense::new(4, 12, s.child("l1")))
+            .with(Relu::new())
+            .with(Dense::new(12, 3, s.child("l2")))
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_value() {
+        let mut model = mlp(seed());
+        let state = state_dict(&mut model);
+        let parsed = from_text(&to_text(&state)).unwrap();
+        assert_eq!(parsed, state);
+    }
+
+    #[test]
+    fn trained_model_survives_a_checkpoint() {
+        let data = Dataset::gaussian_blobs(300, 4, 3, 0.3, seed());
+        let (train, val) = data.split(0.8);
+        let mut model = mlp(seed());
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &train,
+            &val,
+            &FitConfig::new(10, 16),
+            seed(),
+        );
+        let trained_acc = evaluate(&mut model, &val);
+        assert!(trained_acc > 0.8, "sanity: {trained_acc}");
+
+        // Round-trip through a file into a *fresh* (differently seeded)
+        // model of the same architecture.
+        let dir = std::env::temp_dir().join("edgetune-nn-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save(&mut model, &path).unwrap();
+        let mut fresh = mlp(SeedStream::new(999));
+        let fresh_acc = evaluate(&mut fresh, &val);
+        load(&mut fresh, &path).unwrap();
+        let restored_acc = evaluate(&mut fresh, &val);
+        assert!(
+            (restored_acc - trained_acc).abs() < 1e-12,
+            "restored model must be identical"
+        );
+        assert!(restored_acc > fresh_acc, "and better than the fresh init");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let mut small = mlp(seed());
+        let state = state_dict(&mut small);
+        let mut wide = Sequential::new()
+            .with(Dense::new(4, 24, seed().child("w1")))
+            .with(Relu::new())
+            .with(Dense::new(24, 3, seed().child("w2")));
+        let err = load_state(&mut wide, &state).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        let err2 = load_state(&mut mlp(seed()), &state[..2]).unwrap_err();
+        assert!(matches!(err2, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(from_text("").is_err());
+        assert!(from_text("wrong header\n").is_err());
+        assert!(from_text("edgetune-nn-checkpoint v1\nbogus 2x2\n1 2 3 4\n").is_err());
+        assert!(from_text("edgetune-nn-checkpoint v1\ntensor 2x2\n1 2 3\n").is_err());
+        assert!(from_text("edgetune-nn-checkpoint v1\ntensor 2x2\n1 2 3 nope\n").is_err());
+        assert!(from_text("edgetune-nn-checkpoint v1\ntensor 2x2\n").is_err());
+    }
+}

@@ -1,0 +1,932 @@
+//! Neural-network layers with analytic forward/backward passes.
+//!
+//! Every layer implements [`Layer`]: `forward` caches whatever it needs,
+//! `backward` consumes the gradient w.r.t. its output and returns the
+//! gradient w.r.t. its input, and `visit_params` exposes `(parameter,
+//! gradient)` pairs to the optimizer in a stable order.
+
+use edgetune_util::rng::SeedStream;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` must be called before `backward`, and
+/// the pair must refer to the same input batch.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output for `input`. When `train` is false,
+    /// train-only behaviour (e.g. dropout) is disabled.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) back to
+    /// the gradient w.r.t. its input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair, in a stable order.
+    fn visit_params(&mut self, _visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    /// A short human-readable layer name.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer: `y = x·W + b` over 2-D `[batch, features]`
+/// inputs.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Tensor, // [in, out]
+    bias: Tensor,   // [1, out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a Kaiming-initialised dense layer.
+    #[must_use]
+    pub fn new(inputs: usize, outputs: usize, seed: SeedStream) -> Self {
+        Dense {
+            weight: Tensor::kaiming(&[inputs, outputs], inputs, seed.child("w")),
+            bias: Tensor::zeros(&[1, outputs]),
+            grad_weight: Tensor::zeros(&[inputs, outputs]),
+            grad_bias: Tensor::zeros(&[1, outputs]),
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.inputs(),
+            "dense layer expects {} inputs, got {}",
+            self.inputs(),
+            input.cols()
+        );
+        self.cached_input = Some(input.clone());
+        input.matmul(&self.weight).add_row(self.bias.data())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        // dW = xᵀ · dy ; db = Σ_batch dy ; dx = dy · Wᵀ
+        self.grad_weight = input.transpose().matmul(grad_out);
+        self.grad_bias = Tensor::from_vec(grad_out.sum_rows(), &[1, self.outputs()]);
+        grad_out.matmul(&self.weight.transpose())
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.weight, &mut self.grad_weight);
+        visit(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    #[must_use]
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        grad_out.hadamard(mask)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    #[must_use]
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward before forward");
+        grad_out.hadamard(&y.map(|v| v * (1.0 - v)))
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    #[must_use]
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward before forward");
+        grad_out.hadamard(&y.map(|v| 1.0 - v * v))
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+/// Inverted dropout: zeroes activations with probability `rate` during
+/// training and rescales the survivors by `1/(1-rate)`; identity at
+/// inference. The paper tunes exactly this `rate` for the YOLO workload
+/// (§5.1).
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    seed: SeedStream,
+    invocation: u64,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 1`.
+    #[must_use]
+    pub fn new(rate: f32, seed: SeedStream) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0,1), got {rate}"
+        );
+        Dropout {
+            rate,
+            seed,
+            invocation: 0,
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    #[must_use]
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let mut rng = self.seed.rng_indexed("dropout", self.invocation);
+        self.invocation += 1;
+        let keep = 1.0 - self.rate;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.shape());
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.hadamard(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+/// Flattens `[batch, …]` inputs into `[batch, features]`, remembering the
+/// original shape for the backward pass.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(shape.len() >= 2, "flatten expects a batch dimension");
+        let batch = shape[0];
+        let features: usize = shape[1..].iter().product();
+        self.input_shape = Some(shape);
+        input.reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("backward before forward");
+        grad_out.reshape(shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reshape
+// ---------------------------------------------------------------------------
+
+/// Reshapes each sample: `[batch, ∏dims]` → `[batch, dims…]` (the inverse
+/// of [`Flatten`], used to feed flat feature vectors into convolutional
+/// stacks).
+#[derive(Debug)]
+pub struct Reshape {
+    sample_shape: Vec<usize>,
+}
+
+impl Reshape {
+    /// Creates a reshape to the given per-sample shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    #[must_use]
+    pub fn new(sample_shape: Vec<usize>) -> Self {
+        assert!(!sample_shape.is_empty(), "sample shape must be non-empty");
+        assert!(
+            sample_shape.iter().all(|&d| d > 0),
+            "sample dims must be non-zero"
+        );
+        Reshape { sample_shape }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let expected: usize = self.sample_shape.iter().product();
+        let actual: usize = input.shape()[1..].iter().product();
+        assert_eq!(
+            actual, expected,
+            "reshape expects {expected} features per sample, got {actual}"
+        );
+        let mut shape = vec![batch];
+        shape.extend_from_slice(&self.sample_shape);
+        input.reshape(&shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let batch = grad_out.shape()[0];
+        let features: usize = grad_out.shape()[1..].iter().product();
+        grad_out.reshape(&[batch, features])
+    }
+
+    fn name(&self) -> &'static str {
+        "reshape"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution over `[batch, channels, height, width]` inputs, with
+/// configurable stride and zero padding.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor, // [out_c, in_c, kh, kw]
+    bias: Tensor,   // [1, out_c]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialised convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or `kernel` is zero.
+    #[must_use]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: SeedStream,
+    ) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        assert!(kernel >= 1, "kernel must be >= 1");
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Tensor::kaiming(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                seed.child("w"),
+            ),
+            bias: Tensor::zeros(&[1, out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[1, out_channels]),
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+
+    /// Output spatial size for an input spatial size.
+    #[must_use]
+    pub fn output_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.kernel()) / self.stride + 1
+    }
+}
+
+/// Indexing helper for a 4-D NCHW tensor.
+#[inline]
+fn idx4(shape: &[usize], n: usize, c: usize, h: usize, w: usize) -> usize {
+    ((n * shape[1] + c) * shape[2] + h) * shape[3] + w
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let ishape = input.shape().to_vec();
+        assert_eq!(ishape.len(), 4, "conv2d expects NCHW input");
+        let (batch, in_c, ih, iw) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+        let wshape = self.weight.shape().to_vec();
+        assert_eq!(
+            in_c, wshape[1],
+            "channel mismatch: input {in_c}, weight {}",
+            wshape[1]
+        );
+        let (out_c, k) = (wshape[0], wshape[2]);
+        let oh = self.output_size(ih);
+        let ow = self.output_size(iw);
+        let mut out = Tensor::zeros(&[batch, out_c, oh, ow]);
+        let oshape = out.shape().to_vec();
+        let xd = input.data();
+        let wd = self.weight.data();
+        let bd = self.bias.data().to_vec();
+        let od = out.data_mut();
+        for n in 0..batch {
+            for oc in 0..out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bd[oc];
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= ih as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= iw as isize {
+                                        continue;
+                                    }
+                                    acc += xd[idx4(&ishape, n, ic, iy as usize, ix as usize)]
+                                        * wd[idx4(&wshape, oc, ic, ky, kx)];
+                                }
+                            }
+                        }
+                        od[idx4(&oshape, n, oc, oy, ox)] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let ishape = input.shape().to_vec();
+        let (batch, in_c, ih, iw) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+        let wshape = self.weight.shape().to_vec();
+        let (out_c, k) = (wshape[0], wshape[2]);
+        let oshape = grad_out.shape().to_vec();
+        let (oh, ow) = (oshape[2], oshape[3]);
+
+        let mut grad_in = Tensor::zeros(&ishape);
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+
+        let xd = input.data();
+        let wd = self.weight.data();
+        let god = grad_out.data();
+        let gid = grad_in.data_mut();
+        let gwd = self.grad_weight.data_mut();
+        let gbd = self.grad_bias.data_mut();
+
+        for n in 0..batch {
+            for oc in 0..out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = god[idx4(&oshape, n, oc, oy, ox)];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gbd[oc] += g;
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= ih as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= iw as isize {
+                                        continue;
+                                    }
+                                    let xi = idx4(&ishape, n, ic, iy as usize, ix as usize);
+                                    let wi = idx4(&wshape, oc, ic, ky, kx);
+                                    gwd[wi] += g * xd[xi];
+                                    gid[xi] += g * wd[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.weight, &mut self.grad_weight);
+        visit(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+/// Non-overlapping 2-D max pooling (`kernel × kernel`, stride = kernel).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    input_shape: Option<Vec<usize>>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    #[must_use]
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel >= 1, "pool kernel must be >= 1");
+        MaxPool2d {
+            kernel,
+            input_shape: None,
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let ishape = input.shape().to_vec();
+        assert_eq!(ishape.len(), 4, "maxpool expects NCHW input");
+        let (batch, c, ih, iw) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+        let k = self.kernel;
+        assert!(
+            ih >= k && iw >= k,
+            "input {ih}x{iw} smaller than pool kernel {k}"
+        );
+        let (oh, ow) = (ih / k, iw / k);
+        let mut out = Tensor::zeros(&[batch, c, oh, ow]);
+        let oshape = out.shape().to_vec();
+        self.argmax = vec![0; batch * c * oh * ow];
+        let xd = input.data();
+        let od = out.data_mut();
+        for n in 0..batch {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let xi = idx4(&ishape, n, ch, oy * k + ky, ox * k + kx);
+                                if xd[xi] > best {
+                                    best = xd[xi];
+                                    best_idx = xi;
+                                }
+                            }
+                        }
+                        let oi = idx4(&oshape, n, ch, oy, ox);
+                        od[oi] = best;
+                        self.argmax[oi] = best_idx;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(ishape);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let ishape = self.input_shape.as_ref().expect("backward before forward");
+        let mut grad_in = Tensor::zeros(ishape);
+        let gid = grad_in.data_mut();
+        for (oi, &g) in grad_out.data().iter().enumerate() {
+            gid[self.argmax[oi]] += g;
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> SeedStream {
+        SeedStream::new(42)
+    }
+
+    /// Finite-difference check: analytic input gradient must match the
+    /// numeric one.
+    fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let out = layer.forward(input, true);
+        // Loss = sum(out) so dL/dout = 1 everywhere.
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let analytic = layer.backward(&grad_out);
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let f_plus = layer.forward(&plus, true).sum();
+            let f_minus = layer.forward(&minus, true).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < tol,
+                "grad mismatch at {i}: analytic={a}, numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut d = Dense::new(2, 2, seed());
+        // Overwrite weights for a deterministic check.
+        d.visit_params(&mut |p, _| {
+            if p.shape() == [2, 2] {
+                p.data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            } else {
+                p.data_mut().copy_from_slice(&[0.5, -0.5]);
+            }
+        });
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, true);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut d = Dense::new(3, 2, seed());
+        let x = Tensor::randn(&[4, 3], 1.0, seed().child("x"));
+        check_input_gradient(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn dense_weight_gradient_matches_finite_differences() {
+        let mut d = Dense::new(2, 2, seed());
+        let x = Tensor::randn(&[3, 2], 1.0, seed().child("x"));
+        let out = d.forward(&x, true);
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let _ = d.backward(&grad_out);
+        let mut analytic_w = Vec::new();
+        d.visit_params(&mut |_, g| analytic_w.push(g.clone()));
+        let eps = 1e-2f32;
+        // Perturb weight[0][0] and compare.
+        let loss_at = |delta: f32, d: &mut Dense| {
+            d.visit_params(&mut |p, _| {
+                if p.shape() == [2, 2] {
+                    p.data_mut()[0] += delta;
+                }
+            });
+            let l = d.forward(&x, true).sum();
+            d.visit_params(&mut |p, _| {
+                if p.shape() == [2, 2] {
+                    p.data_mut()[0] -= delta;
+                }
+            });
+            l
+        };
+        let numeric = (loss_at(eps, &mut d) - loss_at(-eps, &mut d)) / (2.0 * eps);
+        let a = analytic_w[0].data()[0];
+        assert!(
+            (a - numeric).abs() < 1e-2,
+            "analytic={a}, numeric={numeric}"
+        );
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = r.backward(&Tensor::full(&[1, 2], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_gradients_match_finite_differences() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::randn(&[2, 3], 1.0, seed());
+        check_input_gradient(&mut s, &x, 1e-3);
+    }
+
+    #[test]
+    fn tanh_gradients_match_finite_differences() {
+        let mut t = Tanh::new();
+        let x = Tensor::randn(&[2, 3], 0.5, seed());
+        check_input_gradient(&mut t, &x, 1e-2);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let mut d = Dropout::new(0.5, seed());
+        let x = Tensor::full(&[4, 4], 1.0);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_in_training() {
+        let mut d = Dropout::new(0.5, seed());
+        let x = Tensor::full(&[64, 64], 1.0);
+        let y = d.forward(&x, true);
+        let m = y.mean();
+        assert!(
+            (m - 1.0).abs() < 0.1,
+            "inverted dropout keeps E[x]: mean={m}"
+        );
+        // Some elements must be dropped, survivors scaled by 2.
+        assert!(y.data().contains(&0.0));
+        assert!(y.data().iter().any(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, seed());
+        let x = Tensor::full(&[8, 8], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(&[8, 8], 1.0));
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv, gv, "mask must match between forward and backward");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn dropout_rejects_rate_one() {
+        let _ = Dropout::new(1.0, seed());
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, seed());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn conv2d_output_shape() {
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, seed());
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, seed().child("x"));
+        let y = c.forward(&x, true);
+        assert_eq!(
+            y.shape(),
+            &[2, 8, 8, 8],
+            "same-padding 3x3 keeps spatial dims"
+        );
+        let mut s = Conv2d::new(3, 4, 3, 2, 0, seed());
+        let y2 = s.forward(&x, true);
+        assert_eq!(y2.shape(), &[2, 4, 3, 3]);
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1x1 input channel, 2x2 kernel of ones, no padding, stride 1.
+        let mut c = Conv2d::new(1, 1, 2, 1, 0, seed());
+        c.visit_params(&mut |p, _| {
+            if p.len() == 4 {
+                p.data_mut().copy_from_slice(&[1.0; 4]);
+            } else {
+                p.data_mut()[0] = 0.0;
+            }
+        });
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let y = c.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_gradients_match_finite_differences() {
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, seed());
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, seed().child("x"));
+        check_input_gradient(&mut c, &x, 5e-2);
+    }
+
+    #[test]
+    fn conv2d_strided_gradients_match_finite_differences() {
+        let mut c = Conv2d::new(1, 2, 3, 2, 1, seed());
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, seed().child("x"));
+        check_input_gradient(&mut c, &x, 5e-2);
+    }
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradient() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let g = p.backward(&Tensor::full(&[1, 1, 2, 2], 1.0));
+        let expected: Vec<f32> = (0..16)
+            .map(|i| {
+                if [5, 7, 13, 15].contains(&i) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        assert_eq!(g.data(), expected.as_slice());
+    }
+
+    #[test]
+    fn param_counts() {
+        let d = Dense::new(10, 5, seed());
+        assert_eq!(d.param_count(), 55);
+        let c = Conv2d::new(3, 8, 3, 1, 1, seed());
+        assert_eq!(c.param_count(), 3 * 8 * 9 + 8);
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+
+    #[test]
+    fn reshape_inverts_flatten() {
+        let mut r = Reshape::new(vec![1, 4, 4]);
+        let x = Tensor::randn(&[3, 16], 1.0, seed());
+        let y = r.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 1, 4, 4]);
+        assert_eq!(y.data(), x.data(), "reshape preserves values");
+        let g = r.backward(&y);
+        assert_eq!(g.shape(), &[3, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "features per sample")]
+    fn reshape_rejects_mismatched_width() {
+        let mut r = Reshape::new(vec![1, 4, 4]);
+        let _ = r.forward(&Tensor::zeros(&[2, 10]), true);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(Dense::new(1, 1, seed()).name(), "dense");
+        assert_eq!(Conv2d::new(1, 1, 1, 1, 0, seed()).name(), "conv2d");
+        assert_eq!(MaxPool2d::new(2).name(), "maxpool2d");
+        assert_eq!(Dropout::new(0.1, seed()).name(), "dropout");
+        assert_eq!(Flatten::new().name(), "flatten");
+        assert_eq!(Reshape::new(vec![1, 2, 2]).name(), "reshape");
+    }
+}

@@ -1,0 +1,158 @@
+//! The [`Sequential`] model container.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A feed-forward stack of layers executed in order.
+///
+/// # Examples
+///
+/// ```
+/// use edgetune_nn::layer::{Dense, Relu};
+/// use edgetune_nn::model::Sequential;
+/// use edgetune_nn::tensor::Tensor;
+/// use edgetune_util::rng::SeedStream;
+///
+/// let mut model = Sequential::new()
+///     .with(Dense::new(4, 8, SeedStream::new(1)))
+///     .with(Relu::new())
+///     .with(Dense::new(8, 2, SeedStream::new(2)));
+/// let x = Tensor::zeros(&[3, 4]);
+/// let y = model.forward(&x, false);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable scalar count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Runs the forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs the backward pass, accumulating parameter gradients, and
+    /// returns the gradient with respect to the model input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sequential::forward`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every `(parameter, gradient)` pair across all layers, in a
+    /// stable front-to-back order.
+    pub fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visit);
+        }
+    }
+
+    /// Layer names front-to-back (useful for debugging/architecture
+    /// signatures).
+    #[must_use]
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Flatten, Relu};
+    use edgetune_util::rng::SeedStream;
+
+    #[test]
+    fn forward_threads_through_layers() {
+        let mut m = Sequential::new()
+            .with(Dense::new(2, 4, SeedStream::new(1)))
+            .with(Relu::new())
+            .with(Dense::new(4, 3, SeedStream::new(2)));
+        assert_eq!(m.depth(), 3);
+        let y = m.forward(&Tensor::zeros(&[5, 2]), false);
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut m = Sequential::new()
+            .with(Dense::new(3, 4, SeedStream::new(1)))
+            .with(Relu::new());
+        let x = Tensor::randn(&[2, 3], 1.0, SeedStream::new(9));
+        let y = m.forward(&x, true);
+        let g = m.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = Sequential::new()
+            .with(Dense::new(2, 3, SeedStream::new(1))) // 2*3+3 = 9
+            .with(Relu::new())
+            .with(Dense::new(3, 1, SeedStream::new(2))); // 3*1+1 = 4
+        assert_eq!(m.param_count(), 13);
+    }
+
+    #[test]
+    fn visit_params_order_is_stable() {
+        let mut m = Sequential::new()
+            .with(Dense::new(2, 3, SeedStream::new(1)))
+            .with(Dense::new(3, 1, SeedStream::new(2)));
+        let mut shapes = Vec::new();
+        m.visit_params(&mut |p, _| shapes.push(p.shape().to_vec()));
+        assert_eq!(shapes, vec![vec![2, 3], vec![1, 3], vec![3, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn layer_names_report_architecture() {
+        let m = Sequential::new().with(Flatten::new()).with(Relu::new());
+        assert_eq!(m.layer_names(), vec!["flatten", "relu"]);
+    }
+
+    #[test]
+    fn push_appends_boxed_layers() {
+        let mut m = Sequential::new();
+        m.push(Box::new(Relu::new()));
+        assert_eq!(m.depth(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply the rate by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: u32,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier applied to the base learning rate at `epoch`
+    /// (0-indexed).
+    #[must_use]
+    pub fn factor(&self, epoch: u32) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((epoch / every) as i32),
+        }
+    }
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use edgetune_nn::optim::Sgd;
+///
+/// let opt = Sgd::new(0.01).with_momentum(0.9).with_weight_decay(1e-4);
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    schedule: LrSchedule,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given base learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be > 0, got {lr}");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            schedule: LrSchedule::Constant,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ momentum < 1`.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables decoupled L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    #[must_use]
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be >= 0");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The base learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step to every parameter of `model` using the
+    /// gradients accumulated by the latest backward pass.
+    pub fn step(&mut self, model: &mut Sequential, epoch: u32) {
+        let lr = self.lr * self.schedule.factor(epoch);
+        let momentum = self.momentum;
+        let weight_decay = self.weight_decay;
+        let velocities = &mut self.velocities;
+        let mut index = 0;
+        model.visit_params(&mut |param, grad| {
+            if velocities.len() <= index {
+                velocities.push(Tensor::zeros(param.shape()));
+            }
+            let velocity = &mut velocities[index];
+            assert_eq!(
+                velocity.shape(),
+                param.shape(),
+                "parameter {index} changed shape between steps"
+            );
+            if weight_decay > 0.0 {
+                param.axpy(-lr * weight_decay, &param.clone());
+            }
+            if momentum > 0.0 {
+                // v = momentum * v + grad ; p -= lr * v
+                let snapshot = velocity.clone();
+                velocity.fill_zero();
+                velocity.axpy(momentum, &snapshot);
+                velocity.axpy(1.0, grad);
+                param.axpy(-lr, &velocity.clone());
+            } else {
+                param.axpy(-lr, grad);
+            }
+            index += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Dense;
+    use crate::loss::mse;
+    use edgetune_util::rng::SeedStream;
+
+    fn one_param_model() -> Sequential {
+        Sequential::new().with(Dense::new(1, 1, SeedStream::new(1)))
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // Minimise (w·x - y)² for x=1, y=2: w should approach 2.
+        let mut model = one_param_model();
+        let mut opt = Sgd::new(0.2);
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let y = Tensor::from_vec(vec![2.0], &[1, 1]);
+        let mut last = f32::INFINITY;
+        for _ in 0..50 {
+            let pred = model.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            model.backward(&grad);
+            opt.step(&mut model, 0);
+            assert!(
+                loss <= last + 1e-4,
+                "loss must not increase: {last} -> {loss}"
+            );
+            last = loss;
+        }
+        assert!(last < 1e-3, "should converge, final loss {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut model = one_param_model();
+            let mut opt = Sgd::new(0.02);
+            if momentum > 0.0 {
+                opt = opt.with_momentum(momentum);
+            }
+            let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+            let y = Tensor::from_vec(vec![2.0], &[1, 1]);
+            let mut loss = 0.0;
+            for _ in 0..30 {
+                let pred = model.forward(&x, true);
+                let (l, grad) = mse(&pred, &y);
+                loss = l;
+                model.backward(&grad);
+                opt.step(&mut model, 0);
+            }
+            loss
+        };
+        assert!(
+            run(0.6) < run(0.0),
+            "momentum should reach lower loss in same steps"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut model = one_param_model();
+        // Zero gradient path: forward/backward with zero grad, decay only.
+        let x = Tensor::from_vec(vec![0.0], &[1, 1]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        let initial_norm: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm());
+            n
+        };
+        for _ in 0..10 {
+            let pred = model.forward(&x, true);
+            let (_, grad) = mse(&pred, &pred.clone());
+            model.backward(&grad);
+            opt.step(&mut model, 0);
+        }
+        let final_norm: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm());
+            n
+        };
+        assert!(final_norm < initial_norm, "{initial_norm} -> {final_norm}");
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_non_positive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_bad_momentum() {
+        let _ = Sgd::new(0.1).with_momentum(1.0);
+    }
+}

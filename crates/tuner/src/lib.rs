@@ -1,0 +1,27 @@
+//! Search machinery for the EdgeTune reproduction.
+//!
+//! This crate is the paper's "searching algorithm" layer (§4): search
+//! spaces and configurations, samplers (grid, random, and a TPE model —
+//! the Bayesian component of BOHB), budget policies (epoch-based,
+//! dataset-based and the paper's novel **multi-budget**, Algorithm 2),
+//! bandit schedulers (successive halving and HyperBand; TPE + HyperBand =
+//! BOHB), and the objective functions of §4.4.
+//!
+//! It is deliberately independent of *what* is being tuned: evaluators are
+//! closures from `(configuration, budget)` to an observed score, so the
+//! same machinery drives the simulated paper workloads, real `edgetune-nn`
+//! training, and the plain synthetic functions used in unit tests.
+
+pub mod budget;
+pub mod objective;
+pub mod sampler;
+pub mod scheduler;
+pub mod space;
+pub mod trial;
+
+pub use budget::{BudgetPolicy, TrialBudget};
+pub use objective::{InferenceObjective, Metric, TrainObjective};
+pub use sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+pub use scheduler::{FixedBudgetSearch, HyperBand, SchedulerConfig, SuccessiveHalving};
+pub use space::{Config, Domain, SearchSpace};
+pub use trial::{History, TrialOutcome, TrialRecord};

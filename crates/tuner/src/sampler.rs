@@ -1,0 +1,420 @@
+//! Configuration samplers: grid, random, and TPE (the Bayesian model
+//! inside BOHB).
+//!
+//! §4.2 of the paper contrasts three search strategies (Fig. 10): grid
+//! search exhaustively enumerates, random search draws uniformly, and
+//! BOHB's model-based sampler concentrates trials on the most promising
+//! region. The model here is a Tree-structured Parzen Estimator: observed
+//! configurations are split into a *good* and a *bad* set by score
+//! quantile, per-dimension kernel densities `l(x)` / `g(x)` are fitted to
+//! each, and candidates maximising `l(x)/g(x)` are suggested.
+
+use edgetune_util::rng::SeedStream;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::space::{Config, Domain, SearchSpace};
+
+/// A strategy for proposing the next configuration to evaluate.
+pub trait Sampler: std::fmt::Debug + Send {
+    /// Proposes a configuration given `(config, score)` observations so
+    /// far (lower score = better).
+    fn suggest(&mut self, space: &SearchSpace, observations: &[(&Config, f64)]) -> Config;
+
+    /// Short strategy name ("grid", "random", "tpe").
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------------
+
+/// Exhaustive grid search: enumerates the Cartesian grid once, then
+/// cycles.
+#[derive(Debug)]
+pub struct GridSampler {
+    resolution: usize,
+    queue: Vec<Config>,
+    cursor: usize,
+}
+
+impl GridSampler {
+    /// Creates a grid sampler with per-dimension `resolution` for
+    /// continuous domains (choices always enumerate exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    #[must_use]
+    pub fn new(resolution: usize) -> Self {
+        assert!(resolution >= 1, "grid resolution must be >= 1");
+        GridSampler {
+            resolution,
+            queue: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl Sampler for GridSampler {
+    fn suggest(&mut self, space: &SearchSpace, _observations: &[(&Config, f64)]) -> Config {
+        if self.queue.is_empty() {
+            self.queue = space.grid(self.resolution);
+        }
+        let config = self.queue[self.cursor % self.queue.len()].clone();
+        self.cursor += 1;
+        config
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+/// Uniform random search (the "variant generator" of §4.2).
+#[derive(Debug)]
+pub struct RandomSampler {
+    rng: StdRng,
+}
+
+impl RandomSampler {
+    /// Creates a seeded random sampler.
+    #[must_use]
+    pub fn new(seed: SeedStream) -> Self {
+        RandomSampler {
+            rng: seed.rng("random-sampler"),
+        }
+    }
+}
+
+impl Sampler for RandomSampler {
+    fn suggest(&mut self, space: &SearchSpace, _observations: &[(&Config, f64)]) -> Config {
+        space.sample(&mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TPE
+// ---------------------------------------------------------------------------
+
+/// Fraction of observations assigned to the "good" set.
+const GOOD_QUANTILE: f64 = 0.25;
+/// Candidates drawn from `l(x)` per suggestion.
+const CANDIDATES: usize = 24;
+/// Observations required before the model engages (random until then).
+const MIN_OBSERVATIONS: usize = 8;
+/// Cap on observations used to fit the densities (most recent first).
+const MAX_OBSERVATIONS: usize = 128;
+
+/// Tree-structured Parzen Estimator sampler.
+#[derive(Debug)]
+pub struct TpeSampler {
+    rng: StdRng,
+}
+
+impl TpeSampler {
+    /// Creates a seeded TPE sampler.
+    #[must_use]
+    pub fn new(seed: SeedStream) -> Self {
+        TpeSampler {
+            rng: seed.rng("tpe-sampler"),
+        }
+    }
+
+    /// Maps a value into the sampler's working coordinates (log space for
+    /// log domains, index space for choices).
+    fn transform(domain: &Domain, value: f64) -> f64 {
+        match domain {
+            Domain::Int { log: true, .. } | Domain::Float { log: true, .. } => {
+                value.max(1e-12).ln()
+            }
+            Domain::Int { .. } | Domain::Float { .. } => value,
+            Domain::Choice(values) => values
+                .iter()
+                .position(|v| v == &value)
+                .map_or(0.0, |i| i as f64),
+        }
+    }
+
+    /// Inverse of [`TpeSampler::transform`], snapped back into the domain.
+    fn untransform(domain: &Domain, coord: f64) -> f64 {
+        match domain {
+            Domain::Int { log: true, .. } | Domain::Float { log: true, .. } => {
+                domain.clamp(coord.exp())
+            }
+            Domain::Int { .. } | Domain::Float { .. } => domain.clamp(coord),
+            Domain::Choice(values) => {
+                let idx = (coord.round().max(0.0) as usize).min(values.len() - 1);
+                values[idx]
+            }
+        }
+    }
+
+    /// Working-space extent of a domain (bandwidth scale).
+    fn extent(domain: &Domain) -> f64 {
+        match domain {
+            Domain::Int { lo, hi, log } => {
+                if *log {
+                    (*hi as f64).ln() - (*lo as f64).max(1.0).ln()
+                } else {
+                    (*hi - *lo) as f64
+                }
+            }
+            Domain::Float { lo, hi, log } => {
+                if *log {
+                    hi.ln() - lo.ln()
+                } else {
+                    hi - lo
+                }
+            }
+            Domain::Choice(values) => values.len() as f64,
+        }
+        .max(1e-9)
+    }
+
+    /// Parzen density of `coord` under kernels centred at `centres`.
+    fn density(coord: f64, centres: &[f64], bandwidth: f64) -> f64 {
+        if centres.is_empty() {
+            return 1e-12;
+        }
+        let norm = 1.0 / (centres.len() as f64 * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+        centres
+            .iter()
+            .map(|&c| {
+                let z = (coord - c) / bandwidth;
+                norm * (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            .max(1e-12)
+    }
+}
+
+impl Sampler for TpeSampler {
+    fn suggest(&mut self, space: &SearchSpace, observations: &[(&Config, f64)]) -> Config {
+        if observations.len() < MIN_OBSERVATIONS {
+            return space.sample(&mut self.rng);
+        }
+        // Split observations by score quantile into good/bad sets.
+        let mut sorted: Vec<&(&Config, f64)> = observations
+            .iter()
+            .take(MAX_OBSERVATIONS)
+            .filter(|(_, s)| s.is_finite())
+            .collect();
+        if sorted.len() < MIN_OBSERVATIONS {
+            return space.sample(&mut self.rng);
+        }
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        let n_good =
+            ((sorted.len() as f64 * GOOD_QUANTILE).ceil() as usize).clamp(2, sorted.len() - 1);
+        let (good, bad) = sorted.split_at(n_good);
+
+        // Per-dimension kernel centres in working coordinates:
+        // (name, domain, good centres, bad centres, bandwidth).
+        type Dim<'a> = (&'a str, &'a Domain, Vec<f64>, Vec<f64>, f64);
+        let dims: Vec<Dim<'_>> = space
+            .iter()
+            .map(|(name, domain)| {
+                let centres = |set: &[&(&Config, f64)]| -> Vec<f64> {
+                    set.iter()
+                        .filter_map(|(c, _)| c.get(name))
+                        .map(|v| Self::transform(domain, v))
+                        .collect()
+                };
+                let good_c = centres(good);
+                let bad_c = centres(bad);
+                let bandwidth = Self::extent(domain) / (good_c.len().max(1) as f64).sqrt().max(1.0)
+                    * 0.6
+                    + 1e-6;
+                (name, domain, good_c, bad_c, bandwidth)
+            })
+            .collect();
+
+        // Draw candidates from l(x) and keep the best l/g ratio.
+        let mut best: Option<(Config, f64)> = None;
+        for _ in 0..CANDIDATES {
+            let mut config = Config::new();
+            let mut log_ratio = 0.0;
+            for (name, domain, good_c, bad_c, bandwidth) in &dims {
+                // Sample around a random good kernel.
+                let coord = if good_c.is_empty() {
+                    Self::transform(domain, domain.sample(&mut self.rng))
+                } else {
+                    let centre = good_c[self.rng.gen_range(0..good_c.len())];
+                    centre + edgetune_util::rng::sample_normal(&mut self.rng, 0.0, *bandwidth)
+                };
+                let value = Self::untransform(domain, coord);
+                let snapped = Self::transform(domain, value);
+                let l = Self::density(snapped, good_c, *bandwidth);
+                let g = Self::density(snapped, bad_c, *bandwidth);
+                log_ratio += l.ln() - g.ln();
+                config.set(*name, value);
+            }
+            if best.as_ref().is_none_or(|(_, r)| log_ratio > *r) {
+                best = Some((config, log_ratio));
+            }
+        }
+        best.expect("at least one candidate").0
+    }
+
+    fn name(&self) -> &'static str {
+        "tpe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_2d() -> SearchSpace {
+        SearchSpace::new()
+            .with("x", Domain::float(0.0, 1.0))
+            .with("y", Domain::float(0.0, 1.0))
+    }
+
+    /// Runs `sampler` for `steps` sequential suggestions against `f`,
+    /// returning the best score found.
+    fn optimize(sampler: &mut dyn Sampler, space: &SearchSpace, steps: usize) -> f64 {
+        let f = |c: &Config| {
+            let x = c.get("x").unwrap();
+            let y = c.get("y").unwrap();
+            (x - 0.31).powi(2) + (y - 0.72).powi(2)
+        };
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        for _ in 0..steps {
+            let obs: Vec<(&Config, f64)> = history.iter().map(|(c, s)| (c, *s)).collect();
+            let config = sampler.suggest(space, &obs);
+            let score = f(&config);
+            history.push((config, score));
+        }
+        history
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn grid_enumerates_whole_space_before_repeating() {
+        let space = SearchSpace::new()
+            .with("a", Domain::choice(vec![1.0, 2.0, 3.0]))
+            .with("b", Domain::choice(vec![0.0, 1.0]));
+        let mut g = GridSampler::new(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            seen.insert(g.suggest(&space, &[]).key());
+        }
+        assert_eq!(seen.len(), 6, "first pass covers the full grid");
+        let again = g.suggest(&space, &[]);
+        assert!(seen.contains(&again.key()), "then cycles");
+    }
+
+    #[test]
+    fn random_sampler_is_seeded_and_in_domain() {
+        let space = space_2d();
+        let mut a = RandomSampler::new(SeedStream::new(4));
+        let mut b = RandomSampler::new(SeedStream::new(4));
+        for _ in 0..20 {
+            let ca = a.suggest(&space, &[]);
+            let cb = b.suggest(&space, &[]);
+            assert_eq!(ca, cb);
+            assert!(space.validate(&ca).is_ok());
+        }
+    }
+
+    #[test]
+    fn tpe_falls_back_to_random_without_observations() {
+        let space = space_2d();
+        let mut t = TpeSampler::new(SeedStream::new(4));
+        let c = t.suggest(&space, &[]);
+        assert!(space.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn tpe_beats_random_on_a_smooth_function() {
+        let space = space_2d();
+        let mut tpe = TpeSampler::new(SeedStream::new(11));
+        let mut random = RandomSampler::new(SeedStream::new(11));
+        let tpe_best = optimize(&mut tpe, &space, 60);
+        let random_best = optimize(&mut random, &space, 60);
+        assert!(
+            tpe_best < random_best,
+            "TPE ({tpe_best}) should beat random ({random_best}) at equal trials"
+        );
+    }
+
+    #[test]
+    fn tpe_concentrates_near_the_optimum() {
+        // After many observations the suggestions should cluster around
+        // the good region — the Fig. 10 behaviour.
+        let space = space_2d();
+        let mut tpe = TpeSampler::new(SeedStream::new(3));
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        for _ in 0..50 {
+            let obs: Vec<(&Config, f64)> = history.iter().map(|(c, s)| (c, *s)).collect();
+            let c = tpe.suggest(&space, &obs);
+            let score = (c.get("x").unwrap() - 0.3).powi(2) + (c.get("y").unwrap() - 0.7).powi(2);
+            history.push((c, score));
+        }
+        let late: Vec<&(Config, f64)> = history.iter().skip(40).collect();
+        let mean_dist: f64 = late
+            .iter()
+            .map(|(c, _)| {
+                ((c.get("x").unwrap() - 0.3).powi(2) + (c.get("y").unwrap() - 0.7).powi(2)).sqrt()
+            })
+            .sum::<f64>()
+            / late.len() as f64;
+        assert!(
+            mean_dist < 0.35,
+            "late suggestions should be near optimum: {mean_dist}"
+        );
+    }
+
+    #[test]
+    fn tpe_handles_choice_and_log_domains() {
+        let space = SearchSpace::new()
+            .with("layers", Domain::choice(vec![18.0, 34.0, 50.0]))
+            .with("batch", Domain::int_log(32, 512));
+        let mut tpe = TpeSampler::new(SeedStream::new(8));
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        for _ in 0..30 {
+            let obs: Vec<(&Config, f64)> = history.iter().map(|(c, s)| (c, *s)).collect();
+            let c = tpe.suggest(&space, &obs);
+            assert!(space.validate(&c).is_ok(), "suggestion {c} out of domain");
+            // Prefer layers=34, batch near 128.
+            let score = (c.get("layers").unwrap() - 34.0).abs()
+                + (c.get("batch").unwrap().ln() - 128f64.ln()).abs();
+            history.push((c, score));
+        }
+    }
+
+    #[test]
+    fn tpe_ignores_infinite_scores() {
+        let space = space_2d();
+        let mut tpe = TpeSampler::new(SeedStream::new(8));
+        let configs: Vec<Config> = (0..12)
+            .map(|i| {
+                Config::new()
+                    .with("x", f64::from(i) / 12.0)
+                    .with("y", f64::from(i) / 12.0)
+            })
+            .collect();
+        let obs: Vec<(&Config, f64)> = configs.iter().map(|c| (c, f64::INFINITY)).collect();
+        // All-infinite observations must not panic; falls back to random.
+        let c = tpe.suggest(&space, &obs);
+        assert!(space.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn sampler_names() {
+        assert_eq!(GridSampler::new(3).name(), "grid");
+        assert_eq!(RandomSampler::new(SeedStream::new(1)).name(), "random");
+        assert_eq!(TpeSampler::new(SeedStream::new(1)).name(), "tpe");
+    }
+}

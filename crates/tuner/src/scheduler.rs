@@ -1,0 +1,505 @@
+//! Multi-fidelity schedulers: successive halving and HyperBand.
+//!
+//! A scheduler decides *which* configurations get *how much* budget. The
+//! budget ladder itself comes from a [`BudgetPolicy`] — plugging the
+//! multi-budget policy into these schedulers yields the paper's onefold
+//! tuning algorithm's core loop; plugging [`crate::TpeSampler`] into
+//! [`HyperBand`] yields BOHB.
+
+use crate::budget::{BudgetPolicy, TrialBudget};
+use crate::sampler::Sampler;
+use crate::space::{Config, SearchSpace};
+use crate::trial::{History, TrialOutcome, TrialRecord};
+
+/// Evaluates one trial: `(trial_id, config, budget) → outcome`.
+///
+/// Implemented for any `FnMut` with the same shape, so schedulers can be
+/// driven by closures.
+pub trait Evaluate {
+    /// Runs the trial and reports its outcome.
+    fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome;
+
+    /// Evaluates one scheduler rung — all trials share a budget level and
+    /// have no mutual dependencies, so an implementation may run them in
+    /// parallel ("the model server can parallelize its tuning process",
+    /// §3.1). The default runs them sequentially.
+    ///
+    /// Implementations must return outcomes in input order.
+    fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
+        trials
+            .into_iter()
+            .map(|(id, config, budget)| self.evaluate(id, &config, budget))
+            .collect()
+    }
+}
+
+impl<F> Evaluate for F
+where
+    F: FnMut(u64, &Config, TrialBudget) -> TrialOutcome,
+{
+    fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome {
+        self(id, config, budget)
+    }
+}
+
+/// Shared scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Configurations sampled into the first rung.
+    pub initial_configs: usize,
+    /// Reduction factor η: the top `1/η` of each rung advances (§4.3).
+    pub eta: f64,
+    /// Highest iteration level (budget rung) to reach.
+    pub max_iteration: u32,
+}
+
+impl SchedulerConfig {
+    /// Creates a scheduler configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_configs` is zero, `eta` ≤ 1, or
+    /// `max_iteration` is zero.
+    #[must_use]
+    pub fn new(initial_configs: usize, eta: f64, max_iteration: u32) -> Self {
+        assert!(initial_configs >= 1, "need at least one configuration");
+        assert!(eta > 1.0, "reduction factor must exceed 1");
+        assert!(max_iteration >= 1, "need at least one iteration level");
+        SchedulerConfig {
+            initial_configs,
+            eta,
+            max_iteration,
+        }
+    }
+
+    /// The paper's running example (§2.2): 16 trials starting at the
+    /// minimum budget, η = 2, budget levels 1 → 2 → 4 → 8 → 16 with
+    /// cohorts 16 → 8 → 4 → 2 → 1.
+    #[must_use]
+    pub fn paper_example() -> Self {
+        SchedulerConfig::new(16, 2.0, 16)
+    }
+}
+
+/// Successive halving: evaluate all configurations at the smallest
+/// budget, keep the best `1/η`, grow the budget, repeat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessiveHalving {
+    config: SchedulerConfig,
+}
+
+impl SuccessiveHalving {
+    /// Creates a successive-halving scheduler.
+    #[must_use]
+    pub fn new(config: SchedulerConfig) -> Self {
+        SuccessiveHalving { config }
+    }
+
+    /// Runs one bracket, starting from `start_iteration` (1-based budget
+    /// level) with `initial` sampled configurations.
+    ///
+    /// Trial ids continue from `history.len()`; every evaluation is
+    /// appended to `history` so model-based samplers see all evidence.
+    #[allow(clippy::too_many_arguments)] // a bracket genuinely has this many independent knobs
+    pub fn run_bracket(
+        &self,
+        sampler: &mut dyn Sampler,
+        space: &SearchSpace,
+        policy: &BudgetPolicy,
+        evaluator: &mut dyn Evaluate,
+        history: &mut History,
+        initial: usize,
+        start_iteration: u32,
+    ) {
+        // Sample the rung-0 cohort, giving the sampler fresh evidence
+        // after every suggestion.
+        let mut cohort: Vec<Config> = Vec::with_capacity(initial);
+        for _ in 0..initial {
+            let obs = history.observations();
+            let obs_refs: Vec<(&Config, f64)> = obs.iter().map(|(c, s)| (*c, *s)).collect();
+            cohort.push(sampler.suggest(space, &obs_refs));
+        }
+
+        // The budget level grows geometrically by η between rungs, as in
+        // the paper's §2.2 example (epochs 1 → 2 → 4 → 8 → 16 while the
+        // cohort halves 16 → 8 → 4 → 2 → 1).
+        let mut iteration = start_iteration.max(1);
+        loop {
+            let budget = policy.budget(iteration.min(self.config.max_iteration));
+            let base_id = history.len() as u64;
+            let rung: Vec<(u64, Config, TrialBudget)> = cohort
+                .drain(..)
+                .enumerate()
+                .map(|(i, config)| (base_id + i as u64, config, budget))
+                .collect();
+            let outcomes = evaluator.evaluate_rung(rung.clone());
+            assert_eq!(
+                outcomes.len(),
+                rung.len(),
+                "evaluator must answer every trial"
+            );
+            let mut scored: Vec<(Config, f64)> = Vec::with_capacity(rung.len());
+            for ((id, config, budget), outcome) in rung.into_iter().zip(outcomes) {
+                history.push(TrialRecord {
+                    id,
+                    config: config.clone(),
+                    budget,
+                    outcome,
+                });
+                scored.push((config, outcome.score));
+            }
+            if scored.len() <= 1 || iteration >= self.config.max_iteration {
+                break;
+            }
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
+            let keep = ((scored.len() as f64 / self.config.eta).ceil() as usize).max(1);
+            cohort = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+            iteration = ((f64::from(iteration) * self.config.eta).round() as u32)
+                .min(self.config.max_iteration);
+        }
+    }
+
+    /// Runs a full successive-halving tuning job and returns its history.
+    pub fn run(
+        &self,
+        sampler: &mut dyn Sampler,
+        space: &SearchSpace,
+        policy: &BudgetPolicy,
+        evaluator: &mut dyn Evaluate,
+    ) -> History {
+        let mut history = History::new();
+        self.run_bracket(
+            sampler,
+            space,
+            policy,
+            evaluator,
+            &mut history,
+            self.config.initial_configs,
+            1,
+        );
+        history
+    }
+}
+
+/// Fixed-budget search: every sampled configuration is evaluated once at
+/// the same (typically maximal) budget — the wasteful strategy §2.2
+/// contrasts multi-fidelity methods against ("the majority of trials
+/// waste precious resources").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedBudgetSearch {
+    trials: usize,
+    iteration: u32,
+}
+
+impl FixedBudgetSearch {
+    /// Creates a fixed-budget search of `trials` configurations, each at
+    /// budget level `iteration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` or `iteration` is zero.
+    #[must_use]
+    pub fn new(trials: usize, iteration: u32) -> Self {
+        assert!(trials >= 1, "need at least one trial");
+        assert!(iteration >= 1, "iteration levels are 1-based");
+        FixedBudgetSearch { trials, iteration }
+    }
+
+    /// Runs the search and returns its history.
+    pub fn run(
+        &self,
+        sampler: &mut dyn Sampler,
+        space: &SearchSpace,
+        policy: &BudgetPolicy,
+        evaluator: &mut dyn Evaluate,
+    ) -> History {
+        let mut history = History::new();
+        let budget = policy.budget(self.iteration);
+        for _ in 0..self.trials {
+            let obs = history.observations();
+            let obs_refs: Vec<(&Config, f64)> = obs.iter().map(|(c, s)| (*c, *s)).collect();
+            let config = sampler.suggest(space, &obs_refs);
+            let id = history.len() as u64;
+            let outcome = evaluator.evaluate(id, &config, budget);
+            history.push(TrialRecord {
+                id,
+                config,
+                budget,
+                outcome,
+            });
+        }
+        history
+    }
+}
+
+/// HyperBand: several successive-halving brackets that trade off
+/// exploration (many configs, small budgets) against exploitation (few
+/// configs, large budgets). With a TPE sampler this is BOHB, the paper's
+/// default strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperBand {
+    config: SchedulerConfig,
+}
+
+impl HyperBand {
+    /// Creates a HyperBand scheduler.
+    #[must_use]
+    pub fn new(config: SchedulerConfig) -> Self {
+        HyperBand { config }
+    }
+
+    /// Number of brackets this configuration produces.
+    #[must_use]
+    pub fn brackets(&self) -> u32 {
+        (f64::from(self.config.max_iteration).ln() / self.config.eta.ln()).floor() as u32 + 1
+    }
+
+    /// Runs all brackets and returns the combined history.
+    pub fn run(
+        &self,
+        sampler: &mut dyn Sampler,
+        space: &SearchSpace,
+        policy: &BudgetPolicy,
+        evaluator: &mut dyn Evaluate,
+    ) -> History {
+        let mut history = History::new();
+        let sha = SuccessiveHalving::new(self.config);
+        let s_max = self.brackets() - 1;
+        for s in (0..=s_max).rev() {
+            // Aggressive brackets start many configs at a low budget;
+            // later brackets start fewer configs higher up the ladder.
+            let n = ((self.config.initial_configs as f64 * self.config.eta.powi(s as i32))
+                / f64::from(s_max + 1))
+            .ceil()
+            .max(1.0) as usize;
+            let start = (f64::from(self.config.max_iteration) / self.config.eta.powi(s as i32))
+                .floor()
+                .max(1.0) as u32;
+            sha.run_bracket(sampler, space, policy, evaluator, &mut history, n, start);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{RandomSampler, TpeSampler};
+    use crate::space::Domain;
+    use edgetune_util::rng::SeedStream;
+    use edgetune_util::units::{Joules, Seconds};
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().with("x", Domain::float(0.0, 1.0))
+    }
+
+    /// Synthetic trial: true quality is |x − 0.42|; low budgets observe a
+    /// noisy version, runtime is proportional to effective epochs.
+    fn evaluator() -> impl FnMut(u64, &Config, TrialBudget) -> TrialOutcome {
+        move |id, config, budget| {
+            let x = config.get("x").unwrap();
+            let truth = (x - 0.42).abs();
+            let fidelity = (budget.effective_epochs() / 10.0).min(1.0);
+            // Deterministic pseudo-noise that shrinks with budget.
+            let wobble = ((id as f64 * 0.77).sin() * 0.2) * (1.0 - fidelity);
+            let score = truth + wobble.abs();
+            let runtime = Seconds::new(budget.effective_epochs() * 10.0);
+            TrialOutcome::new(
+                score,
+                1.0 - truth,
+                runtime,
+                Joules::new(runtime.value() * 5.0),
+            )
+        }
+    }
+
+    #[test]
+    fn sha_matches_the_papers_running_example() {
+        // §2.2: minimum 1 epoch, maximum 16, η = 2: "16 trials initialized
+        // on the minimal budget ... 8 trials with 2 epochs, then 4 trials
+        // with 4 epochs, 2 trials with 8 epochs and a final iteration
+        // containing only one trial with 16 epochs."
+        let sha = SuccessiveHalving::new(SchedulerConfig::paper_example());
+        let mut sampler = RandomSampler::new(SeedStream::new(1));
+        let policy = BudgetPolicy::Epoch {
+            epochs_per_iteration: 1.0,
+            max_epochs: 16.0,
+        };
+        let mut eval = evaluator();
+        let history = sha.run(&mut sampler, &space(), &policy, &mut eval);
+        // 16 + 8 + 4 + 2 + 1 = 31 evaluations.
+        assert_eq!(history.len(), 31);
+        let at_level = |epochs: f64| {
+            history
+                .records()
+                .iter()
+                .filter(|r| (r.budget.epochs - epochs).abs() < 1e-9)
+                .count()
+        };
+        assert_eq!(at_level(1.0), 16);
+        assert_eq!(at_level(2.0), 8);
+        assert_eq!(at_level(4.0), 4);
+        assert_eq!(at_level(8.0), 2);
+        assert_eq!(at_level(16.0), 1);
+    }
+
+    #[test]
+    fn sha_promotes_good_configurations() {
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(16, 2.0, 4));
+        let mut sampler = RandomSampler::new(SeedStream::new(2));
+        let policy = BudgetPolicy::multi_default();
+        let mut eval = evaluator();
+        let history = sha.run(&mut sampler, &space(), &policy, &mut eval);
+        // The finalist (highest budget) should be nearer the optimum than
+        // the average rung-0 config.
+        let max_budget = history
+            .records()
+            .iter()
+            .map(|r| r.budget.effective_epochs())
+            .fold(0.0f64, f64::max);
+        let finalist = history
+            .records()
+            .iter()
+            .filter(|r| r.budget.effective_epochs() == max_budget)
+            .map(|r| (r.config.get("x").unwrap() - 0.42).abs())
+            .fold(f64::INFINITY, f64::min);
+        let rung0: Vec<f64> = history
+            .records()
+            .iter()
+            .filter(|r| r.budget.effective_epochs() < max_budget)
+            .map(|r| (r.config.get("x").unwrap() - 0.42).abs())
+            .collect();
+        let rung0_mean = rung0.iter().sum::<f64>() / rung0.len() as f64;
+        assert!(
+            finalist <= rung0_mean,
+            "finalist ({finalist}) should beat the cohort mean ({rung0_mean})"
+        );
+    }
+
+    #[test]
+    fn sha_single_config_runs_once() {
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(1, 2.0, 5));
+        let mut sampler = RandomSampler::new(SeedStream::new(3));
+        let mut eval = evaluator();
+        let history = sha.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::epoch_default(),
+            &mut eval,
+        );
+        assert_eq!(history.len(), 1, "a single config cannot be halved");
+    }
+
+    #[test]
+    fn hyperband_runs_multiple_brackets() {
+        let hb = HyperBand::new(SchedulerConfig::new(8, 2.0, 8));
+        assert_eq!(hb.brackets(), 4);
+        let mut sampler = RandomSampler::new(SeedStream::new(4));
+        let mut eval = evaluator();
+        let history = hb.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::multi_default(),
+            &mut eval,
+        );
+        assert!(
+            history.len() > 8,
+            "multiple brackets evaluate more than one cohort"
+        );
+        // The most exploratory bracket starts at iteration level 1.
+        assert!(history
+            .records()
+            .iter()
+            .any(|r| (r.budget.effective_epochs()
+                - BudgetPolicy::multi_default().budget(1).effective_epochs())
+            .abs()
+                < 1e-9));
+        assert!(history.best().is_some());
+    }
+
+    #[test]
+    fn bohb_converges_to_the_optimum_region() {
+        // TPE + HyperBand = BOHB; it should end up close to x = 0.42.
+        let hb = HyperBand::new(SchedulerConfig::new(12, 2.0, 8));
+        let mut sampler = TpeSampler::new(SeedStream::new(5));
+        let mut eval = evaluator();
+        let history = hb.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::multi_default(),
+            &mut eval,
+        );
+        let best = history.best().unwrap();
+        let err = (best.config.get("x").unwrap() - 0.42).abs();
+        assert!(err < 0.15, "best x should be near optimum: err={err}");
+    }
+
+    #[test]
+    fn multi_budget_costs_less_than_epoch_budget_at_equal_schedule() {
+        // The headline property of §4.3: the same scheduler spends less
+        // trial runtime under multi-budget while still ranking configs.
+        let sha = SuccessiveHalving::new(SchedulerConfig::paper_example());
+        let run = |policy: BudgetPolicy| {
+            let mut sampler = RandomSampler::new(SeedStream::new(6));
+            let mut eval = evaluator();
+            let h = sha.run(&mut sampler, &space(), &policy, &mut eval);
+            h.total_runtime()
+        };
+        let epoch_time = run(BudgetPolicy::epoch_default());
+        let multi_time = run(BudgetPolicy::multi_default());
+        assert!(
+            multi_time.value() < epoch_time.value(),
+            "multi-budget should be cheaper: {multi_time} vs {epoch_time}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction factor")]
+    fn scheduler_config_rejects_eta_one() {
+        let _ = SchedulerConfig::new(4, 1.0, 4);
+    }
+
+    #[test]
+    fn fixed_budget_evaluates_every_trial_at_the_same_level() {
+        let fixed = FixedBudgetSearch::new(12, 8);
+        let mut sampler = RandomSampler::new(SeedStream::new(9));
+        let mut eval = evaluator();
+        let policy = BudgetPolicy::multi_default();
+        let history = fixed.run(&mut sampler, &space(), &policy, &mut eval);
+        assert_eq!(history.len(), 12);
+        let expected = policy.budget(8);
+        for r in history.records() {
+            assert_eq!(r.budget, expected);
+        }
+    }
+
+    #[test]
+    fn multi_fidelity_is_cheaper_than_fixed_budget_at_equal_quality() {
+        // §2.2's motivation for multi-fidelity budgets: the same number
+        // of explored configurations costs much less because unpromising
+        // ones never see the full budget.
+        let policy = BudgetPolicy::multi_default();
+        let mut sha_sampler = RandomSampler::new(SeedStream::new(10));
+        let mut eval1 = evaluator();
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(16, 2.0, 8)).run(
+            &mut sha_sampler,
+            &space(),
+            &policy,
+            &mut eval1,
+        );
+        let mut fixed_sampler = RandomSampler::new(SeedStream::new(10));
+        let mut eval2 = evaluator();
+        let fixed =
+            FixedBudgetSearch::new(16, 8).run(&mut fixed_sampler, &space(), &policy, &mut eval2);
+        assert!(
+            sha.total_runtime().value() < fixed.total_runtime().value(),
+            "SHA {} should be cheaper than fixed {}",
+            sha.total_runtime(),
+            fixed.total_runtime()
+        );
+        // And the quality of the final answer is comparable.
+        let sha_best = sha.winner().unwrap().outcome.accuracy;
+        let fixed_best = fixed.winner().unwrap().outcome.accuracy;
+        assert!(sha_best >= fixed_best - 0.1, "{sha_best} vs {fixed_best}");
+    }
+}

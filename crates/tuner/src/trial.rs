@@ -1,0 +1,282 @@
+//! Trial records and tuning history.
+
+use edgetune_util::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::budget::TrialBudget;
+use crate::space::Config;
+
+/// What a trial evaluation reports back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Scheduler score — **lower is better** (objective functions convert
+    /// maximisation into minimisation).
+    pub score: f64,
+    /// Model accuracy reached by the trial.
+    pub accuracy: f64,
+    /// Wall-clock time the trial consumed.
+    pub runtime: Seconds,
+    /// Energy the trial consumed.
+    pub energy: Joules,
+}
+
+impl TrialOutcome {
+    /// Creates an outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is NaN (infinite scores are allowed: they mark
+    /// failed/infeasible trials).
+    #[must_use]
+    pub fn new(score: f64, accuracy: f64, runtime: Seconds, energy: Joules) -> Self {
+        assert!(!score.is_nan(), "trial score must not be NaN");
+        TrialOutcome {
+            score,
+            accuracy,
+            runtime,
+            energy,
+        }
+    }
+}
+
+/// One completed trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Sequential trial identifier (order of completion).
+    pub id: u64,
+    /// The evaluated configuration.
+    pub config: Config,
+    /// The budget the trial ran under.
+    pub budget: TrialBudget,
+    /// The observed outcome.
+    pub outcome: TrialOutcome,
+}
+
+/// An append-only log of completed trials.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<TrialRecord>,
+}
+
+impl History {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TrialRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in completion order.
+    #[must_use]
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Number of completed trials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no trials have completed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with the lowest score across the whole history.
+    ///
+    /// Beware: raw scores are only comparable *within* one budget level
+    /// (a 2-epoch trial trivially has a lower time×accuracy ratio than a
+    /// converged one); use [`History::winner`] for the tuning job's
+    /// output.
+    #[must_use]
+    pub fn best(&self) -> Option<&TrialRecord> {
+        self.records.iter().min_by(|a, b| {
+            a.outcome
+                .score
+                .partial_cmp(&b.outcome.score)
+                .expect("scores are not NaN by construction")
+        })
+    }
+
+    /// The *winning trial*: the best-scoring record among those evaluated
+    /// at the highest budget reached — the final-rung winner a
+    /// successive-halving tuner outputs to the user.
+    #[must_use]
+    pub fn winner(&self) -> Option<&TrialRecord> {
+        let max_budget = self
+            .records
+            .iter()
+            .map(|r| r.budget.effective_epochs())
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.records
+            .iter()
+            .filter(|r| r.budget.effective_epochs() >= max_budget - 1e-9)
+            .min_by(|a, b| {
+                a.outcome
+                    .score
+                    .partial_cmp(&b.outcome.score)
+                    .expect("scores are not NaN by construction")
+            })
+    }
+
+    /// Total wall-clock time across all trials — the *tuning duration* the
+    /// paper's figures report (trials run sequentially on the testbed).
+    #[must_use]
+    pub fn total_runtime(&self) -> Seconds {
+        self.records.iter().map(|r| r.outcome.runtime).sum()
+    }
+
+    /// Total energy across all trials — the *tuning energy* of the
+    /// figures.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.records.iter().map(|r| r.outcome.energy).sum()
+    }
+
+    /// `(config, score)` observations for model-based samplers, highest
+    /// budget first so the sampler models the most faithful evidence.
+    #[must_use]
+    pub fn observations(&self) -> Vec<(&Config, f64)> {
+        let mut obs: Vec<&TrialRecord> = self.records.iter().collect();
+        obs.sort_by(|a, b| {
+            b.budget
+                .effective_epochs()
+                .partial_cmp(&a.budget.effective_epochs())
+                .expect("budgets are finite")
+        });
+        obs.into_iter()
+            .map(|r| (&r.config, r.outcome.score))
+            .collect()
+    }
+
+    /// First trial id (completion index) at which accuracy reached
+    /// `target`, if ever — convergence speed in Fig. 12.
+    #[must_use]
+    pub fn first_reaching_accuracy(&self, target: f64) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.outcome.accuracy >= target)
+            .map(|r| r.id)
+    }
+}
+
+impl Extend<TrialRecord> for History {
+    fn extend<T: IntoIterator<Item = TrialRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, score: f64, accuracy: f64, runtime: f64, energy: f64) -> TrialRecord {
+        TrialRecord {
+            id,
+            config: Config::new().with("x", id as f64),
+            budget: TrialBudget::new(id as f64 + 1.0, 1.0),
+            outcome: TrialOutcome::new(score, accuracy, Seconds::new(runtime), Joules::new(energy)),
+        }
+    }
+
+    #[test]
+    fn best_is_lowest_score() {
+        let mut h = History::new();
+        h.push(record(0, 5.0, 0.5, 10.0, 100.0));
+        h.push(record(1, 2.0, 0.8, 10.0, 100.0));
+        h.push(record(2, 9.0, 0.9, 10.0, 100.0));
+        assert_eq!(h.best().unwrap().id, 1);
+    }
+
+    #[test]
+    fn winner_only_considers_the_top_budget() {
+        let mut h = History::new();
+        // record() gives trial `id` a budget of `id + 1` epochs, so the
+        // later trials ran at higher budgets.
+        h.push(record(0, 0.1, 0.2, 1.0, 1.0)); // cheap rung, tiny score
+        h.push(record(1, 5.0, 0.7, 10.0, 10.0));
+        h.push(record(2, 7.0, 0.9, 20.0, 20.0)); // top budget, higher raw score
+        assert_eq!(h.best().unwrap().id, 0, "raw best is the cheap trial");
+        assert_eq!(h.winner().unwrap().id, 2, "winner comes from the top rung");
+        assert!(History::new().winner().is_none());
+    }
+
+    #[test]
+    fn winner_picks_lowest_score_within_the_top_rung() {
+        let mut h = History::new();
+        let mut top = |id: u64, score: f64| {
+            let mut r = record(id, score, 0.8, 1.0, 1.0);
+            r.budget = TrialBudget::new(10.0, 1.0);
+            h.push(r);
+        };
+        top(0, 3.0);
+        top(1, 1.0);
+        top(2, 2.0);
+        assert_eq!(h.winner().unwrap().id, 1);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut h = History::new();
+        h.push(record(0, 1.0, 0.5, 10.0, 100.0));
+        h.push(record(1, 1.0, 0.5, 20.0, 300.0));
+        assert_eq!(h.total_runtime(), Seconds::new(30.0));
+        assert_eq!(h.total_energy(), Joules::new(400.0));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn observations_sorted_by_budget_desc() {
+        let mut h = History::new();
+        h.push(record(0, 1.0, 0.5, 1.0, 1.0)); // budget 1 epoch
+        h.push(record(3, 2.0, 0.5, 1.0, 1.0)); // budget 4 epochs
+        h.push(record(1, 3.0, 0.5, 1.0, 1.0)); // budget 2 epochs
+        let obs = h.observations();
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].1, 2.0, "highest budget first");
+    }
+
+    #[test]
+    fn first_reaching_accuracy_finds_earliest() {
+        let mut h = History::new();
+        h.push(record(0, 1.0, 0.3, 1.0, 1.0));
+        h.push(record(1, 1.0, 0.85, 1.0, 1.0));
+        h.push(record(2, 1.0, 0.9, 1.0, 1.0));
+        assert_eq!(h.first_reaching_accuracy(0.8), Some(1));
+        assert_eq!(h.first_reaching_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert!(h.best().is_none());
+        assert_eq!(h.total_runtime(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn infinite_score_marks_failed_trials_but_nan_is_rejected() {
+        let r = TrialOutcome::new(f64::INFINITY, 0.0, Seconds::ZERO, Joules::ZERO);
+        assert!(r.score.is_infinite());
+        let caught = std::panic::catch_unwind(|| {
+            TrialOutcome::new(f64::NAN, 0.0, Seconds::ZERO, Joules::ZERO)
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut h = History::new();
+        h.extend(vec![
+            record(0, 1.0, 0.1, 1.0, 1.0),
+            record(1, 2.0, 0.2, 1.0, 1.0),
+        ]);
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests over the sampler/space machinery: whatever the
+//! space and the observed history look like, every sampler must produce
+//! in-domain suggestions.
+
+use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+use edgetune_tuner::space::{Config, Domain, SearchSpace};
+use edgetune_util::rng::SeedStream;
+use proptest::prelude::*;
+
+/// A random (but always valid) search space.
+fn space_strategy() -> impl Strategy<Value = SearchSpace> {
+    let int = (1i64..50, 1i64..200).prop_map(|(lo, w)| Domain::int(lo, lo + w));
+    let int_log = (1i64..8, 4i64..1024).prop_map(|(lo, w)| Domain::int_log(lo, lo + w));
+    let float = (-100.0f64..100.0, 0.1f64..200.0).prop_map(|(lo, w)| Domain::float(lo, lo + w));
+    let float_log =
+        (0.001f64..1.0, 1.5f64..1000.0).prop_map(|(lo, f)| Domain::float_log(lo, lo * f));
+    let choice = prop::collection::vec(-50.0f64..50.0, 1..6).prop_map(Domain::choice);
+    let domain = prop_oneof![int, int_log, float, float_log, choice];
+    prop::collection::vec(domain, 1..5).prop_map(|domains| {
+        let mut space = SearchSpace::new();
+        for (i, d) in domains.into_iter().enumerate() {
+            space = space.with(format!("p{i}"), d);
+        }
+        space
+    })
+}
+
+/// A pseudo-score for a config: smooth, deterministic.
+fn score(config: &Config) -> f64 {
+    config
+        .keys()
+        .map(|k| config.get(k).expect("key exists").abs().sqrt())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_sampler_stays_in_domain(space in space_strategy(), seed in 0u64..10_000) {
+        let mut samplers: Vec<Box<dyn Sampler>> = vec![
+            Box::new(GridSampler::new(4)),
+            Box::new(RandomSampler::new(SeedStream::new(seed))),
+            Box::new(TpeSampler::new(SeedStream::new(seed))),
+        ];
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        for round in 0..12 {
+            for sampler in &mut samplers {
+                let obs: Vec<(&Config, f64)> =
+                    history.iter().map(|(c, s)| (c, *s)).collect();
+                let suggestion = sampler.suggest(&space, &obs);
+                prop_assert!(
+                    space.validate(&suggestion).is_ok(),
+                    "round {round}: {} produced out-of-domain {suggestion}",
+                    sampler.name()
+                );
+                let s = score(&suggestion);
+                history.push((suggestion, s));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_is_exhaustive_and_in_domain(space in space_strategy()) {
+        let grid = space.grid(3);
+        prop_assert!(!grid.is_empty());
+        for config in &grid {
+            prop_assert!(space.validate(config).is_ok(), "{config}");
+        }
+        // No duplicates in the grid.
+        let mut keys: Vec<String> = grid.iter().map(Config::key).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len(), "grid must not repeat configurations");
+    }
+
+    #[test]
+    fn tpe_handles_degenerate_histories(
+        space in space_strategy(),
+        seed in 0u64..10_000,
+        constant_score in -10.0f64..10.0,
+    ) {
+        // All-identical scores give the good/bad split no signal; the
+        // sampler must still produce valid suggestions.
+        let mut sampler = TpeSampler::new(SeedStream::new(seed));
+        let mut rng = SeedStream::new(seed).rng("degenerate");
+        let configs: Vec<Config> = (0..16).map(|_| space.sample(&mut rng)).collect();
+        let obs: Vec<(&Config, f64)> = configs.iter().map(|c| (c, constant_score)).collect();
+        let suggestion = sampler.suggest(&space, &obs);
+        prop_assert!(space.validate(&suggestion).is_ok(), "{suggestion}");
+    }
+}

@@ -1,0 +1,442 @@
+//! Learning-curve simulation.
+//!
+//! The tuning algorithms only ever observe the *accuracy* a trial reaches
+//! given its budget; this module produces that observation. The curve is a
+//! saturating exponential in effective epochs,
+//!
+//! ```text
+//! acc = a_max(hp) · (1 − exp(−rate(hp) · epochs · q(batch, lr))) · frac^γ + ε
+//! ```
+//!
+//! whose three factors encode the phenomena the paper's budget study
+//! (Figs. 11–13) relies on:
+//!
+//! * `a_max`/`rate` depend on the architecture hyperparameter — deeper
+//!   ResNets reach higher asymptotes but converge more slowly,
+//! * the *data-fraction cap* `frac^γ` (γ ≈ 0.35) makes dataset-only
+//!   budgets plateau around 40–50% of the asymptote, the Fig. 12b
+//!   behaviour,
+//! * the batch/learning-rate quality factor `q` penalises extreme batch
+//!   sizes, so batch 1024 needs more epochs to a target accuracy
+//!   (Fig. 3a),
+//! * `ε` is small seeded noise, reproducible per (workload, config).
+
+use edgetune_util::rng::{sample_normal, SeedStream};
+use serde::{Deserialize, Serialize};
+
+/// Exponent of the data-fraction accuracy cap (`frac^γ`).
+const FRACTION_CAP_EXPONENT: f64 = 0.35;
+/// Standard deviation of the per-trial accuracy noise.
+const NOISE_SIGMA: f64 = 0.010;
+/// Batch size at which the convergence-quality factor peaks.
+const OPTIMAL_BATCH: f64 = 96.0;
+/// Log-width of the batch-quality bell.
+const BATCH_QUALITY_WIDTH: f64 = 1.55; // ≈ ln(4.7)
+/// Learning rate at which the quality factor peaks.
+const OPTIMAL_LR: f64 = 0.1;
+/// Log-width of the learning-rate-quality bell.
+const LR_QUALITY_WIDTH: f64 = 1.35;
+
+/// Training-method quality of a trial: how well its batch size (and
+/// optionally learning rate) convert epochs into learning progress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingQuality {
+    /// Mini-batch size of the trial.
+    pub batch: u32,
+    /// Learning rate, if it is part of the search space.
+    pub learning_rate: Option<f64>,
+}
+
+impl TrainingQuality {
+    /// Quality of a batch-size-only configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn from_batch(batch: u32) -> Self {
+        assert!(batch >= 1, "batch must be >= 1");
+        TrainingQuality {
+            batch,
+            learning_rate: None,
+        }
+    }
+
+    /// Adds a learning rate to the quality model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be > 0");
+        self.learning_rate = Some(lr);
+        self
+    }
+
+    /// The multiplicative epoch-effectiveness factor in `(0, 1]`.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        let b = f64::from(self.batch.max(1));
+        let batch_term = log_bell(b, OPTIMAL_BATCH, BATCH_QUALITY_WIDTH);
+        let lr_term = self
+            .learning_rate
+            .map_or(1.0, |lr| log_bell(lr, OPTIMAL_LR, LR_QUALITY_WIDTH));
+        batch_term * lr_term
+    }
+}
+
+/// Gaussian bell in log space, peaking at `opt` with log-width `width`.
+fn log_bell(value: f64, opt: f64, width: f64) -> f64 {
+    let z = (value / opt).ln() / width;
+    (-0.5 * z * z).exp()
+}
+
+/// Which analytic accuracy family a workload follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum CurveKind {
+    Resnet,
+    M5,
+    Rnn,
+    Yolo,
+}
+
+/// A calibrated learning curve for one workload family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    kind: CurveKind,
+}
+
+impl LearningCurve {
+    /// ResNet / CIFAR10.
+    #[must_use]
+    pub fn image_classification() -> Self {
+        LearningCurve {
+            kind: CurveKind::Resnet,
+        }
+    }
+
+    /// M5 / Speech Commands.
+    #[must_use]
+    pub fn speech_recognition() -> Self {
+        LearningCurve {
+            kind: CurveKind::M5,
+        }
+    }
+
+    /// RNN / AG News.
+    #[must_use]
+    pub fn natural_language_processing() -> Self {
+        LearningCurve {
+            kind: CurveKind::Rnn,
+        }
+    }
+
+    /// YOLO / COCO (accuracy plays the role of mAP).
+    #[must_use]
+    pub fn object_detection() -> Self {
+        LearningCurve {
+            kind: CurveKind::Yolo,
+        }
+    }
+
+    /// `(a_max, rate)` of the saturating exponential for a model
+    /// hyperparameter value.
+    fn asymptote_and_rate(&self, model_hp: f64) -> (f64, f64) {
+        match self.kind {
+            CurveKind::Resnet => {
+                // Deeper: higher ceiling, slower convergence (but the
+                // deeper nets overtake within ~12-16 well-tuned epochs).
+                if model_hp < 26.0 {
+                    (0.90, 0.35)
+                } else if model_hp < 42.0 {
+                    (0.92, 0.30)
+                } else {
+                    (0.93, 0.28)
+                }
+            }
+            CurveKind::M5 => {
+                if model_hp < 48.0 {
+                    (0.82, 0.40)
+                } else if model_hp < 96.0 {
+                    (0.86, 0.32)
+                } else {
+                    (0.88, 0.26)
+                }
+            }
+            CurveKind::Rnn => {
+                // Larger stride discards sequence information.
+                let s = model_hp.max(1.0);
+                let log_s = s.log2();
+                let a_max = (0.90 - 0.008 * log_s * log_s).max(0.55);
+                let rate = 0.30 * (1.0 + 0.10 * log_s);
+                (a_max, rate)
+            }
+            CurveKind::Yolo => {
+                // Dropout has an interior optimum at 0.3.
+                let d = model_hp.clamp(0.0, 0.9);
+                let a_max = 0.56 - 0.5 * (d - 0.3) * (d - 0.3);
+                (a_max, 0.12)
+            }
+        }
+    }
+
+    /// Simulated validation accuracy (see module docs for the formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is negative or `data_fraction` is outside
+    /// `(0, 1]`.
+    #[must_use]
+    pub fn accuracy(
+        &self,
+        model_hp: f64,
+        quality: &TrainingQuality,
+        epochs: f64,
+        data_fraction: f64,
+        seed: SeedStream,
+    ) -> f64 {
+        assert!(epochs >= 0.0, "epochs must be non-negative");
+        assert!(
+            data_fraction > 0.0 && data_fraction <= 1.0,
+            "data fraction must be in (0,1], got {data_fraction}"
+        );
+        let (a_max, rate) = self.asymptote_and_rate(model_hp);
+        let effective = epochs * quality.factor();
+        let progress = 1.0 - (-rate * effective).exp();
+        let cap = data_fraction.powf(FRACTION_CAP_EXPONENT);
+        let key = format!(
+            "{:?}|hp{model_hp}|b{}|e{epochs:.3}|f{data_fraction:.4}",
+            self.kind, quality.batch
+        );
+        let mut rng = seed.child("accuracy-noise").rng(&key);
+        let noise = sample_normal(&mut rng, 0.0, NOISE_SIGMA);
+        (a_max * progress * cap + noise).clamp(0.02, 0.99)
+    }
+
+    /// The full per-epoch validation-accuracy trajectory of a training
+    /// run (`epochs` integer points), as a monitoring dashboard or a
+    /// median-stopping rule would observe it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero or `data_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn accuracy_trajectory(
+        &self,
+        model_hp: f64,
+        quality: &TrainingQuality,
+        epochs: u32,
+        data_fraction: f64,
+        seed: SeedStream,
+    ) -> Vec<f64> {
+        assert!(epochs >= 1, "need at least one epoch");
+        (1..=epochs)
+            .map(|e| self.accuracy(model_hp, quality, f64::from(e), data_fraction, seed))
+            .collect()
+    }
+
+    /// Inverse of the (noise-free) curve: epochs needed to reach
+    /// `target` accuracy, or `None` when the configuration can never get
+    /// there (asymptote × data cap below target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is outside `(0, 1)` or `data_fraction` outside
+    /// `(0, 1]`.
+    #[must_use]
+    pub fn epochs_to_accuracy(
+        &self,
+        model_hp: f64,
+        quality: &TrainingQuality,
+        data_fraction: f64,
+        target: f64,
+    ) -> Option<f64> {
+        assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
+        assert!(
+            data_fraction > 0.0 && data_fraction <= 1.0,
+            "data fraction must be in (0,1]"
+        );
+        let (a_max, rate) = self.asymptote_and_rate(model_hp);
+        let ceiling = a_max * data_fraction.powf(FRACTION_CAP_EXPONENT);
+        if target >= ceiling {
+            return None;
+        }
+        let progress = target / ceiling;
+        let effective = -(1.0 - progress).ln() / rate;
+        Some(effective / quality.factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> SeedStream {
+        SeedStream::new(123)
+    }
+
+    fn q(batch: u32) -> TrainingQuality {
+        TrainingQuality::from_batch(batch)
+    }
+
+    #[test]
+    fn accuracy_increases_with_epochs_up_to_noise() {
+        let c = LearningCurve::image_classification();
+        let a2 = c.accuracy(18.0, &q(128), 2.0, 1.0, seed());
+        let a10 = c.accuracy(18.0, &q(128), 10.0, 1.0, seed());
+        let a30 = c.accuracy(18.0, &q(128), 30.0, 1.0, seed());
+        assert!(a10 > a2);
+        assert!(
+            a30 >= a10 - 0.03,
+            "saturation may flatten but not drop: {a10} vs {a30}"
+        );
+    }
+
+    #[test]
+    fn resnet18_reaches_target_80_with_enough_epochs() {
+        // The paper tunes IC to ≥80% accuracy (§2.3).
+        let c = LearningCurve::image_classification();
+        let acc = c.accuracy(18.0, &q(128), 20.0, 1.0, seed());
+        assert!(acc > 0.8, "acc={acc}");
+    }
+
+    #[test]
+    fn dataset_fraction_caps_accuracy_like_fig12b() {
+        let c = LearningCurve::image_classification();
+        // Fully converged on 10% of the data: plateau well below target.
+        let acc = c.accuracy(18.0, &q(128), 100.0, 0.1, seed());
+        assert!(
+            (0.25..=0.50).contains(&acc),
+            "10% data should cap near 40%: {acc}"
+        );
+    }
+
+    #[test]
+    fn deeper_resnet_higher_ceiling_slower_convergence() {
+        let c = LearningCurve::image_classification();
+        let early18 = c.accuracy(18.0, &q(128), 3.0, 1.0, seed());
+        let early50 = c.accuracy(50.0, &q(128), 3.0, 1.0, seed());
+        assert!(
+            early18 > early50,
+            "shallow converges faster: {early18} vs {early50}"
+        );
+        let late18 = c.accuracy(18.0, &q(128), 60.0, 1.0, seed());
+        let late50 = c.accuracy(50.0, &q(128), 60.0, 1.0, seed());
+        assert!(
+            late50 > late18 - 0.02,
+            "deep catches up: {late18} vs {late50}"
+        );
+    }
+
+    #[test]
+    fn batch_quality_peaks_mid_range() {
+        let q32 = q(32).factor();
+        let q96 = q(96).factor();
+        let q1024 = q(1024).factor();
+        assert!(q96 > q32);
+        assert!(q96 > q1024);
+        assert!(
+            q1024 < 0.5,
+            "batch 1024 should significantly slow convergence: {q1024}"
+        );
+        assert!(q96 > 0.99);
+    }
+
+    #[test]
+    fn learning_rate_quality_peaks_at_point_one() {
+        let base = q(96);
+        let good = base.with_learning_rate(0.1).factor();
+        let high = base.with_learning_rate(3.0).factor();
+        let low = base.with_learning_rate(1e-4).factor();
+        assert!(good > high && good > low);
+    }
+
+    #[test]
+    fn yolo_dropout_optimum_is_interior() {
+        let c = LearningCurve::object_detection();
+        let a1 = c.accuracy(0.1, &q(64), 40.0, 1.0, seed());
+        let a3 = c.accuracy(0.3, &q(64), 40.0, 1.0, seed());
+        let a5 = c.accuracy(0.5, &q(64), 40.0, 1.0, seed());
+        assert!(a3 > a1 && a3 > a5, "dropout 0.3 should win: {a1} {a3} {a5}");
+    }
+
+    #[test]
+    fn rnn_stride_trades_accuracy() {
+        let c = LearningCurve::natural_language_processing();
+        let s1 = c.accuracy(1.0, &q(64), 40.0, 1.0, seed());
+        let s32 = c.accuracy(32.0, &q(64), 40.0, 1.0, seed());
+        assert!(s1 > s32, "stride 32 loses information: {s1} vs {s32}");
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_config_dependent() {
+        let c = LearningCurve::speech_recognition();
+        let a = c.accuracy(64.0, &q(64), 5.0, 0.5, seed());
+        let b = c.accuracy(64.0, &q(64), 5.0, 0.5, seed());
+        assert_eq!(a, b, "same seed and config must reproduce exactly");
+        let other = c.accuracy(64.0, &q(64), 5.0, 0.5, SeedStream::new(124));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn accuracy_stays_in_bounds() {
+        let c = LearningCurve::image_classification();
+        for epochs in [0.0, 1.0, 1000.0] {
+            for frac in [0.01, 0.5, 1.0] {
+                let a = c.accuracy(50.0, &q(1), epochs, frac, seed());
+                assert!((0.0..=1.0).contains(&a), "acc={a}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data fraction")]
+    fn rejects_zero_fraction() {
+        let c = LearningCurve::image_classification();
+        let _ = c.accuracy(18.0, &q(32), 1.0, 0.0, seed());
+    }
+
+    #[test]
+    fn trajectory_is_monotone_and_ends_at_the_final_accuracy() {
+        let c = LearningCurve::image_classification();
+        let quality = q(128);
+        let traj = c.accuracy_trajectory(18.0, &quality, 20, 1.0, seed());
+        assert_eq!(traj.len(), 20);
+        for w in traj.windows(2) {
+            assert!(w[1] >= w[0] - 0.04, "trajectory must not collapse: {w:?}");
+        }
+        let final_acc = c.accuracy(18.0, &quality, 20.0, 1.0, seed());
+        assert_eq!(*traj.last().unwrap(), final_acc);
+    }
+
+    #[test]
+    fn epochs_to_accuracy_inverts_the_curve() {
+        let c = LearningCurve::image_classification();
+        let quality = q(128);
+        let epochs = c.epochs_to_accuracy(18.0, &quality, 1.0, 0.8).unwrap();
+        // Running that many epochs should land at the target (± noise).
+        let acc = c.accuracy(18.0, &quality, epochs, 1.0, seed());
+        assert!((acc - 0.8).abs() < 0.05, "epochs={epochs}, acc={acc}");
+    }
+
+    #[test]
+    fn unreachable_targets_are_none() {
+        let c = LearningCurve::image_classification();
+        // 10% of the data caps far below 80%.
+        assert!(c.epochs_to_accuracy(18.0, &q(128), 0.1, 0.8).is_none());
+        // 99% accuracy is above the asymptote.
+        assert!(c.epochs_to_accuracy(18.0, &q(128), 1.0, 0.95).is_none());
+    }
+
+    #[test]
+    fn large_batches_need_more_epochs_to_target() {
+        let c = LearningCurve::image_classification();
+        let e256 = c.epochs_to_accuracy(18.0, &q(256), 1.0, 0.8).unwrap();
+        let e1024 = c.epochs_to_accuracy(18.0, &q(1024), 1.0, 0.8).unwrap();
+        assert!(
+            e1024 > e256 * 1.5,
+            "batch 1024 converges slower: {e256} vs {e1024}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! The four evaluation workloads of the EdgeTune paper (Table 1).
+//!
+//! | ID  | Task                        | Model  | Dataset         | Tuned model hyperparameter |
+//! |-----|-----------------------------|--------|-----------------|----------------------------|
+//! | IC  | Image classification       | ResNet | CIFAR10         | number of layers {18,34,50} |
+//! | SR  | Speech recognition         | M5     | SpeechCommands  | embedding dim {32,64,128}  |
+//! | NLP | Natural language processing| RNN    | AG News         | stride 1..32               |
+//! | OD  | Object detection           | YOLO   | COCO            | dropout 0.1..0.5           |
+//!
+//! Real PyTorch training of these models is out of scope offline, so each
+//! workload is represented by two calibrated models the tuning stack
+//! consumes instead of a framework:
+//!
+//! * a **cost model** ([`Workload::profile`]): per-sample FLOPs, activation
+//!   traffic and parameter bytes as a function of the tuned model
+//!   hyperparameter — fed to `edgetune-device` for latency/energy,
+//! * a **learning-curve model** ([`Workload::simulated_accuracy`]):
+//!   accuracy as a saturating function of effective epochs, with a
+//!   data-fraction cap and batch-size quality factor, plus seeded noise —
+//!   reproducing the training dynamics the budget policies exploit
+//!   (Figs. 11-13).
+
+pub mod catalog;
+pub mod curve;
+
+pub use catalog::{DatasetSpec, Workload, WorkloadId};
+pub use curve::TrainingQuality;

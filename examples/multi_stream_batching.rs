@@ -1,0 +1,60 @@
+//! The Batching component's two serving scenarios (paper §3.4, Fig. 8):
+//!
+//! * a **server** receiving queries of N samples at a fixed frequency —
+//!   how should each query be split into sub-batches?
+//! * a **multi-stream** of single-sample queries arriving as a Poisson
+//!   process — up to which size should samples be aggregated?
+//!
+//! Run with: `cargo run --release --example multi_stream_batching`
+
+use edgetune::batching::{MultiStreamScenario, ServerScenario};
+use edgetune_device::latency::CpuAllocation;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::Seconds;
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::WorkloadId;
+
+fn main() {
+    let device = DeviceSpec::raspberry_pi_3b();
+    let alloc = CpuAllocation::full(&device);
+    let profile = Workload::by_id(WorkloadId::Ic).profile(18.0);
+    let candidates = [1u32, 2, 4, 8, 16, 32, 64];
+
+    // --- Scenario 1: fixed-frequency server ---
+    println!("== server scenario: 64-sample queries every 30 s ==");
+    let server = ServerScenario::new(64, Seconds::new(30.0));
+    for &batch in &candidates {
+        match server.response_time(&device, &alloc, &profile, batch) {
+            Some(t) => println!("  sub-batch {batch:>3}: response {:>7.2} s", t.value()),
+            None => println!("  sub-batch {batch:>3}: UNSTABLE (backlog grows)"),
+        }
+    }
+    if let Some((batch, t)) = server.optimal_batch(&device, &alloc, &profile, &candidates) {
+        println!(
+            "  -> optimal split: sub-batches of {batch} ({:.2} s per query)\n",
+            t.value()
+        );
+    }
+
+    // --- Scenario 2: Poisson multi-stream ---
+    let seed = SeedStream::new(42);
+    for rate in [2.0f64, 10.0, 25.0] {
+        println!("== multi-stream scenario: Poisson arrivals at {rate} samples/s ==");
+        let scenario = MultiStreamScenario::new(rate, 600);
+        for &cap in &candidates {
+            let t = scenario.mean_response_time(&device, &alloc, &profile, cap, seed);
+            println!("  batch cap {cap:>3}: mean response {:>8.3} s", t.value());
+        }
+        if let Some((cap, t)) =
+            scenario.optimal_batch_cap(&device, &alloc, &profile, &candidates, seed)
+        {
+            println!(
+                "  -> optimal aggregation cap: {cap} ({:.3} s mean response)\n",
+                t.value()
+            );
+        }
+    }
+    println!("higher arrival rates need larger aggregation caps — the sweet spot the");
+    println!("Inference Tuning Server's Batching subcomponent finds automatically.");
+}

@@ -1,0 +1,5 @@
+//! Workspace root crate for the EdgeTune reproduction.
+//!
+//! This crate only hosts the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. The actual library surface
+//! lives in the `edgetune` crate and its substrate crates.

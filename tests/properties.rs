@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! substrate crates, exercised through their public APIs.
+
+use edgetune_device::latency::{simulate_inference, CpuAllocation};
+use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
+use edgetune_device::profile::{Phase, WorkProfile};
+use edgetune_device::spec::DeviceSpec;
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::space::{Config, Domain, SearchSpace};
+use edgetune_util::rng::SeedStream;
+use edgetune_util::stats::{percentile, BoxPlot};
+use edgetune_workloads::catalog::Workload;
+use edgetune_workloads::curve::TrainingQuality;
+use edgetune_workloads::WorkloadId;
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadId> {
+    prop_oneof![
+        Just(WorkloadId::Ic),
+        Just(WorkloadId::Sr),
+        Just(WorkloadId::Nlp),
+        Just(WorkloadId::Od),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- device models ---
+
+    #[test]
+    fn inference_latency_and_energy_are_positive_and_finite(
+        cores in 1u32..=4,
+        batch in 1u32..=128,
+        flops in 1.0e7f64..1.0e10,
+        act in 1.0e4f64..1.0e8,
+        params in 1.0e5f64..5.0e8,
+    ) {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let alloc = CpuAllocation::new(&device, cores, device.max_freq).expect("valid cores");
+        let profile = WorkProfile::new(flops, act, params);
+        let exec = simulate_inference(&device, &alloc, &profile, batch);
+        prop_assert!(exec.latency.value() > 0.0 && exec.latency.is_finite());
+        prop_assert!(exec.energy.value() > 0.0 && exec.energy.is_finite());
+        prop_assert!((0.0..=1.0).contains(&exec.utilization));
+        // Energy is power integrated over latency.
+        let p = exec.energy.value() / exec.latency.value();
+        prop_assert!((p - exec.avg_power.value()).abs() / p < 1e-9);
+    }
+
+    #[test]
+    fn more_flops_never_run_faster(
+        batch in 1u32..=64,
+        flops in 1.0e8f64..5.0e9,
+        factor in 1.1f64..8.0,
+    ) {
+        let device = DeviceSpec::intel_i7_7567u();
+        let alloc = CpuAllocation::full(&device);
+        let light = WorkProfile::new(flops, 2.0e6, 40.0e6);
+        let heavy = WorkProfile::new(flops * factor, 2.0e6, 40.0e6);
+        let t_light = simulate_inference(&device, &alloc, &light, batch).latency;
+        let t_heavy = simulate_inference(&device, &alloc, &heavy, batch).latency;
+        prop_assert!(t_heavy >= t_light);
+    }
+
+    #[test]
+    fn higher_frequency_is_never_slower(
+        cores in 1u32..=4,
+        batch in 1u32..=64,
+    ) {
+        let device = DeviceSpec::armv7_board();
+        let profile = WorkProfile::new(0.5e9, 3.0e6, 40.0e6);
+        let slow = CpuAllocation::new(&device, cores, device.min_freq).expect("valid");
+        let fast = CpuAllocation::new(&device, cores, device.max_freq).expect("valid");
+        let t_slow = simulate_inference(&device, &slow, &profile, batch).latency;
+        let t_fast = simulate_inference(&device, &fast, &profile, batch).latency;
+        prop_assert!(t_fast <= t_slow);
+    }
+
+    #[test]
+    fn gpu_epoch_scales_linearly_in_samples(
+        gpus in 1u32..=8,
+        batch in 32u32..=1024,
+        samples in 1_000u64..100_000,
+    ) {
+        let node = DeviceSpec::titan_rtx_node();
+        let alloc = GpuAllocation::new(&node, gpus).expect("valid");
+        let profile = WorkProfile::new(1.0e9, 4.0e6, 90.0e6);
+        let one = simulate_gpu_epoch(&node, &alloc, &profile, batch, samples);
+        let two = simulate_gpu_epoch(&node, &alloc, &profile, batch, samples * 2);
+        let ratio = two.latency.value() / one.latency.value();
+        // Epoch time is exactly proportional to the iteration count
+        // (which is ceil-quantised in the batch size).
+        let iters = |s: u64| (s as f64 / f64::from(batch)).ceil();
+        let expected = iters(samples * 2) / iters(samples);
+        prop_assert!((ratio - expected).abs() < 1e-9, "ratio={ratio}, expected={expected}");
+    }
+
+    #[test]
+    fn training_phases_cost_more_than_inference(
+        batch in 1u32..=64,
+    ) {
+        let profile = WorkProfile::new(1.0e9, 4.0e6, 90.0e6);
+        prop_assert!(profile.bytes(batch, Phase::Backward) >
+            profile.bytes(batch, Phase::Inference));
+        prop_assert!(profile.flops(batch, Phase::Backward) >
+            profile.flops(batch, Phase::Inference));
+        prop_assert!(profile.working_set(batch, Phase::ForwardTraining) >
+            profile.working_set(batch, Phase::Inference));
+    }
+
+    // --- learning curves ---
+
+    #[test]
+    fn accuracy_is_monotone_in_epochs_up_to_noise(
+        workload in workload_strategy(),
+        hp_idx in 0usize..3,
+        batch in 32u32..=512,
+        epochs in 1.0f64..30.0,
+        frac in 0.1f64..=1.0,
+    ) {
+        let w = Workload::by_id(workload);
+        let hp = w.model_hp_values[hp_idx.min(w.model_hp_values.len() - 1)];
+        let quality = TrainingQuality::from_batch(batch);
+        let seed = SeedStream::new(1);
+        let a1 = w.simulated_accuracy(hp, &quality, epochs, frac, seed);
+        let a2 = w.simulated_accuracy(hp, &quality, epochs * 2.0, frac, seed);
+        // Noise σ = 1%; allow 4σ slack.
+        prop_assert!(a2 >= a1 - 0.04, "acc fell: {a1} -> {a2}");
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    #[test]
+    fn more_data_never_hurts_converged_accuracy(
+        workload in workload_strategy(),
+        frac in 0.1f64..0.9,
+    ) {
+        let w = Workload::by_id(workload);
+        let hp = w.model_hp_values[0];
+        let quality = TrainingQuality::from_batch(128);
+        let seed = SeedStream::new(2);
+        let partial = w.simulated_accuracy(hp, &quality, 200.0, frac, seed);
+        let full = w.simulated_accuracy(hp, &quality, 200.0, 1.0, seed);
+        prop_assert!(full >= partial - 0.04, "{partial} vs {full}");
+    }
+
+    #[test]
+    fn epochs_to_accuracy_round_trips(
+        workload in workload_strategy(),
+        target in 0.2f64..0.75,
+    ) {
+        let w = Workload::by_id(workload);
+        let hp = w.model_hp_values[0];
+        let quality = TrainingQuality::from_batch(96);
+        if let Some(epochs) = w.epochs_to_accuracy(hp, &quality, 1.0, target) {
+            let acc = w.simulated_accuracy(hp, &quality, epochs, 1.0, SeedStream::new(3));
+            prop_assert!((acc - target).abs() < 0.05, "target {target}, got {acc}");
+        }
+    }
+
+    // --- budgets ---
+
+    #[test]
+    fn budgets_are_valid_and_monotone(
+        policy_idx in 0usize..3,
+        iteration in 1u32..=20,
+    ) {
+        let policy = [
+            BudgetPolicy::epoch_default(),
+            BudgetPolicy::dataset_default(),
+            BudgetPolicy::multi_default(),
+        ][policy_idx];
+        let b = policy.budget(iteration);
+        prop_assert!(b.epochs > 0.0);
+        prop_assert!(b.data_fraction > 0.0 && b.data_fraction <= 1.0);
+        let next = policy.budget(iteration + 1);
+        prop_assert!(next.effective_epochs() >= b.effective_epochs());
+    }
+
+    // --- search spaces ---
+
+    #[test]
+    fn samples_validate_and_clamp_is_idempotent(
+        seed in 0u64..1_000,
+        lo in 1i64..100,
+        width in 1i64..1000,
+        value in -1.0e4f64..1.0e4,
+    ) {
+        let space = SearchSpace::new()
+            .with("a", Domain::int(lo, lo + width))
+            .with("b", Domain::float(0.0, 1.0))
+            .with("c", Domain::choice(vec![1.0, 2.0, 5.0]))
+            .with("d", Domain::int_log(1, 1024));
+        let mut rng = SeedStream::new(seed).rng("prop");
+        let config = space.sample(&mut rng);
+        prop_assert!(space.validate(&config).is_ok(), "{config}");
+        for (_, domain) in space.iter() {
+            let snapped = domain.clamp(value);
+            prop_assert!(domain.contains(snapped), "{domain:?} clamp({value}) = {snapped}");
+            prop_assert_eq!(domain.clamp(snapped), snapped);
+        }
+    }
+
+    #[test]
+    fn config_keys_are_canonical(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let c1 = Config::new().with("x", a).with("y", b);
+        let c2 = Config::new().with("y", b).with("x", a);
+        prop_assert_eq!(c1.key(), c2.key());
+    }
+
+    // --- statistics ---
+
+    #[test]
+    fn boxplot_orders_quartiles(samples in prop::collection::vec(-1.0e3f64..1.0e3, 4..64)) {
+        let bp = BoxPlot::of(&samples).expect("non-empty");
+        prop_assert!(bp.q1 <= bp.median && bp.median <= bp.q3);
+        // Whiskers are the extreme *samples* inside the Tukey fences;
+        // because quartiles are interpolated, a whisker may legitimately
+        // sit inside the box when the adjacent sample lies beyond its
+        // fence — but both always stay within the fences and the sample
+        // range.
+        let lo_fence = bp.q1 - 1.5 * bp.iqr();
+        let hi_fence = bp.q3 + 1.5 * bp.iqr();
+        prop_assert!(bp.whisker_low >= lo_fence - 1e-9);
+        prop_assert!(bp.whisker_high <= hi_fence + 1e-9);
+        prop_assert!(bp.whisker_low <= bp.whisker_high);
+        for o in &bp.outliers {
+            prop_assert!(*o < lo_fence || *o > hi_fence, "outlier {o} inside fences");
+        }
+        let n_in = samples.len() - bp.outliers.len();
+        prop_assert!(n_in >= samples.len() / 2, "at least half the data is inside");
+    }
+
+    #[test]
+    fn percentiles_are_monotone(
+        samples in prop::collection::vec(-1.0e3f64..1.0e3, 1..64),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&samples, lo).expect("non-empty");
+        let p_hi = percentile(&samples, hi).expect("non-empty");
+        prop_assert!(p_lo <= p_hi);
+    }
+}

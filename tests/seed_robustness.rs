@@ -1,0 +1,65 @@
+//! Seed robustness: the paper's qualitative relations must not be
+//! artefacts of one lucky seed. Each claim is re-checked for several
+//! independent seeds (a compressed version of the claims in
+//! `paper_claims.rs`).
+
+use edgetune::prelude::*;
+use edgetune_baselines::TuneBaseline;
+use edgetune_tuner::budget::BudgetPolicy;
+
+const SEEDS: [u64; 3] = [7, 1234, 987_654];
+
+fn edgetune(seed: u64, budget: BudgetPolicy) -> TuningReport {
+    EdgeTune::new(
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_budget(budget)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 10))
+            .with_seed(seed),
+    )
+    .run()
+    .expect("run succeeds")
+}
+
+#[test]
+fn edgetune_beats_tune_for_every_seed() {
+    for seed in SEEDS {
+        let tune = TuneBaseline::new(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+            .with_seed(seed)
+            .run();
+        let et = edgetune(seed, BudgetPolicy::multi_default());
+        assert!(
+            et.tuning_runtime() < tune.tuning_runtime(),
+            "seed {seed}: {} vs {}",
+            et.tuning_runtime(),
+            tune.tuning_runtime()
+        );
+        assert!(
+            et.tuning_energy() < tune.tuning_energy() * 0.7,
+            "seed {seed}: energy gain must be substantial"
+        );
+    }
+}
+
+#[test]
+fn multi_budget_beats_epoch_budget_for_every_seed() {
+    for seed in SEEDS {
+        let epoch = edgetune(seed, BudgetPolicy::epoch_default());
+        let multi = edgetune(seed, BudgetPolicy::multi_default());
+        assert!(
+            multi.tuning_runtime() < epoch.tuning_runtime(),
+            "seed {seed}: {} vs {}",
+            multi.tuning_runtime(),
+            epoch.tuning_runtime()
+        );
+    }
+}
+
+#[test]
+fn pipelining_holds_for_every_seed() {
+    use edgetune_util::units::Seconds;
+    for seed in SEEDS {
+        let report = edgetune(seed, BudgetPolicy::multi_default());
+        assert_eq!(report.stall_time(), Seconds::ZERO, "seed {seed}");
+    }
+}
