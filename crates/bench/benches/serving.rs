@@ -1,0 +1,74 @@
+//! Benchmarks of the serving-runtime hot path: trace generation and the
+//! full enqueue → batch-form → dispatch discrete-event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_serving::{RuntimeOptions, ServingConfig, ServingRuntime, SloPolicy, TrafficProfile};
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::Seconds;
+use std::hint::black_box;
+
+fn resnet18() -> WorkProfile {
+    WorkProfile::new(0.56e9, 3.0e6, 44.8e6)
+}
+
+fn runtime(adaptive: bool) -> ServingRuntime {
+    let device = DeviceSpec::raspberry_pi_3b();
+    let config = ServingConfig::new(8, device.cores, device.max_freq).with_tuned_rate(20.0);
+    let mut options = RuntimeOptions::new(SloPolicy::new(Seconds::new(2.0))).without_drift();
+    if !adaptive {
+        options = options.static_serving();
+    }
+    ServingRuntime::new(device, resnet18(), config, options).expect("deployable")
+}
+
+fn poisson_trace() -> Vec<f64> {
+    TrafficProfile::Poisson { rate: 20.0 }.generate(Seconds::new(60.0), SeedStream::new(42))
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let traffic = TrafficProfile::OnOff {
+        on_rate: 60.0,
+        off_rate: 2.0,
+        mean_on: Seconds::new(5.0),
+        mean_off: Seconds::new(10.0),
+    };
+    c.bench_function("serving/generate_burst_trace_60s", |b| {
+        b.iter(|| black_box(traffic.generate(Seconds::new(60.0), SeedStream::new(7))))
+    });
+}
+
+fn bench_serve_trace_static(c: &mut Criterion) {
+    let rt = runtime(false);
+    let arrivals = poisson_trace();
+    c.bench_function("serving/serve_trace_static_1200req", |b| {
+        b.iter(|| {
+            black_box(
+                rt.serve_trace(&arrivals, "poisson", None, SeedStream::new(42))
+                    .expect("non-empty trace"),
+            )
+        })
+    });
+}
+
+fn bench_serve_trace_adaptive(c: &mut Criterion) {
+    let rt = runtime(true);
+    let arrivals = poisson_trace();
+    c.bench_function("serving/serve_trace_adaptive_1200req", |b| {
+        b.iter(|| {
+            black_box(
+                rt.serve_trace(&arrivals, "poisson", None, SeedStream::new(42))
+                    .expect("non-empty trace"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_serve_trace_static,
+    bench_serve_trace_adaptive
+);
+criterion_main!(benches);

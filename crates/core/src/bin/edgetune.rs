@@ -7,12 +7,27 @@
 //! edgetune --workload ic --device intel        # target a different edge device
 //! edgetune --workload ic --json report.json    # dump the full report as JSON
 //! edgetune --workload ic --trial-workers 4     # parallel trial slots
+//! edgetune --workload ic --scenario multistream:10
+//!                                              # add a scenario-aware batching
+//!                                              # recommendation (§3.4); also
+//!                                              # accepts server:<n>:<period>
+//! edgetune serve --workload ic --trace burst --seed 42
+//!                                              # deploy the tuned configuration
+//!                                              # into the serving runtime and
+//!                                              # print the JSON serving report
 //! ```
 
 use std::process::ExitCode;
 
+use edgetune::batching::{MultiStreamScenario, ServerScenario};
 use edgetune::prelude::*;
+use edgetune::scenario::{tune_for_scenario, Scenario};
+use edgetune::serve::ScenarioRetuner;
 use edgetune_device::spec::DeviceSpec;
+use edgetune_serving::{RuntimeOptions, ServingRuntime, SloPolicy, TrafficProfile};
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::Seconds;
+use edgetune_workloads::catalog::Workload;
 
 struct Args {
     workload: WorkloadId,
@@ -27,9 +42,68 @@ struct Args {
     json: Option<String>,
     pipelining: bool,
     historical_cache: bool,
+    scenario: Option<Scenario>,
 }
 
-fn parse_args() -> Result<Args, String> {
+struct ServeArgs {
+    workload: WorkloadId,
+    device: Option<String>,
+    trace: String,
+    rate: f64,
+    horizon: f64,
+    slo: f64,
+    seed: u64,
+    workers: u32,
+    static_serving: bool,
+    shed: bool,
+    json: Option<String>,
+}
+
+fn parse_workload(value: &str) -> Result<WorkloadId, String> {
+    match value.to_lowercase().as_str() {
+        "ic" => Ok(WorkloadId::Ic),
+        "sr" => Ok(WorkloadId::Sr),
+        "nlp" => Ok(WorkloadId::Nlp),
+        "od" => Ok(WorkloadId::Od),
+        other => Err(format!("unknown workload '{other}' (ic|sr|nlp|od)")),
+    }
+}
+
+/// Parses `server:<samples>:<period-s>` or `multistream:<rate>`.
+fn parse_scenario(value: &str) -> Result<Scenario, String> {
+    let parts: Vec<&str> = value.split(':').collect();
+    match parts.as_slice() {
+        ["server", samples, period] => {
+            let samples: u32 = samples
+                .parse()
+                .map_err(|e| format!("bad sample count in --scenario: {e}"))?;
+            let period: f64 = period
+                .parse()
+                .map_err(|e| format!("bad period in --scenario: {e}"))?;
+            if samples == 0 || period <= 0.0 {
+                return Err("--scenario server needs samples >= 1 and period > 0".into());
+            }
+            Ok(Scenario::Server(ServerScenario::new(
+                samples,
+                Seconds::new(period),
+            )))
+        }
+        ["multistream", rate] => {
+            let rate: f64 = rate
+                .parse()
+                .map_err(|e| format!("bad rate in --scenario: {e}"))?;
+            if rate <= 0.0 {
+                return Err("--scenario multistream needs rate > 0".into());
+            }
+            Ok(Scenario::MultiStream(MultiStreamScenario::new(rate, 400)))
+        }
+        _ => Err(format!(
+            "bad --scenario '{value}' (server:<samples>:<period>|multistream:<rate>)"
+        )),
+    }
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         workload: WorkloadId::Ic,
         device: None,
@@ -43,8 +117,9 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         pipelining: true,
         historical_cache: true,
+        scenario: None,
     };
-    let mut argv = std::env::args().skip(1);
+    let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
             .ok_or_else(|| format!("{flag} requires a value"))
@@ -52,13 +127,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--workload" | "-w" => {
-                args.workload = match value(&mut argv, "--workload")?.to_lowercase().as_str() {
-                    "ic" => WorkloadId::Ic,
-                    "sr" => WorkloadId::Sr,
-                    "nlp" => WorkloadId::Nlp,
-                    "od" => WorkloadId::Od,
-                    other => return Err(format!("unknown workload '{other}' (ic|sr|nlp|od)")),
-                }
+                args.workload = parse_workload(&value(&mut argv, "--workload")?)?
             }
             "--device" | "-d" => args.device = Some(value(&mut argv, "--device")?),
             "--metric" | "-m" => {
@@ -100,12 +169,19 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value(&mut argv, "--json")?),
             "--no-pipelining" => args.pipelining = false,
             "--no-cache" => args.historical_cache = false,
+            "--scenario" => args.scenario = Some(parse_scenario(&value(&mut argv, "--scenario")?)?),
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
                      [--trials N] [--max-iter N] [--trial-workers N] [--cache FILE] \
-                     [--json FILE] [--no-pipelining] [--no-cache]"
+                     [--json FILE] [--no-pipelining] [--no-cache] \
+                     [--scenario server:<samples>:<period>|multistream:<rate>]\n\
+                     \n\
+                     subcommands:\n  \
+                     edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
+                     [--trace poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
+                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]"
                 );
                 std::process::exit(0);
             }
@@ -115,8 +191,203 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        workload: WorkloadId::Ic,
+        device: None,
+        trace: "poisson".to_string(),
+        rate: 10.0,
+        horizon: 120.0,
+        slo: 2.0,
+        seed: 42,
+        workers: 1,
+        static_serving: false,
+        shed: true,
+        json: None,
+    };
+    let mut argv = argv;
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                args.workload = parse_workload(&value(&mut argv, "--workload")?)?
+            }
+            "--device" | "-d" => args.device = Some(value(&mut argv, "--device")?),
+            "--trace" | "-t" => {
+                let trace = value(&mut argv, "--trace")?.to_lowercase();
+                match trace.as_str() {
+                    "poisson" | "server" | "burst" | "diurnal" | "shift" => args.trace = trace,
+                    other => {
+                        return Err(format!(
+                            "unknown trace '{other}' (poisson|server|burst|diurnal|shift)"
+                        ))
+                    }
+                }
+            }
+            "--rate" | "-r" => {
+                args.rate = value(&mut argv, "--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad rate: {e}"))?;
+                if args.rate <= 0.0 {
+                    return Err("--rate must be > 0".into());
+                }
+            }
+            "--horizon" => {
+                args.horizon = value(&mut argv, "--horizon")?
+                    .parse()
+                    .map_err(|e| format!("bad horizon: {e}"))?;
+                if args.horizon <= 0.0 {
+                    return Err("--horizon must be > 0".into());
+                }
+            }
+            "--slo" => {
+                args.slo = value(&mut argv, "--slo")?
+                    .parse()
+                    .map_err(|e| format!("bad SLO target: {e}"))?;
+                if args.slo <= 0.0 {
+                    return Err("--slo must be > 0".into());
+                }
+            }
+            "--seed" | "-s" => {
+                args.seed = value(&mut argv, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value(&mut argv, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--static" => args.static_serving = true,
+            "--no-shed" => args.shed = false,
+            "--json" => args.json = Some(value(&mut argv, "--json")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
+                     [--trace poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
+                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Maps a trace name and design rate onto a concrete traffic profile.
+fn traffic_for(trace: &str, rate: f64, horizon: f64) -> TrafficProfile {
+    match trace {
+        "server" => TrafficProfile::ServerQueries {
+            samples_per_query: 16,
+            period: Seconds::new(16.0 / rate),
+        },
+        "burst" => TrafficProfile::OnOff {
+            on_rate: 3.0 * rate,
+            off_rate: rate / 3.0,
+            mean_on: Seconds::new(15.0),
+            mean_off: Seconds::new(30.0),
+        },
+        "diurnal" => TrafficProfile::Diurnal {
+            base_rate: 0.5 * rate,
+            peak_rate: 2.0 * rate,
+            period: Seconds::new(horizon),
+        },
+        "shift" => TrafficProfile::RateShift {
+            initial_rate: rate,
+            shifted_rate: 4.0 * rate,
+            at: Seconds::new(horizon / 3.0),
+        },
+        _ => TrafficProfile::Poisson { rate },
+    }
+}
+
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let device = match &args.device {
+        Some(name) => DeviceSpec::by_name(name).ok_or_else(|| {
+            let catalog: Vec<String> = DeviceSpec::catalog().into_iter().map(|d| d.name).collect();
+            format!("unknown device '{name}'; catalog: {}", catalog.join(", "))
+        })?,
+        None => DeviceSpec::raspberry_pi_3b(),
+    };
+    let workload = Workload::by_id(args.workload);
+    let profile = workload.profile(workload.model_hp_values[0]);
+    let space = InferenceSpace::for_device(&device);
+    let retuner = ScenarioRetuner::new(device.clone(), space, profile);
+
+    let traffic = traffic_for(&args.trace, args.rate, args.horizon);
+    let seed = SeedStream::new(args.seed);
+    eprintln!(
+        "tuning the initial configuration for {} at {:.1} items/s...",
+        device.name,
+        traffic.design_rate()
+    );
+    let scenario = Scenario::MultiStream(MultiStreamScenario::new(traffic.design_rate(), 400));
+    let config = retuner
+        .recommend(&scenario, seed.child("offline"))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "deploying batch={} cores={} freq={:.2} GHz (predicted mean response {:.3} s)",
+        config.batch_cap,
+        config.cores,
+        config.freq.as_ghz(),
+        config
+            .predicted_mean_response
+            .map_or(f64::NAN, |s| s.value()),
+    );
+
+    let mut slo = SloPolicy::new(Seconds::new(args.slo));
+    if !args.shed {
+        slo = slo.without_shedding();
+    }
+    let mut options = RuntimeOptions::new(slo).with_workers(args.workers);
+    if args.static_serving {
+        options = options.static_serving();
+    }
+    let runtime =
+        ServingRuntime::new(device, profile, config, options).map_err(|e| e.to_string())?;
+    let tuner = (!args.static_serving).then_some(&retuner as &dyn edgetune_serving::OnlineTuner);
+    let report = runtime
+        .serve(&traffic, Seconds::new(args.horizon), tuner, seed)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!("{}", report.summary());
+    let json = report.to_json().map_err(|e| e.to_string())?;
+    println!("{json}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("serving report written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        let args = match parse_serve_args(argv) {
+            Ok(args) => args,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_serve(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let args = match parse_args(argv) {
         Ok(args) => args,
         Err(err) => {
             eprintln!("error: {err}");
@@ -152,10 +423,11 @@ fn main() -> ExitCode {
         config = config.without_historical_cache();
     }
 
+    let edge_device = config.edge_device.clone();
     eprintln!(
         "tuning {} for {} ({} objective, {} budget, seed {})...",
         args.workload,
-        config.edge_device.name,
+        edge_device.name,
         args.metric,
         config.budget.name(),
         args.seed
@@ -185,6 +457,35 @@ fn main() -> ExitCode {
     println!("frequency     : {:.2} GHz", rec.freq.as_ghz());
     println!("throughput    : {:.1} items/s", rec.throughput.value());
     println!("energy        : {:.3} J/item", rec.energy_per_item.value());
+
+    if let Some(scenario) = &args.scenario {
+        use edgetune::backend::PARAM_MODEL_HP;
+        let hp = report
+            .best_config()
+            .get(PARAM_MODEL_HP)
+            .unwrap_or_else(|| Workload::by_id(args.workload).model_hp_values[0]);
+        let profile = Workload::by_id(args.workload).profile(hp);
+        let space = InferenceSpace::for_device(&edge_device);
+        match tune_for_scenario(
+            &edge_device,
+            &space,
+            &profile,
+            scenario,
+            SeedStream::new(args.seed).child("scenario"),
+        ) {
+            Ok(rec) => {
+                println!("== scenario recommendation ==");
+                println!("scenario      : {scenario:?}");
+                println!("batch/cores   : {} / {}", rec.batch, rec.cores);
+                println!("frequency     : {:.2} GHz", rec.freq.as_ghz());
+                println!("mean response : {:.3} s", rec.mean_response.value());
+            }
+            Err(err) => {
+                eprintln!("error: scenario tuning failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(path) = &args.json {
         match report.to_json() {

@@ -21,6 +21,9 @@
 //! * the [`batching`] module sizes inference batches for the two serving
 //!   scenarios of Fig. 8 (fixed-frequency N-sample queries and Poisson
 //!   multi-stream arrivals),
+//! * the [`serve`] module deploys tuned configurations into the
+//!   `edgetune-serving` runtime and re-tunes them online when the live
+//!   arrival rate drifts ([`serve::ScenarioRetuner`]),
 //! * the user receives the winning configuration **plus** deployment
 //!   recommendations ([`inference::InferenceRecommendation`]).
 //!
@@ -50,6 +53,7 @@ pub mod batching;
 pub mod cache;
 pub mod inference;
 pub mod scenario;
+pub mod serve;
 pub mod server;
 pub mod timeline;
 
@@ -62,4 +66,5 @@ pub mod prelude {
 }
 
 pub use inference::{InferenceRecommendation, InferenceSpace, InferenceTuningServer};
+pub use serve::ScenarioRetuner;
 pub use server::{EdgeTune, EdgeTuneConfig, TuningReport};

@@ -21,7 +21,12 @@ use crate::batching::{MultiStreamScenario, ServerScenario};
 use crate::inference::InferenceSpace;
 
 /// A deployment traffic pattern (Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serialisable so that tuning requests and recommendations can carry
+/// the scenario they were produced for (CLI `--scenario`, serving
+/// reports). `Eq` is not derived: both variants carry `f64` timing
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Scenario {
     /// Fixed-frequency queries of N samples each.
     Server(ServerScenario),
@@ -164,6 +169,18 @@ mod tests {
             "light load favours immediate service: {}",
             rec.batch
         );
+    }
+
+    #[test]
+    fn scenario_serialises_round_trip() {
+        for scenario in [
+            Scenario::Server(ServerScenario::new(64, Seconds::new(30.0))),
+            Scenario::MultiStream(MultiStreamScenario::new(12.5, 400)),
+        ] {
+            let json = serde_json::to_string(&scenario).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(scenario, back);
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Glue between the scenario tuner and the serving runtime.
+//!
+//! `edgetune-serving` is deliberately ignorant of the tuner: its runtime
+//! asks an [`OnlineTuner`] for a fresh configuration when traffic drifts.
+//! This module provides that implementation — [`ScenarioRetuner`]
+//! re-invokes [`tune_for_scenario`] against the estimated arrival rate and
+//! converts the [`ScenarioRecommendation`] into a deployable
+//! [`ServingConfig`] — plus the conversion helper the CLI and examples use
+//! to deploy an offline recommendation.
+
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_serving::{OnlineTuner, ServingConfig};
+use edgetune_util::rng::SeedStream;
+use edgetune_util::Result;
+
+use crate::batching::MultiStreamScenario;
+use crate::inference::InferenceSpace;
+use crate::scenario::{tune_for_scenario, Scenario, ScenarioRecommendation};
+
+/// Arrivals simulated per online re-tune: enough to average the queueing
+/// behaviour without stalling the serving loop.
+const RETUNE_ARRIVALS: usize = 400;
+
+/// Converts an offline scenario recommendation into a deployable serving
+/// configuration, recording the arrival rate it was tuned for (0 disables
+/// drift detection) and the tuner's predicted mean response.
+#[must_use]
+pub fn config_from_recommendation(rec: &ScenarioRecommendation, tuned_rate: f64) -> ServingConfig {
+    ServingConfig::new(rec.batch, rec.cores, rec.freq)
+        .with_tuned_rate(tuned_rate)
+        .with_prediction(rec.mean_response)
+}
+
+/// The arrival rate implied by a scenario: the Poisson rate of the
+/// multi-stream pattern, or samples-per-query over the period for the
+/// server pattern.
+#[must_use]
+pub fn scenario_rate(scenario: &Scenario) -> f64 {
+    match scenario {
+        Scenario::Server(s) => f64::from(s.samples_per_query) / s.period.value(),
+        Scenario::MultiStream(s) => s.rate,
+    }
+}
+
+/// Re-tunes serving configurations by sweeping the inference space with
+/// the core scenario tuner.
+#[derive(Debug, Clone)]
+pub struct ScenarioRetuner {
+    device: DeviceSpec,
+    space: InferenceSpace,
+    profile: WorkProfile,
+    arrivals: usize,
+}
+
+impl ScenarioRetuner {
+    /// Creates a re-tuner sweeping `space` for `profile` on `device`.
+    #[must_use]
+    pub fn new(device: DeviceSpec, space: InferenceSpace, profile: WorkProfile) -> Self {
+        ScenarioRetuner {
+            device,
+            space,
+            profile,
+            arrivals: RETUNE_ARRIVALS,
+        }
+    }
+
+    /// Overrides the number of arrivals simulated per re-tune.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is zero.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: usize) -> Self {
+        assert!(arrivals >= 1, "need at least one simulated arrival");
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Tunes a deployable configuration for an explicit scenario (the
+    /// offline path: produce the initial configuration before serving).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tune_for_scenario`] errors (invalid space, or no
+    /// stable configuration for a server scenario).
+    pub fn recommend(&self, scenario: &Scenario, seed: SeedStream) -> Result<ServingConfig> {
+        let rec = tune_for_scenario(&self.device, &self.space, &self.profile, scenario, seed)?;
+        Ok(config_from_recommendation(&rec, scenario_rate(scenario)))
+    }
+}
+
+impl OnlineTuner for ScenarioRetuner {
+    /// Re-tunes for Poisson traffic at the drift-estimated rate; `None`
+    /// when the estimate is unusable or the sweep finds no configuration.
+    fn retune(&self, estimated_rate: f64, seed: SeedStream) -> Option<ServingConfig> {
+        if !(estimated_rate > 0.0 && estimated_rate.is_finite()) {
+            return None;
+        }
+        let scenario =
+            Scenario::MultiStream(MultiStreamScenario::new(estimated_rate, self.arrivals));
+        self.recommend(&scenario, seed).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgetune_util::units::Seconds;
+    use edgetune_workloads::catalog::Workload;
+    use edgetune_workloads::WorkloadId;
+
+    fn retuner() -> ScenarioRetuner {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        let profile = Workload::by_id(WorkloadId::Ic).profile(18.0);
+        ScenarioRetuner::new(device, space, profile)
+    }
+
+    #[test]
+    fn retune_produces_a_deployable_config() {
+        let config = retuner().retune(10.0, SeedStream::new(1)).expect("tunable");
+        assert!(config.batch_cap >= 1);
+        assert!(config.tuned_rate > 0.0);
+        assert!(config.predicted_mean_response.is_some());
+    }
+
+    #[test]
+    fn retune_tracks_the_load() {
+        let r = retuner();
+        let light = r.retune(0.2, SeedStream::new(2)).unwrap();
+        let heavy = r.retune(30.0, SeedStream::new(2)).unwrap();
+        assert!(
+            heavy.batch_cap > light.batch_cap,
+            "30/s needs aggregation: light={} heavy={}",
+            light.batch_cap,
+            heavy.batch_cap
+        );
+    }
+
+    #[test]
+    fn degenerate_estimates_are_rejected() {
+        let r = retuner();
+        assert!(r.retune(0.0, SeedStream::new(3)).is_none());
+        assert!(r.retune(-5.0, SeedStream::new(3)).is_none());
+        assert!(r.retune(f64::NAN, SeedStream::new(3)).is_none());
+        assert!(r.retune(f64::INFINITY, SeedStream::new(3)).is_none());
+    }
+
+    #[test]
+    fn retune_is_deterministic() {
+        let r = retuner();
+        assert_eq!(
+            r.retune(12.0, SeedStream::new(4)),
+            r.retune(12.0, SeedStream::new(4))
+        );
+    }
+
+    #[test]
+    fn scenario_rate_covers_both_patterns() {
+        use crate::batching::ServerScenario;
+        let server = Scenario::Server(ServerScenario::new(16, Seconds::new(4.0)));
+        assert!((scenario_rate(&server) - 4.0).abs() < 1e-12);
+        let multi = Scenario::MultiStream(MultiStreamScenario::new(7.5, 100));
+        assert!((scenario_rate(&multi) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recommendation_conversion_preserves_the_operating_point() {
+        let r = retuner();
+        let scenario = Scenario::MultiStream(MultiStreamScenario::new(10.0, 300));
+        let seed = SeedStream::new(5);
+        let rec = tune_for_scenario(&r.device, &r.space, &r.profile, &scenario, seed).unwrap();
+        let config = r.recommend(&scenario, seed).unwrap();
+        assert_eq!(config.batch_cap, rec.batch);
+        assert_eq!(config.cores, rec.cores);
+        assert_eq!(config.freq, rec.freq);
+        assert_eq!(config.predicted_mean_response, Some(rec.mean_response));
+        assert!((config.tuned_rate - 10.0).abs() < 1e-12);
+    }
+}
