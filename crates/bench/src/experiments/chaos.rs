@@ -1,0 +1,104 @@
+//! Tuning under fault injection: what chaos costs and what survives.
+//!
+//! Beyond the paper's figures: sweeps a uniform fault rate over the same
+//! IC study and reports how the fault-tolerance layer (retries with
+//! backoff, degradation ladder, budget reallocation) bends the cost
+//! curve instead of breaking the study. The fault-free row is the
+//! baseline; every chaos row must still produce a deployable winner —
+//! graceful degradation, not collapse.
+
+use edgetune::prelude::*;
+
+use crate::table::{num, Table};
+
+/// Uniform per-component fault rates swept by the experiment.
+const RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+fn config(seed: u64, rate: f64) -> EdgeTuneConfig {
+    let mut config = EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+        .without_hyperband()
+        .with_seed(seed);
+    if rate > 0.0 {
+        config = config.with_fault_plan(FaultPlan::uniform(rate));
+    }
+    config
+}
+
+/// Runs the fault-rate sweep and renders the degradation table.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let baseline = EdgeTune::new(config(seed, 0.0))
+        .run()
+        .expect("fault-free run succeeds");
+    let base_runtime = baseline.tuning_runtime().value();
+    let base_energy = baseline.tuning_energy().value();
+
+    let mut table = Table::new(format!(
+        "Chaos sweep: IC study under uniform fault injection (seed {seed})"
+    ))
+    .headers([
+        "fault rate",
+        "trials",
+        "failed",
+        "runtime x",
+        "energy x",
+        "winner acc.",
+        "fallbacks",
+    ]);
+    for rate in RATES {
+        let report = if rate > 0.0 {
+            EdgeTune::new(config(seed, rate))
+                .run()
+                .expect("chaos runs degrade, they do not fail")
+        } else {
+            baseline.clone()
+        };
+        let (failed, fallbacks) = match report.faults() {
+            Some(f) => {
+                let d = &f.degradation;
+                (
+                    f.failed_trials,
+                    d.stale_cache_served + d.default_recommendations + d.trials_skipped,
+                )
+            }
+            None => (0, 0),
+        };
+        table.row([
+            num(rate, 2),
+            report.history().len().to_string(),
+            failed.to_string(),
+            num(report.tuning_runtime().value() / base_runtime, 2),
+            num(report.tuning_energy().value() / base_energy, 2),
+            num(report.best_accuracy(), 3),
+            fallbacks.to_string(),
+        ]);
+    }
+    table.note(
+        "retries and the degradation ladder trade runtime/energy for a \
+         study that still ends with a deployable winner",
+    );
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_chaos_rate_still_produces_a_winner() {
+        for rate in RATES {
+            let report = EdgeTune::new(config(42, rate)).run().unwrap();
+            assert!(
+                report.best().outcome.score.is_finite(),
+                "rate {rate}: the winner must be a real trial"
+            );
+            assert!(report.best_accuracy() > 0.0, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn rendered_table_is_deterministic() {
+        assert_eq!(run(7), run(7));
+    }
+}

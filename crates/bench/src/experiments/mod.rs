@@ -6,6 +6,7 @@
 //! ASCII Gantt chart from a real run.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

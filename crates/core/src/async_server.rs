@@ -8,12 +8,14 @@
 //! thread owning the [`InferenceTuningServer`] and the
 //! [`HistoricalCache`], fed through crossbeam channels.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use edgetune_device::profile::WorkProfile;
+use edgetune_faults::FaultInjector;
 use edgetune_util::units::{Joules, Seconds};
 use edgetune_util::{Error, Result};
 use parking_lot::Mutex;
@@ -39,6 +41,20 @@ struct Request {
     key: CacheKey,
     profile: WorkProfile,
     reply: Sender<InferenceReply>,
+    /// Submission sequence number — the stable index fault decisions are
+    /// keyed by, so injected chaos is independent of worker scheduling.
+    seq: u64,
+}
+
+/// Shared per-server fault counters (observability for chaos runs).
+#[derive(Debug, Default)]
+struct FaultCounters {
+    /// Real panics caught (and survived) by the worker supervision loop.
+    panics: AtomicU64,
+    /// Requests dropped by injected worker deaths.
+    injected_losses: AtomicU64,
+    /// Sweeps delayed by injected transient device outages.
+    injected_outages: AtomicU64,
 }
 
 /// A handle to an in-flight inference-tuning request.
@@ -106,6 +122,8 @@ pub struct AsyncInferenceServer {
     tx: Option<Sender<Request>>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<Mutex<HistoricalCache>>,
+    counters: Arc<FaultCounters>,
+    next_seq: AtomicU64,
 }
 
 impl AsyncInferenceServer {
@@ -131,8 +149,29 @@ impl AsyncInferenceServer {
         workers: usize,
         caching: bool,
     ) -> Self {
+        Self::start_supervised(server, cache, workers, caching, None, 0)
+    }
+
+    /// Spawns the server with a fault injector and the request-sequence
+    /// cursor to resume from (chaos runs; checkpoint/resume). With
+    /// `faults: None` and `first_seq: 0` this is exactly
+    /// [`AsyncInferenceServer::start_with_options`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn start_supervised(
+        server: InferenceTuningServer,
+        cache: HistoricalCache,
+        workers: usize,
+        caching: bool,
+        faults: Option<FaultInjector>,
+        first_seq: u64,
+    ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         let cache = Arc::new(Mutex::new(cache));
+        let counters = Arc::new(FaultCounters::default());
         let (tx, rx) = unbounded::<Request>();
         let server = Arc::new(server);
         let handles = (0..workers)
@@ -140,15 +179,19 @@ impl AsyncInferenceServer {
                 let rx = rx.clone();
                 let worker_cache = Arc::clone(&cache);
                 let server = Arc::clone(&server);
+                let counters = Arc::clone(&counters);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("inference-tuning-server-{i}"))
                     .spawn(move || {
-                        for request in rx {
-                            let reply = Self::handle(&server, &worker_cache, &request, caching);
-                            // The requester may have gone away; that is
-                            // fine.
-                            let _ = request.reply.send(reply);
-                        }
+                        Self::worker_loop(
+                            &rx,
+                            &server,
+                            &worker_cache,
+                            caching,
+                            faults.as_ref(),
+                            &counters,
+                        );
                     })
                     .expect("spawning inference server thread")
             })
@@ -157,6 +200,56 @@ impl AsyncInferenceServer {
             tx: Some(tx),
             workers: handles,
             cache,
+            counters,
+            next_seq: AtomicU64::new(first_seq),
+        }
+    }
+
+    /// The supervised worker body: a real panic in request handling is
+    /// caught and counted instead of killing the thread, so the worker
+    /// slot effectively respawns for the next request (the requester of
+    /// the poisoned request sees a dropped reply channel and degrades).
+    fn worker_loop(
+        rx: &Receiver<Request>,
+        server: &InferenceTuningServer,
+        cache: &Mutex<HistoricalCache>,
+        caching: bool,
+        faults: Option<&FaultInjector>,
+        counters: &FaultCounters,
+    ) {
+        loop {
+            let Ok(request) = rx.recv() else {
+                break; // channel closed: orderly shutdown
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(injector) = faults {
+                    if injector.worker_panic(request.seq) {
+                        // Simulated worker death mid-request: the request
+                        // (and its reply sender) is dropped without an
+                        // answer, exactly what the requester of a panicked
+                        // worker observes — minus the stderr backtrace.
+                        counters.injected_losses.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                let mut reply = Self::handle(server, cache, &request, caching);
+                if let Some(injector) = faults {
+                    if !reply.cache_hit {
+                        if let Some(outage) = injector.device_outage(request.seq) {
+                            // Transient device unavailability: the sweep
+                            // is retried once the device returns, so its
+                            // effective runtime stretches by the outage.
+                            reply.runtime += outage;
+                            counters.injected_outages.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // The requester may have gone away; that is fine.
+                let _ = request.reply.send(reply);
+            }));
+            if outcome.is_err() {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -198,7 +291,18 @@ impl AsyncInferenceServer {
     /// handle is consumed there, so this cannot happen in safe use).
     #[must_use]
     pub fn submit(&self, key: CacheKey, profile: WorkProfile) -> PendingReply {
+        self.try_submit(key, profile)
+            .expect("worker thread alive while handle exists")
+    }
+
+    /// Like [`AsyncInferenceServer::submit`], but returns `None` instead
+    /// of panicking if every worker is gone — the degradation ladder's
+    /// retry rung uses this so a resubmission can never crash the Model
+    /// Tuning Server.
+    #[must_use]
+    pub fn try_submit(&self, key: CacheKey, profile: WorkProfile) -> Option<PendingReply> {
         let (reply_tx, reply_rx) = unbounded();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.tx
             .as_ref()
             .expect("server is running")
@@ -206,15 +310,48 @@ impl AsyncInferenceServer {
                 key,
                 profile,
                 reply: reply_tx,
+                seq,
             })
-            .expect("worker thread alive while handle exists");
-        PendingReply { rx: reply_rx }
+            .ok()?;
+        Some(PendingReply { rx: reply_rx })
     }
 
     /// A snapshot of the historical cache.
     #[must_use]
     pub fn cache_snapshot(&self) -> HistoricalCache {
         self.cache.lock().clone()
+    }
+
+    /// Reads a cache entry without touching statistics — the stale-cache
+    /// rung of the degradation ladder.
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey) -> Option<InferenceRecommendation> {
+        self.cache.lock().peek(key).cloned()
+    }
+
+    /// Requests submitted so far — the inference-side fault cursor a
+    /// study checkpoint stores.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Real worker panics caught by the supervision loop.
+    #[must_use]
+    pub fn worker_panics(&self) -> u64 {
+        self.counters.panics.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped by injected worker deaths.
+    #[must_use]
+    pub fn injected_losses(&self) -> u64 {
+        self.counters.injected_losses.load(Ordering::Relaxed)
+    }
+
+    /// Sweeps delayed by injected device outages.
+    #[must_use]
+    pub fn injected_outages(&self) -> u64 {
+        self.counters.injected_outages.load(Ordering::Relaxed)
     }
 
     /// Stops the workers (draining queued requests first) and returns
@@ -360,5 +497,70 @@ mod tests {
         );
         let reply = pending.wait().unwrap();
         assert!(!reply.cache_hit);
+    }
+
+    fn start_supervised(plan: edgetune_faults::FaultPlan) -> AsyncInferenceServer {
+        use edgetune_util::rng::SeedStream;
+        let device = DeviceSpec::raspberry_pi_3b();
+        let space = InferenceSpace::for_device(&device);
+        let inner =
+            InferenceTuningServer::new(device, space, InferenceObjective::new(Metric::Runtime))
+                .unwrap();
+        AsyncInferenceServer::start_supervised(
+            inner,
+            HistoricalCache::new(),
+            1,
+            true,
+            Some(FaultInjector::new(plan, SeedStream::new(77))),
+            0,
+        )
+    }
+
+    #[test]
+    fn injected_worker_death_drops_the_reply_but_not_the_server() {
+        use edgetune_faults::FaultPlan;
+        // Every request's worker dies: the requester times out, yet the
+        // server keeps accepting and the process survives.
+        let server = start_supervised(FaultPlan::none().with_worker_panic(1.0));
+        let pending = server.submit(key("doomed"), profile());
+        assert!(pending.wait_timeout(Duration::from_millis(500)).is_err());
+        assert_eq!(server.injected_losses(), 1);
+        // The worker slot survived the injected death.
+        let second = server.submit(key("also-doomed"), profile());
+        assert!(second.wait_timeout(Duration::from_millis(500)).is_err());
+        assert_eq!(server.injected_losses(), 2);
+        assert_eq!(server.submitted(), 2);
+    }
+
+    #[test]
+    fn injected_outage_stretches_the_sweep_runtime() {
+        use edgetune_faults::FaultPlan;
+        let plan = FaultPlan {
+            device_outage: 1.0,
+            outage_duration_s: 30.0,
+            ..FaultPlan::none()
+        };
+        let server = start_supervised(plan);
+        let first = server.submit(key("a"), profile()).wait().unwrap();
+        assert!(
+            first.runtime.value() >= 30.0,
+            "the outage must extend the sweep: {}",
+            first.runtime
+        );
+        assert_eq!(server.injected_outages(), 1);
+        // Cache hits never touch the device, so they see no outage.
+        let hit = server.submit(key("a"), profile()).wait().unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.runtime, Seconds::ZERO);
+        assert_eq!(server.injected_outages(), 1);
+    }
+
+    #[test]
+    fn unsupervised_server_reports_zero_fault_counters() {
+        let server = start();
+        let _ = server.submit(key("a"), profile()).wait().unwrap();
+        assert_eq!(server.worker_panics(), 0);
+        assert_eq!(server.injected_losses(), 0);
+        assert_eq!(server.injected_outages(), 0);
     }
 }

@@ -13,6 +13,7 @@ use edgetune_device::latency::{simulate_training_epoch, CpuAllocation};
 use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
 use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::{FaultInjector, TrialFault};
 use edgetune_nn::data::Dataset;
 use edgetune_nn::layer::{Conv2d, Dense, Flatten, MaxPool2d, Relu, Reshape};
 use edgetune_nn::model::Sequential;
@@ -34,6 +35,9 @@ pub struct TrialMeasurement {
     pub runtime: Seconds,
     /// Energy the trial consumed.
     pub energy: Joules,
+    /// Fault a chaos plan injected into this trial, if any. Always `None`
+    /// for natural outcomes (including a genuine out-of-memory crash).
+    pub injected: Option<TrialFault>,
 }
 
 /// A source of training trials for the Model Tuning Server.
@@ -49,6 +53,17 @@ pub trait TrainingBackend: Send {
 
     /// Runs one training trial.
     fn run_trial(&mut self, config: &Config, budget: TrialBudget) -> TrialMeasurement;
+
+    /// Fault-injection draws consumed so far — the chaos RNG cursor a
+    /// study checkpoint stores so a resumed run replays the same fates.
+    /// Backends without a fault hook report zero.
+    fn fault_cursor(&self) -> u64 {
+        0
+    }
+
+    /// Restores the fault-injection cursor on resume. A no-op for
+    /// backends without a fault hook.
+    fn set_fault_cursor(&mut self, _cursor: u64) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -89,6 +104,8 @@ pub struct SimTrainingBackend {
     tune_system_params: bool,
     tune_learning_rate: bool,
     fixed_units: u32,
+    faults: Option<FaultInjector>,
+    fault_draws: u64,
 }
 
 impl SimTrainingBackend {
@@ -103,7 +120,18 @@ impl SimTrainingBackend {
             tune_system_params: true,
             tune_learning_rate: false,
             fixed_units: 1,
+            faults: None,
+            fault_draws: 0,
         }
+    }
+
+    /// Attaches a fault injector: each `run_trial` call consumes exactly
+    /// one draw (keyed by a monotone cursor, so retried trials get fresh
+    /// fates) and may crash or straggle accordingly.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
     }
 
     /// Adds the learning rate (log-uniform over 0.01..=1.0) to the search
@@ -208,6 +236,17 @@ impl TrainingBackend for SimTrainingBackend {
     }
 
     fn run_trial(&mut self, config: &Config, budget: TrialBudget) -> TrialMeasurement {
+        // One fault draw per call, keyed by a monotone cursor so the fate
+        // of trial N never depends on how many faults fired before it —
+        // and so a checkpoint can replay the cursor on resume.
+        let injected = match &self.faults {
+            Some(injector) => {
+                let draw = self.fault_draws;
+                self.fault_draws += 1;
+                injector.trial_fault(draw)
+            }
+            None => None,
+        };
         let hp = config
             .get(PARAM_MODEL_HP)
             .unwrap_or(self.workload.model_hp_values[0]);
@@ -233,13 +272,16 @@ impl TrainingBackend for SimTrainingBackend {
         );
         if working_set > spec.dram_bytes {
             // The trial crashes during setup/first iteration: the setup
-            // cost is paid, nothing is learned.
+            // cost is paid, nothing is learned. This is a *natural*
+            // failure — deterministic in the configuration, so it is not
+            // marked as injected and retrying it would be pointless.
             let overhead = Seconds::new(TRIAL_OVERHEAD_S);
             let overhead_power = spec.idle_power + spec.core_power * (0.25 * f64::from(units));
             return TrialMeasurement {
                 accuracy: 0.0,
                 runtime: overhead,
                 energy: overhead_power * overhead,
+                injected: None,
             };
         }
 
@@ -263,6 +305,29 @@ impl TrainingBackend for SimTrainingBackend {
         training.latency += overhead;
         training.energy += overhead_power * overhead;
 
+        match injected {
+            Some(TrialFault::Crash) => {
+                // The process dies mid-first-epoch: setup plus half an
+                // epoch's work is paid, nothing is learned.
+                let paid = overhead + epoch.latency * 0.5;
+                let paid_energy = overhead_power * overhead + epoch.energy * 0.5;
+                return TrialMeasurement {
+                    accuracy: 0.0,
+                    runtime: paid,
+                    energy: paid_energy,
+                    injected,
+                };
+            }
+            Some(TrialFault::Straggle { slowdown }) => {
+                // Co-location interference: the device is busy for
+                // `slowdown` times longer at the same power draw, but the
+                // trial still completes and learns normally.
+                training.latency = training.latency * slowdown;
+                training.energy = training.energy * slowdown;
+            }
+            None => {}
+        }
+
         let mut quality = TrainingQuality::from_batch(batch);
         if self.tune_learning_rate {
             if let Some(lr) = config.get(PARAM_LEARNING_RATE) {
@@ -280,7 +345,16 @@ impl TrainingBackend for SimTrainingBackend {
             accuracy,
             runtime: training.latency,
             energy: training.energy,
+            injected,
         }
+    }
+
+    fn fault_cursor(&self) -> u64 {
+        self.fault_draws
+    }
+
+    fn set_fault_cursor(&mut self, cursor: u64) {
+        self.fault_draws = cursor;
     }
 }
 
@@ -466,6 +540,7 @@ impl TrainingBackend for NnTrainingBackend {
             accuracy: report.final_val_accuracy(),
             runtime: elapsed,
             energy: self.host_power * elapsed,
+            injected: None,
         }
     }
 }
@@ -610,6 +685,67 @@ mod tests {
             let c = space.sample(&mut rng);
             assert!(space.validate(&c).is_ok());
         }
+    }
+
+    #[test]
+    fn injected_crash_pays_setup_but_learns_nothing() {
+        use edgetune_faults::FaultPlan;
+        let injector =
+            FaultInjector::new(FaultPlan::none().with_trial_crash(1.0), SeedStream::new(40));
+        let mut backend = sim().with_fault_injector(injector);
+        let m = backend.run_trial(&config(18.0, 128.0, 1.0), TrialBudget::new(2.0, 0.5));
+        assert_eq!(m.injected, Some(TrialFault::Crash));
+        assert_eq!(m.accuracy, 0.0);
+        assert!(m.runtime.value() >= TRIAL_OVERHEAD_S);
+        let healthy = sim().run_trial(&config(18.0, 128.0, 1.0), TrialBudget::new(2.0, 0.5));
+        assert!(m.runtime < healthy.runtime, "a crash dies mid-first-epoch");
+        assert_eq!(backend.fault_cursor(), 1, "one draw per trial");
+    }
+
+    #[test]
+    fn injected_straggler_slows_but_still_learns() {
+        use edgetune_faults::FaultPlan;
+        let plan = FaultPlan {
+            trial_straggler: 1.0,
+            straggler_slowdown: 3.0,
+            ..FaultPlan::none()
+        };
+        let injector = FaultInjector::new(plan, SeedStream::new(41));
+        let mut backend = sim().with_fault_injector(injector);
+        let cfg = config(18.0, 128.0, 1.0);
+        let budget = TrialBudget::new(2.0, 0.5);
+        let slow = backend.run_trial(&cfg, budget);
+        let healthy = sim().run_trial(&cfg, budget);
+        assert!(matches!(slow.injected, Some(TrialFault::Straggle { .. })));
+        assert!((slow.runtime.value() - healthy.runtime.value() * 3.0).abs() < 1e-6);
+        assert_eq!(slow.accuracy, healthy.accuracy, "stragglers still learn");
+    }
+
+    #[test]
+    fn fault_cursor_restores_the_same_fates() {
+        use edgetune_faults::FaultPlan;
+        let injector = || FaultInjector::new(FaultPlan::uniform(0.4), SeedStream::new(42));
+        let cfg = config(18.0, 128.0, 1.0);
+        let budget = TrialBudget::new(1.0, 0.2);
+        let mut full = sim().with_fault_injector(injector());
+        let fates: Vec<_> = (0..10)
+            .map(|_| full.run_trial(&cfg, budget).injected)
+            .collect();
+        // A "resumed" backend with the cursor restored to 5 replays
+        // fates 5.. exactly.
+        let mut resumed = sim().with_fault_injector(injector());
+        resumed.set_fault_cursor(5);
+        for expected in &fates[5..] {
+            assert_eq!(resumed.run_trial(&cfg, budget).injected, *expected);
+        }
+    }
+
+    #[test]
+    fn no_injector_means_no_injection_marker() {
+        let mut backend = sim();
+        let m = backend.run_trial(&config(18.0, 128.0, 1.0), TrialBudget::new(1.0, 0.2));
+        assert_eq!(m.injected, None);
+        assert_eq!(backend.fault_cursor(), 0);
     }
 }
 

@@ -15,6 +15,14 @@
 //!                                              # deploy the tuned configuration
 //!                                              # into the serving runtime and
 //!                                              # print the JSON serving report
+//! edgetune chaos --workload ic --rate 0.1 --seed 7
+//!                                              # tune under deterministic fault
+//!                                              # injection and print how the
+//!                                              # run degraded
+//! edgetune --workload ic --checkpoint study.json
+//!                                              # checkpoint after every rung;
+//!                                              # add --resume to continue an
+//!                                              # interrupted run
 //! ```
 
 use std::process::ExitCode;
@@ -43,6 +51,21 @@ struct Args {
     pipelining: bool,
     historical_cache: bool,
     scenario: Option<Scenario>,
+    checkpoint: Option<String>,
+    resume: bool,
+}
+
+struct ChaosArgs {
+    workload: WorkloadId,
+    metric: Metric,
+    seed: u64,
+    rate: f64,
+    initial: usize,
+    max_iteration: u32,
+    checkpoint: Option<String>,
+    resume: bool,
+    halt_after_rungs: Option<u32>,
+    json: Option<String>,
 }
 
 struct ServeArgs {
@@ -118,6 +141,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         pipelining: true,
         historical_cache: true,
         scenario: None,
+        checkpoint: None,
+        resume: false,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -170,18 +195,24 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--no-pipelining" => args.pipelining = false,
             "--no-cache" => args.historical_cache = false,
             "--scenario" => args.scenario = Some(parse_scenario(&value(&mut argv, "--scenario")?)?),
+            "--checkpoint" => args.checkpoint = Some(value(&mut argv, "--checkpoint")?),
+            "--resume" => args.resume = true,
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
                      [--trials N] [--max-iter N] [--trial-workers N] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
+                     [--checkpoint FILE] [--resume] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
                      \n\
                      subcommands:\n  \
                      edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
                      [--trace poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
-                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]"
+                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]\n  \
+                     edgetune chaos [--workload ic|sr|nlp|od] [--metric runtime|energy] \
+                     [--rate P] [--seed N] [--trials N] [--max-iter N] [--checkpoint FILE] \
+                     [--resume] [--halt-after-rungs N] [--json FILE]"
                 );
                 std::process::exit(0);
             }
@@ -281,6 +312,136 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
     Ok(args)
 }
 
+fn parse_chaos_args(argv: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
+    let mut args = ChaosArgs {
+        workload: WorkloadId::Ic,
+        metric: Metric::Runtime,
+        seed: 42,
+        rate: 0.1,
+        initial: 8,
+        max_iteration: 8,
+        checkpoint: None,
+        resume: false,
+        halt_after_rungs: None,
+        json: None,
+    };
+    let mut argv = argv;
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                args.workload = parse_workload(&value(&mut argv, "--workload")?)?
+            }
+            "--metric" | "-m" => {
+                args.metric = match value(&mut argv, "--metric")?.to_lowercase().as_str() {
+                    "runtime" => Metric::Runtime,
+                    "energy" => Metric::Energy,
+                    other => return Err(format!("unknown metric '{other}' (runtime|energy)")),
+                }
+            }
+            "--seed" | "-s" => {
+                args.seed = value(&mut argv, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--rate" | "-r" => {
+                args.rate = value(&mut argv, "--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad fault rate: {e}"))?;
+                if !(0.0..=1.0).contains(&args.rate) {
+                    return Err("--rate must be within [0, 1]".into());
+                }
+            }
+            "--trials" | "-n" => {
+                args.initial = value(&mut argv, "--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad trial count: {e}"))?;
+            }
+            "--max-iter" => {
+                args.max_iteration = value(&mut argv, "--max-iter")?
+                    .parse()
+                    .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            "--checkpoint" => args.checkpoint = Some(value(&mut argv, "--checkpoint")?),
+            "--resume" => args.resume = true,
+            "--halt-after-rungs" => {
+                args.halt_after_rungs = Some(
+                    value(&mut argv, "--halt-after-rungs")?
+                        .parse()
+                        .map_err(|e| format!("bad rung count: {e}"))?,
+                );
+            }
+            "--json" => args.json = Some(value(&mut argv, "--json")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: edgetune chaos [--workload ic|sr|nlp|od] [--metric runtime|energy] \
+                     [--rate P] [--seed N] [--trials N] [--max-iter N] [--checkpoint FILE] \
+                     [--resume] [--halt-after-rungs N] [--json FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_chaos(args: &ChaosArgs) -> Result<(), String> {
+    let mut config = EdgeTuneConfig::for_workload(args.workload)
+        .with_metric(args.metric)
+        .with_scheduler(SchedulerConfig::new(args.initial, 2.0, args.max_iteration))
+        .with_seed(args.seed)
+        .with_fault_plan(FaultPlan::uniform(args.rate));
+    if let Some(path) = &args.checkpoint {
+        config = config.with_checkpoint_path(path);
+    }
+    if args.resume {
+        config = config.resuming();
+    }
+    if let Some(rungs) = args.halt_after_rungs {
+        config = config.with_halt_after_rungs(rungs);
+    }
+
+    eprintln!(
+        "chaos-tuning {} at fault rate {:.0}% (seed {})...",
+        args.workload,
+        args.rate * 100.0,
+        args.seed
+    );
+    let report = EdgeTune::new(config).run().map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    if let Some(faults) = report.faults() {
+        let d = &faults.degradation;
+        println!("== fault report ==");
+        println!("failed trials    : {}", faults.failed_trials);
+        println!(
+            "trial faults     : {} crashes, {} stragglers, {} timeouts",
+            d.trial_crashes, d.trial_stragglers, d.trial_timeouts
+        );
+        println!(
+            "trial recovery   : {} retries, {} skipped with penalty",
+            d.trial_retries, d.trials_skipped
+        );
+        println!(
+            "inference faults : {} lost replies, {} injected losses, {} outages, {} real panics",
+            d.worker_losses, faults.injected_losses, faults.injected_outages, faults.worker_panics
+        );
+        println!(
+            "inference rescue : {} retries, {} stale-cache answers, {} default recommendations",
+            d.inference_retries, d.stale_cache_served, d.default_recommendations
+        );
+    }
+    if let Some(path) = &args.json {
+        let json = report.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("chaos report written to {path}");
+    }
+    Ok(())
+}
+
 /// Maps a trace name and design rate onto a concrete traffic profile.
 fn traffic_for(trace: &str, rate: f64, horizon: f64) -> TrafficProfile {
     match trace {
@@ -369,6 +530,23 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("chaos") {
+        argv.next();
+        let args = match parse_chaos_args(argv) {
+            Ok(args) => args,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_chaos(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.peek().map(String::as_str) == Some("serve") {
         argv.next();
         let args = match parse_serve_args(argv) {
@@ -415,6 +593,12 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.cache {
         config = config.with_cache_path(path);
+    }
+    if let Some(path) = &args.checkpoint {
+        config = config.with_checkpoint_path(path);
+    }
+    if args.resume {
+        config = config.resuming();
     }
     if !args.pipelining {
         config = config.without_pipelining();

@@ -64,13 +64,17 @@ impl CacheStats {
 }
 
 /// The historical results store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistoricalCache {
     entries: HashMap<String, InferenceRecommendation>,
     /// Hit/miss counters are per-process observability, not durable
     /// state: a freshly-loaded cache starts counting from zero.
     #[serde(skip)]
     stats: CacheStats,
+    /// Entries (or whole files) skipped by a corruption-tolerant load;
+    /// per-process observability like `stats`.
+    #[serde(skip)]
+    corrupt_entries: u64,
 }
 
 impl HistoricalCache {
@@ -137,7 +141,16 @@ impl HistoricalCache {
         self.stats
     }
 
-    /// Serialises the cache to a JSON file.
+    /// Entries skipped as unparseable by the last [`HistoricalCache::load`]
+    /// (a whole-file tear counts as one).
+    #[must_use]
+    pub fn corrupt_entries(&self) -> u64 {
+        self.corrupt_entries
+    }
+
+    /// Serialises the cache to a JSON file, atomically: the bytes go to a
+    /// `.tmp` sibling first and are renamed into place, so a crash
+    /// mid-save can never leave a half-written cache behind.
     ///
     /// # Errors
     ///
@@ -145,18 +158,58 @@ impl HistoricalCache {
     pub fn save(&self, path: &Path) -> Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| Error::storage(format!("serialising cache: {e}")))?;
-        std::fs::write(path, json)?;
+        let file_name = path.file_name().ok_or_else(|| {
+            Error::storage(format!("cache path {} has no file name", path.display()))
+        })?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
     /// Loads a cache previously written by [`HistoricalCache::save`].
     ///
+    /// Tolerates corruption: a file torn by a non-atomic writer (or
+    /// hand-edited into invalid shape) does not fail the run. Entries
+    /// that still parse are salvaged; the rest are skipped and counted in
+    /// [`HistoricalCache::corrupt_entries`].
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::Storage`] on I/O or deserialisation failure.
+    /// Returns [`Error::Storage`] only when the file cannot be *read*
+    /// (missing file, permissions) — never for unparseable content.
     pub fn load(path: &Path) -> Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| Error::storage(format!("parsing cache: {e}")))
+        match serde_json::from_str(&json) {
+            Ok(cache) => Ok(cache),
+            Err(_) => Ok(Self::load_lenient(&json)),
+        }
+    }
+
+    /// Salvages whatever entries still parse from a corrupt cache file.
+    fn load_lenient(json: &str) -> Self {
+        let mut cache = HistoricalCache::new();
+        let Ok(value) = serde_json::from_str::<serde_json::Value>(json) else {
+            // Torn mid-write: the document itself is not JSON.
+            cache.corrupt_entries = 1;
+            return cache;
+        };
+        match value.get("entries").and_then(serde_json::Value::as_object) {
+            Some(entries) => {
+                for (key, entry) in entries {
+                    match serde_json::from_value::<InferenceRecommendation>(entry.clone()) {
+                        Ok(rec) => {
+                            cache.entries.insert(key.clone(), rec);
+                        }
+                        Err(_) => cache.corrupt_entries += 1,
+                    }
+                }
+            }
+            None => cache.corrupt_entries = 1,
+        }
+        cache
     }
 }
 
@@ -247,6 +300,53 @@ mod tests {
     fn load_missing_file_errors() {
         let err = HistoricalCache::load(Path::new("/nonexistent/cache.json")).unwrap_err();
         assert!(matches!(err, Error::Storage(_)));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("a"), rec(8));
+        let dir = std::env::temp_dir().join("edgetune-cache-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(
+            !dir.join("cache.json.tmp").exists(),
+            "the temp sibling must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_salvages_good_entries_and_counts_corrupt_ones() {
+        let mut cache = HistoricalCache::new();
+        cache.store(&key("good"), rec(8));
+        let mut json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&cache).expect("cache serialises"))
+                .unwrap();
+        json["entries"]["Raspberry Pi 3B+|bad|runtime"] = serde_json::json!({"batch": "oops"});
+        let dir = std::env::temp_dir().join("edgetune-cache-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, serde_json::to_string(&json).unwrap()).unwrap();
+        let loaded = HistoricalCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1, "the good entry survives");
+        assert_eq!(loaded.corrupt_entries(), 1, "the bad entry is counted");
+        assert!(loaded.peek(&key("good")).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_tolerates_a_fully_torn_file() {
+        let dir = std::env::temp_dir().join("edgetune-cache-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "{\"entries\": {\"a|b|runtime\": {\"dev").unwrap();
+        let loaded = HistoricalCache::load(&path).unwrap();
+        assert!(loaded.is_empty(), "nothing salvageable from a torn prefix");
+        assert!(loaded.corrupt_entries() >= 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Study checkpoints: serialize tuning progress after each rung so an
+//! interrupted run can resume and finish with the *exact* history an
+//! uninterrupted run would have produced.
+//!
+//! Determinism is the whole point, so the format is built for exact
+//! round-trips: trial scores are stored as raw IEEE-754 bits
+//! (`f64::to_bits`) because failed trials carry `f64::INFINITY`
+//! penalties, which plain JSON would flatten to `null`. Alongside the
+//! trial log the checkpoint records the two fault-injection cursors —
+//! the training backend's draw counter and the inference server's
+//! request sequence — so a resumed run replays the same fate for every
+//! *future* trial and request as the uninterrupted run.
+
+use std::path::Path;
+
+use edgetune_tuner::budget::TrialBudget;
+use edgetune_tuner::space::Config;
+use edgetune_tuner::{History, TrialFailure, TrialOutcome, TrialRecord};
+use edgetune_util::units::{Joules, Seconds};
+use edgetune_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::HistoricalCache;
+
+/// One trial in checkpoint form. Identical to [`TrialRecord`] except the
+/// score travels as raw bits so non-finite penalties survive JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointTrial {
+    id: u64,
+    config: Config,
+    budget: TrialBudget,
+    /// `f64::to_bits` of the scheduler score — exact for every value,
+    /// including the infinite penalties of failed trials.
+    score_bits: u64,
+    accuracy: f64,
+    runtime: Seconds,
+    energy: Joules,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    failure: Option<TrialFailure>,
+}
+
+impl From<&TrialRecord> for CheckpointTrial {
+    fn from(record: &TrialRecord) -> Self {
+        CheckpointTrial {
+            id: record.id,
+            config: record.config.clone(),
+            budget: record.budget,
+            score_bits: record.outcome.score.to_bits(),
+            accuracy: record.outcome.accuracy,
+            runtime: record.outcome.runtime,
+            energy: record.outcome.energy,
+            failure: record.outcome.failure,
+        }
+    }
+}
+
+impl From<&CheckpointTrial> for TrialRecord {
+    fn from(trial: &CheckpointTrial) -> Self {
+        TrialRecord {
+            id: trial.id,
+            config: trial.config.clone(),
+            budget: trial.budget,
+            outcome: TrialOutcome {
+                score: f64::from_bits(trial.score_bits),
+                accuracy: trial.accuracy,
+                runtime: trial.runtime,
+                energy: trial.energy,
+                failure: trial.failure,
+            },
+        }
+    }
+}
+
+/// A resumable snapshot of a tuning study, written after each completed
+/// rung.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyCheckpoint {
+    /// The seed the interrupted study ran under. Resuming under a
+    /// different seed would silently diverge, so loads verify it.
+    pub seed: u64,
+    trials: Vec<CheckpointTrial>,
+    /// The historical cache at checkpoint time (inference results are
+    /// the expensive part of a rung — no reason to recompute them).
+    pub cache: HistoricalCache,
+    /// Training-backend fault-draw cursor: how many trial fates the
+    /// injector has already decided.
+    pub fault_cursor: u64,
+    /// Inference-server request sequence: how many requests have been
+    /// submitted (each one's fate is keyed by its sequence number).
+    pub inference_cursor: u64,
+}
+
+impl StudyCheckpoint {
+    /// Snapshots a study in progress.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        history: &History,
+        cache: HistoricalCache,
+        fault_cursor: u64,
+        inference_cursor: u64,
+    ) -> Self {
+        StudyCheckpoint {
+            seed,
+            trials: history
+                .records()
+                .iter()
+                .map(CheckpointTrial::from)
+                .collect(),
+            cache,
+            fault_cursor,
+            inference_cursor,
+        }
+    }
+
+    /// Reconstructs the trial history, bit-exact.
+    #[must_use]
+    pub fn history(&self) -> History {
+        let mut history = History::new();
+        history.extend(self.trials.iter().map(TrialRecord::from));
+        history
+    }
+
+    /// Number of checkpointed trials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// True when no trials were checkpointed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Writes the checkpoint atomically (`.tmp` sibling + rename), the
+    /// same crash-safety discipline as [`HistoricalCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] on I/O or serialisation failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| Error::storage(format!("serialising checkpoint: {e}")))?;
+        let file_name = path.file_name().ok_or_else(|| {
+            Error::storage(format!(
+                "checkpoint path {} has no file name",
+                path.display()
+            ))
+        })?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint written by [`StudyCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] when the file is missing, unreadable,
+    /// or not a valid checkpoint (a checkpoint is exact state — unlike
+    /// the historical cache there is no lenient mode here; a corrupt
+    /// checkpoint must not silently resume from wrong state).
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| Error::storage(format!("parsing checkpoint {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheKey;
+    use crate::inference::InferenceRecommendation;
+    use edgetune_tuner::Metric;
+    use edgetune_util::units::{Hertz, ItemsPerSecond, JoulesPerItem};
+
+    fn record(id: u64, score: f64) -> TrialRecord {
+        TrialRecord {
+            id,
+            config: Config::new().with("batch", 8.0).with("lr", 0.01),
+            budget: TrialBudget::new(4.0, 1.0),
+            outcome: TrialOutcome::new(score, 0.8, Seconds::new(12.0), Joules::new(30.0)),
+        }
+    }
+
+    fn failed_record(id: u64) -> TrialRecord {
+        TrialRecord {
+            id,
+            config: Config::new().with("batch", 16.0),
+            budget: TrialBudget::new(2.0, 1.0),
+            outcome: TrialOutcome::failed(TrialFailure::Crash, Seconds::new(3.0), Joules::new(7.0)),
+        }
+    }
+
+    fn sample_cache() -> HistoricalCache {
+        let mut cache = HistoricalCache::new();
+        cache.store(
+            &CacheKey::new("Raspberry Pi 3B+", "ResNet/layers=18", Metric::Runtime),
+            InferenceRecommendation {
+                device: "Raspberry Pi 3B+".to_string(),
+                batch: 8,
+                cores: 4,
+                freq: Hertz::from_ghz(1.4),
+                latency_per_item: Seconds::new(0.05),
+                energy_per_item: JoulesPerItem::new(0.3),
+                throughput: ItemsPerSecond::new(20.0),
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn history_round_trips_through_json_including_infinite_scores() {
+        let mut history = History::new();
+        history.push(record(0, 1.25));
+        history.push(failed_record(1));
+        history.push(record(2, 0.75));
+        let ckpt = StudyCheckpoint::new(42, &history, sample_cache(), 7, 11);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: StudyCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.fault_cursor, 7);
+        assert_eq!(back.inference_cursor, 11);
+        assert_eq!(back.history(), history, "bit-exact history round-trip");
+        assert!(back.history().records()[1].outcome.score.is_infinite());
+        assert_eq!(back.cache.len(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_atomic() {
+        let mut history = History::new();
+        history.push(record(0, 2.0));
+        let ckpt = StudyCheckpoint::new(9, &history, HistoricalCache::new(), 1, 1);
+        let dir = std::env::temp_dir().join("edgetune-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt.json");
+        ckpt.save(&path).unwrap();
+        assert!(!dir.join("study.ckpt.json.tmp").exists());
+        let loaded = StudyCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected_not_salvaged() {
+        let dir = std::env::temp_dir().join("edgetune-checkpoint-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt.json");
+        std::fs::write(&path, "{\"seed\": 42, \"trials\": [tor").unwrap();
+        assert!(StudyCheckpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

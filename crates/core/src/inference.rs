@@ -367,6 +367,28 @@ pub fn recommend_across(
         .collect()
 }
 
+/// The conservative device-model default recommendation the degradation
+/// ladder falls back to when the inference server cannot answer: batch 1,
+/// all cores, maximum frequency — never optimal, always deployable — with
+/// latency/energy/throughput estimated from the device model.
+#[must_use]
+pub fn fallback_recommendation(
+    device: &DeviceSpec,
+    profile: &WorkProfile,
+) -> InferenceRecommendation {
+    let alloc = CpuAllocation::full(device);
+    let exec = simulate_inference(device, &alloc, profile, 1);
+    InferenceRecommendation {
+        device: device.name.clone(),
+        batch: 1,
+        cores: device.cores,
+        freq: device.max_freq,
+        latency_per_item: exec.latency,
+        energy_per_item: energy_per_item(exec.energy, 1.0),
+        throughput: throughput(1.0, exec.latency),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,5 +562,19 @@ mod tests {
         let (_, c_big) = s_big.tune(&resnet18());
         assert!(c_big.runtime > c_small.runtime);
         assert!(c_big.configs > c_small.configs);
+    }
+
+    #[test]
+    fn fallback_recommendation_is_deployable_but_not_optimal() {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let fallback = fallback_recommendation(&device, &resnet18());
+        assert_eq!(fallback.batch, 1);
+        assert_eq!(fallback.cores, device.cores);
+        assert_eq!(fallback.freq, device.max_freq);
+        assert!(fallback.latency_per_item.value() > 0.0);
+        assert!(fallback.throughput.value() > 0.0);
+        // The tuned optimum never loses to the fallback on the objective.
+        let (tuned, _) = server(Metric::Runtime).tune(&resnet18());
+        assert!(tuned.latency_per_item <= fallback.latency_per_item);
     }
 }

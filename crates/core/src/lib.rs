@@ -51,6 +51,7 @@ pub mod async_server;
 pub mod backend;
 pub mod batching;
 pub mod cache;
+pub mod checkpoint;
 pub mod inference;
 pub mod scenario;
 pub mod serve;
@@ -61,6 +62,7 @@ pub mod timeline;
 pub mod prelude {
     pub use crate::inference::{InferenceRecommendation, InferenceSpace};
     pub use crate::server::{EdgeTune, EdgeTuneConfig, TuningReport};
+    pub use edgetune_faults::{DegradationLadder, FaultPlan, RetryPolicy, Supervisor};
     pub use edgetune_tuner::{BudgetPolicy, Metric, SchedulerConfig};
     pub use edgetune_workloads::WorkloadId;
 }

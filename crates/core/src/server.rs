@@ -18,25 +18,34 @@
 //! essentially never happens). Its *energy*, however, is real work done by
 //! the tuning server and is always added.
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::time::Duration;
 
+use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::{
+    DegradationLadder, DegradationStats, Fallback, FaultInjector, FaultPlan, Supervisor, TrialFault,
+};
 use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
 use edgetune_tuner::objective::{InferenceObjective, TrainMeasurement, TrainObjective};
 use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
 use edgetune_tuner::scheduler::{Evaluate, HyperBand, SchedulerConfig, SuccessiveHalving};
 use edgetune_tuner::space::Config;
-use edgetune_tuner::trial::{History, TrialOutcome, TrialRecord};
+use edgetune_tuner::trial::{History, TrialFailure, TrialOutcome, TrialRecord};
 use edgetune_tuner::Metric;
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Joules, Seconds};
 use edgetune_util::{Error, Result};
 use edgetune_workloads::catalog::{Workload, WorkloadId};
 
-use crate::async_server::AsyncInferenceServer;
+use crate::async_server::{AsyncInferenceServer, InferenceReply};
 use crate::backend::{SimTrainingBackend, TrainingBackend};
 use crate::cache::{CacheKey, CacheStats, HistoricalCache};
-use crate::inference::{InferenceRecommendation, InferenceSpace, InferenceTuningServer};
+use crate::checkpoint::StudyCheckpoint;
+use crate::inference::{
+    fallback_recommendation, InferenceRecommendation, InferenceSpace, InferenceTuningServer,
+};
 use crate::timeline::{Lane, Timeline};
 
 /// Which search strategy the Model Tuning Server uses (§4.2; the user
@@ -90,6 +99,29 @@ pub struct EdgeTuneConfig {
     pub trial_workers: usize,
     /// Root randomness seed.
     pub seed: u64,
+    /// Fault-injection plan for chaos runs. [`FaultPlan::none`] (the
+    /// default) injects nothing and leaves every code path and report
+    /// byte-identical to a fault-free build.
+    pub fault_plan: FaultPlan,
+    /// Retry/backoff/deadline policy the fault-tolerance layer applies to
+    /// crashed trials and lost inference replies.
+    pub supervisor: Supervisor,
+    /// Ordered fallbacks when an inference reply is lost.
+    pub degradation: DegradationLadder,
+    /// Real-time cap on waiting for one inference reply before the
+    /// degradation ladder engages.
+    pub reply_timeout: Duration,
+    /// Write a resumable study checkpoint here after every completed
+    /// rung, if set.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` when it exists: completed trials are
+    /// replayed from the checkpoint instead of re-executed, and the
+    /// fault-injection cursors are restored so the continuation makes the
+    /// same random decisions the uninterrupted run would have made.
+    pub resume: bool,
+    /// Stop tuning after this many completed rungs, if set — the
+    /// controlled "interruption" used to exercise checkpoint/resume.
+    pub halt_after_rungs: Option<u32>,
 }
 
 impl EdgeTuneConfig {
@@ -114,6 +146,13 @@ impl EdgeTuneConfig {
             inference_workers: 1,
             trial_workers: 1,
             seed: SeedStream::default().seed(),
+            fault_plan: FaultPlan::none(),
+            supervisor: Supervisor::default(),
+            degradation: DegradationLadder::default(),
+            reply_timeout: Duration::from_secs(30),
+            checkpoint_path: None,
+            resume: false,
+            halt_after_rungs: None,
         }
     }
 
@@ -224,6 +263,56 @@ impl EdgeTuneConfig {
         self
     }
 
+    /// Enables fault injection under `plan` (a chaos run).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the retry/deadline policy of the fault-tolerance layer.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Sets the degradation ladder for lost inference replies.
+    #[must_use]
+    pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
+        self.degradation = ladder;
+        self
+    }
+
+    /// Sets the real-time cap on waiting for one inference reply.
+    #[must_use]
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Checkpoints the study at `path` after every completed rung.
+    #[must_use]
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from the configured checkpoint path when it exists.
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Halts tuning after `rungs` completed rungs (a controlled
+    /// interruption for checkpoint/resume testing).
+    #[must_use]
+    pub fn with_halt_after_rungs(mut self, rungs: u32) -> Self {
+        self.halt_after_rungs = Some(rungs);
+        self
+    }
+
     fn build_sampler(&self) -> Box<dyn Sampler> {
         let seed = SeedStream::new(self.seed).child("sampler");
         match self.sampler {
@@ -232,6 +321,26 @@ impl EdgeTuneConfig {
             SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
         }
     }
+}
+
+/// What the fault-tolerance layer observed during a chaos run: the plan
+/// that was injected, every ladder rung exercised, and the failure
+/// counters of both servers. Present in a [`TuningReport`] only when a
+/// fault plan was active, so fault-free reports are unchanged.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultReport {
+    /// The injected fault plan.
+    pub plan: FaultPlan,
+    /// Faults observed and fallbacks taken by the Model Tuning Server.
+    pub degradation: DegradationStats,
+    /// Real panics caught by the inference server's supervision loop.
+    pub worker_panics: u64,
+    /// Inference requests dropped by injected worker deaths.
+    pub injected_losses: u64,
+    /// Inference sweeps delayed by injected device outages.
+    pub injected_outages: u64,
+    /// Trials that ended with a failure marker in the history.
+    pub failed_trials: u64,
 }
 
 /// The outcome of an EdgeTune run.
@@ -245,6 +354,8 @@ pub struct TuningReport {
     makespan: Seconds,
     stall_time: Seconds,
     inference_energy: Joules,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    faults: Option<FaultReport>,
 }
 
 impl TuningReport {
@@ -327,12 +438,19 @@ impl TuningReport {
         self.cache_stats
     }
 
+    /// What the fault-tolerance layer observed — `None` unless the run
+    /// had an active fault plan.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultReport> {
+        self.faults.as_ref()
+    }
+
     /// A compact human-readable summary of the run — what the CLI and
     /// examples print.
     #[must_use]
     pub fn summary(&self) -> String {
         let rec = &self.recommendation;
-        format!(
+        let mut summary = format!(
             "winner {} (accuracy {:.1}%, {} trials)\n\
              tuning {:.1} min / {:.1} kJ (stall {:.1}s, cache {}h/{}m)\n\
              deploy on {}: batch {}, {} cores @ {:.2} GHz -> {:.1} items/s, {:.3} J/item",
@@ -350,7 +468,25 @@ impl TuningReport {
             rec.freq.as_ghz(),
             rec.throughput.value(),
             rec.energy_per_item.value(),
-        )
+        );
+        if let Some(faults) = &self.faults {
+            let d = &faults.degradation;
+            summary.push_str(&format!(
+                "\nchaos: {} failed trials ({} crashes, {} stragglers, {} timeouts), \
+                 {} retries, {} lost replies \
+                 (stale-cache {}, default-rec {}, skipped {})",
+                faults.failed_trials,
+                d.trial_crashes,
+                d.trial_stragglers,
+                d.trial_timeouts,
+                d.trial_retries,
+                d.worker_losses,
+                d.stale_cache_served,
+                d.default_recommendations,
+                d.trials_skipped,
+            ));
+        }
+        summary
     }
 
     /// Serialises the full report (history, winner, recommendation,
@@ -379,7 +515,7 @@ impl TuningReport {
 struct OnefoldEvaluator<'a> {
     backend: &'a mut dyn TrainingBackend,
     inference: &'a AsyncInferenceServer,
-    device_name: &'a str,
+    device: &'a DeviceSpec,
     inference_metric: Metric,
     objective: TrainObjective,
     timeline: &'a mut Timeline,
@@ -388,6 +524,27 @@ struct OnefoldEvaluator<'a> {
     clock: Seconds,
     stall: Seconds,
     inference_energy: Joules,
+    /// Whether a fault plan is active. With `false` every fault-tolerance
+    /// branch below is dead code and the evaluator behaves exactly like
+    /// the pre-chaos implementation.
+    faults_enabled: bool,
+    supervisor: Supervisor,
+    ladder: &'a DegradationLadder,
+    reply_timeout: Duration,
+    /// Seed stream for backoff jitter; draws are counted so retried
+    /// operations never share a jitter value.
+    supervisor_seed: SeedStream,
+    backoff_draws: u64,
+    stats: DegradationStats,
+    /// Checkpointing: where to write, under which root seed, and how many
+    /// rungs have completed (the halt criterion).
+    checkpoint_path: Option<&'a PathBuf>,
+    root_seed: u64,
+    halt_after_rungs: Option<u32>,
+    rungs_completed: u32,
+    /// Trials restored from a checkpoint, replayed front-to-back instead
+    /// of re-executed. Empty on a fresh run.
+    replay: VecDeque<TrialRecord>,
 }
 
 /// Everything one trial produced, before timeline/clock accounting.
@@ -402,54 +559,208 @@ struct TrialRun {
 }
 
 impl OnefoldEvaluator<'_> {
+    fn next_backoff(&mut self, attempt: u32) -> Seconds {
+        let draw = self.backoff_draws;
+        self.backoff_draws += 1;
+        self.supervisor.backoff(attempt, self.supervisor_seed, draw)
+    }
+
+    /// Walks the degradation ladder after an inference reply was lost.
+    /// Returns the salvaged reply (if any rung produced one) and the
+    /// extra stall time the recovery cost.
+    fn degrade(
+        &mut self,
+        key: &CacheKey,
+        profile: WorkProfile,
+    ) -> (Option<InferenceReply>, Seconds) {
+        let mut extra = Seconds::ZERO;
+        for step in self.ladder.steps() {
+            match step {
+                Fallback::Retry => {
+                    let mut attempt: u32 = 1;
+                    while !self.supervisor.give_up(attempt) {
+                        extra += self.next_backoff(attempt);
+                        self.stats.inference_retries += 1;
+                        let Some(pending) = self.inference.try_submit(key.clone(), profile) else {
+                            break;
+                        };
+                        match pending.wait_timeout(self.reply_timeout) {
+                            Ok(reply) => return (Some(reply), extra),
+                            Err(_) => {
+                                self.stats.worker_losses += 1;
+                                attempt += 1;
+                            }
+                        }
+                    }
+                }
+                Fallback::StaleCache => {
+                    if let Some(recommendation) = self.inference.peek(key) {
+                        self.stats.stale_cache_served += 1;
+                        let reply = InferenceReply {
+                            recommendation,
+                            runtime: Seconds::ZERO,
+                            energy: Joules::ZERO,
+                            cache_hit: true,
+                        };
+                        return (Some(reply), extra);
+                    }
+                }
+                Fallback::DeviceDefault => {
+                    self.stats.default_recommendations += 1;
+                    let reply = InferenceReply {
+                        recommendation: fallback_recommendation(self.device, &profile),
+                        runtime: Seconds::ZERO,
+                        energy: Joules::ZERO,
+                        cache_hit: true,
+                    };
+                    return (Some(reply), extra);
+                }
+                Fallback::SkipWithPenalty => return (None, extra),
+            }
+        }
+        (None, extra)
+    }
+
+    /// Runs the training side of one trial under the supervisor: injected
+    /// crashes are retried with backoff until success, retry exhaustion,
+    /// or the deadline. Returns the successful measurement (with the
+    /// wasted time/energy of failed attempts folded in) or the failure to
+    /// record.
+    fn train_supervised(
+        &mut self,
+        config: &Config,
+        budget: TrialBudget,
+    ) -> std::result::Result<(Seconds, Joules, f64), (TrialFailure, Seconds, Joules)> {
+        let mut attempt: u32 = 1;
+        let mut paid_runtime = Seconds::ZERO;
+        let mut paid_energy = Joules::ZERO;
+        loop {
+            let trial = self.backend.run_trial(config, budget);
+            match trial.injected {
+                Some(TrialFault::Crash) => {
+                    self.stats.trial_crashes += 1;
+                    paid_runtime += trial.runtime;
+                    paid_energy += trial.energy;
+                    if self.supervisor.deadline_exceeded(paid_runtime) {
+                        self.stats.trial_timeouts += 1;
+                        return Err((TrialFailure::Timeout, paid_runtime, paid_energy));
+                    }
+                    if self.supervisor.give_up(attempt) {
+                        self.stats.trials_skipped += 1;
+                        return Err((TrialFailure::Crash, paid_runtime, paid_energy));
+                    }
+                    paid_runtime += self.next_backoff(attempt);
+                    self.stats.trial_retries += 1;
+                    attempt += 1;
+                }
+                Some(TrialFault::Straggle { .. }) => {
+                    self.stats.trial_stragglers += 1;
+                    return Ok((
+                        paid_runtime + trial.runtime,
+                        paid_energy + trial.energy,
+                        trial.accuracy,
+                    ));
+                }
+                None => {
+                    return Ok((
+                        paid_runtime + trial.runtime,
+                        paid_energy + trial.energy,
+                        trial.accuracy,
+                    ));
+                }
+            }
+        }
+    }
+
     /// Runs one trial plus its pipelined inference request, with no
     /// global accounting.
     fn run_one(&mut self, config: &Config, budget: TrialBudget) -> TrialRun {
         // (1) Fire the inference request as soon as the architecture is
         //     known — before training starts (Algorithm 1, line 6).
         let (arch, profile) = self.backend.architecture(config);
-        let key = CacheKey::new(self.device_name, arch.clone(), self.inference_metric);
-        let pending = self.inference.submit(key, profile);
+        let key = CacheKey::new(
+            self.device.name.clone(),
+            arch.clone(),
+            self.inference_metric,
+        );
+        let pending = self.inference.submit(key.clone(), profile);
 
-        // (2) Run the training trial.
-        let trial = self.backend.run_trial(config, budget);
-
-        // (3) Collect the inference reply.
-        let reply = match pending.wait() {
-            Ok(reply) => reply,
-            Err(_) => {
-                // Server died: mark the trial infeasible rather than
-                // crashing the whole tuning job.
+        // (2) Run the training trial (supervised when faults are active).
+        let (train_runtime, train_energy, accuracy) = match self.train_supervised(config, budget) {
+            Ok(success) => success,
+            Err((failure, paid_runtime, paid_energy)) => {
+                // The trial is abandoned; still collect (and account)
+                // its pipelined sweep so the queue drains and the
+                // sweep's energy is not silently lost.
+                let (sweep_runtime, sweep_energy, cache_hit) =
+                    match pending.wait_timeout(self.reply_timeout) {
+                        Ok(reply) => (reply.runtime, reply.energy, reply.cache_hit),
+                        Err(_) => (Seconds::ZERO, Joules::ZERO, true),
+                    };
                 return TrialRun {
-                    outcome: TrialOutcome::new(
-                        f64::INFINITY,
-                        trial.accuracy,
-                        trial.runtime,
-                        trial.energy,
+                    outcome: TrialOutcome::failed(
+                        failure,
+                        paid_runtime,
+                        paid_energy + sweep_energy,
                     ),
                     arch,
-                    train_runtime: trial.runtime,
-                    sweep_runtime: Seconds::ZERO,
-                    sweep_energy: Joules::ZERO,
+                    train_runtime: paid_runtime,
+                    sweep_runtime,
+                    sweep_energy,
                     stall: Seconds::ZERO,
-                    cache_hit: true,
+                    cache_hit,
                 };
             }
+        };
+
+        // (3) Collect the inference reply, degrading when it is lost.
+        let (reply, extra_stall) = match pending.wait_timeout(self.reply_timeout) {
+            Ok(reply) => (Some(reply), Seconds::ZERO),
+            Err(_) if self.faults_enabled => {
+                self.stats.worker_losses += 1;
+                self.degrade(&key, profile)
+            }
+            Err(_) => (None, Seconds::ZERO),
+        };
+        let Some(reply) = reply else {
+            // Fault-free: the server died — mark the trial infeasible
+            // rather than crash the job (legacy behaviour, no marker).
+            // Chaos: the ladder ran dry — skip with a penalty score.
+            let outcome = if self.faults_enabled {
+                self.stats.trials_skipped += 1;
+                TrialOutcome::failed(
+                    TrialFailure::InferenceLoss,
+                    train_runtime + extra_stall,
+                    train_energy,
+                )
+            } else {
+                TrialOutcome::new(f64::INFINITY, accuracy, train_runtime, train_energy)
+            };
+            return TrialRun {
+                outcome,
+                arch,
+                train_runtime,
+                sweep_runtime: Seconds::ZERO,
+                sweep_energy: Joules::ZERO,
+                stall: extra_stall,
+                cache_hit: true,
+            };
         };
         // Pipelined: only the sweep's excess over its trial stalls the
         // model server. Synchronous (ablation): the whole sweep sits on
         // the critical path after the trial.
-        let stall = if self.pipelining {
-            Seconds::new((reply.runtime.value() - trial.runtime.value()).max(0.0))
+        let base_stall = if self.pipelining {
+            Seconds::new((reply.runtime.value() - train_runtime.value()).max(0.0))
         } else {
             reply.runtime
         };
+        let stall = base_stall + extra_stall;
 
         // (4) Combine both servers' metrics in the ratio objective.
         let measurement = TrainMeasurement {
-            accuracy: trial.accuracy,
-            train_time: trial.runtime,
-            train_energy: trial.energy,
+            accuracy,
+            train_time: train_runtime,
+            train_energy,
             inference_time: Some(reply.recommendation.latency_per_item),
             inference_energy: Some(reply.recommendation.energy_per_item),
         };
@@ -457,12 +768,12 @@ impl OnefoldEvaluator<'_> {
         TrialRun {
             outcome: TrialOutcome::new(
                 score,
-                trial.accuracy,
-                trial.runtime + stall,
-                trial.energy + reply.energy,
+                accuracy,
+                train_runtime + stall,
+                train_energy + reply.energy,
             ),
             arch,
-            train_runtime: trial.runtime,
+            train_runtime,
             sweep_runtime: reply.runtime,
             sweep_energy: reply.energy,
             stall,
@@ -491,6 +802,26 @@ impl OnefoldEvaluator<'_> {
 
 impl Evaluate for OnefoldEvaluator<'_> {
     fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome {
+        // Resume: trials already in the checkpoint are replayed, not
+        // re-executed. The scheduler regenerates the identical (id,
+        // config) sequence from the shared seed; a mismatch means the
+        // checkpoint belongs to a different run, so replay is abandoned
+        // and the trial executes live.
+        if let Some(front) = self.replay.front() {
+            if front.id == id && front.config == *config {
+                let record = self.replay.pop_front().expect("front exists");
+                let start = self.clock;
+                self.timeline.record(
+                    Lane::ModelServer,
+                    format!("trial-{id}"),
+                    start,
+                    start + record.outcome.runtime,
+                );
+                self.clock = start + record.outcome.runtime;
+                return record.outcome;
+            }
+            self.replay.clear();
+        }
         let run = self.run_one(config, budget);
         let start = self.clock;
         self.record(id, &run, start);
@@ -499,7 +830,7 @@ impl Evaluate for OnefoldEvaluator<'_> {
     }
 
     fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
-        if self.trial_workers <= 1 || trials.len() <= 1 {
+        if !self.replay.is_empty() || self.trial_workers <= 1 || trials.len() <= 1 {
             return trials
                 .into_iter()
                 .map(|(id, config, budget)| self.evaluate(id, &config, budget))
@@ -529,6 +860,27 @@ impl Evaluate for OnefoldEvaluator<'_> {
         let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
         self.clock = rung_start + makespan;
         outcomes
+    }
+
+    fn on_rung_complete(&mut self, history: &History) {
+        self.rungs_completed += 1;
+        if let Some(path) = self.checkpoint_path {
+            let checkpoint = StudyCheckpoint::new(
+                self.root_seed,
+                history,
+                self.inference.cache_snapshot(),
+                self.backend.fault_cursor(),
+                self.inference.submitted(),
+            );
+            // A failed checkpoint write must never kill the study: the
+            // run is still correct, only resumability is lost.
+            let _ = checkpoint.save(path);
+        }
+    }
+
+    fn should_halt(&self) -> bool {
+        self.halt_after_rungs
+            .is_some_and(|rungs| self.rungs_completed >= rungs)
     }
 }
 
@@ -562,6 +914,12 @@ impl EdgeTune {
         let workload = Workload::by_id(self.config.workload);
         let mut backend =
             SimTrainingBackend::new(workload, SeedStream::new(self.config.seed).child("trials"));
+        if !self.config.fault_plan.is_none() {
+            backend = backend.with_fault_injector(FaultInjector::new(
+                self.config.fault_plan,
+                SeedStream::new(self.config.seed).child("trial-faults"),
+            ));
+        }
         self.run_with_backend(&mut backend)
     }
 
@@ -578,11 +936,40 @@ impl EdgeTune {
         if space.is_empty() {
             return Err(Error::invalid_config("backend search space is empty"));
         }
+        let faults_enabled = !self.config.fault_plan.is_none();
 
-        // Historical cache: load if present, else start fresh.
-        let cache = match &self.config.cache_path {
-            Some(path) if path.exists() => HistoricalCache::load(path)?,
-            _ => HistoricalCache::new(),
+        // Resume: restore the trial log, cache, and fault cursors from the
+        // checkpoint so the continuation replays the interrupted study.
+        let mut replay: VecDeque<TrialRecord> = VecDeque::new();
+        let mut first_seq: u64 = 0;
+        let mut resumed_cache: Option<HistoricalCache> = None;
+        if self.config.resume {
+            if let Some(path) = &self.config.checkpoint_path {
+                if path.exists() {
+                    let checkpoint = StudyCheckpoint::load(path)?;
+                    if checkpoint.seed != self.config.seed {
+                        return Err(Error::invalid_config(format!(
+                            "checkpoint was written under seed {}, not {}: resuming would \
+                             silently diverge",
+                            checkpoint.seed, self.config.seed
+                        )));
+                    }
+                    backend.set_fault_cursor(checkpoint.fault_cursor);
+                    first_seq = checkpoint.inference_cursor;
+                    replay = checkpoint.history().records().to_vec().into();
+                    resumed_cache = Some(checkpoint.cache);
+                }
+            }
+        }
+
+        // Historical cache: the checkpoint's snapshot wins on resume, then
+        // the persistent file, else start fresh.
+        let cache = match resumed_cache {
+            Some(cache) => cache,
+            None => match &self.config.cache_path {
+                Some(path) if path.exists() => HistoricalCache::load(path)?,
+                _ => HistoricalCache::new(),
+            },
         };
 
         let inference_server = InferenceTuningServer::new(
@@ -590,11 +977,21 @@ impl EdgeTune {
             InferenceSpace::for_device(&self.config.edge_device),
             InferenceObjective::new(self.config.inference_metric),
         )?;
-        let async_server = AsyncInferenceServer::start_with_options(
+        let inference_faults = if faults_enabled {
+            Some(FaultInjector::new(
+                self.config.fault_plan,
+                SeedStream::new(self.config.seed).child("inference-faults"),
+            ))
+        } else {
+            None
+        };
+        let async_server = AsyncInferenceServer::start_supervised(
             inference_server,
             cache,
             self.config.inference_workers,
             self.config.historical_cache,
+            inference_faults,
+            first_seq,
         );
 
         let mut objective = TrainObjective::inference_aware(self.config.train_metric);
@@ -606,11 +1003,11 @@ impl EdgeTune {
         let mut sampler = self.config.build_sampler();
         let device_name = self.config.edge_device.name.clone();
 
-        let (history, makespan, stall, inference_energy) = {
+        let (history, makespan, stall, inference_energy, degradation) = {
             let mut evaluator = OnefoldEvaluator {
                 backend,
                 inference: &async_server,
-                device_name: &device_name,
+                device: &self.config.edge_device,
                 inference_metric: self.config.inference_metric,
                 objective,
                 timeline: &mut timeline,
@@ -619,6 +1016,18 @@ impl EdgeTune {
                 clock: Seconds::ZERO,
                 stall: Seconds::ZERO,
                 inference_energy: Joules::ZERO,
+                faults_enabled,
+                supervisor: self.config.supervisor,
+                ladder: &self.config.degradation,
+                reply_timeout: self.config.reply_timeout,
+                supervisor_seed: SeedStream::new(self.config.seed).child("supervisor"),
+                backoff_draws: 0,
+                stats: DegradationStats::default(),
+                checkpoint_path: self.config.checkpoint_path.as_ref(),
+                root_seed: self.config.seed,
+                halt_after_rungs: self.config.halt_after_rungs,
+                rungs_completed: 0,
+                replay,
             };
             let history = if self.config.hyperband {
                 HyperBand::new(self.config.scheduler).run(
@@ -640,8 +1049,14 @@ impl EdgeTune {
                 evaluator.clock,
                 evaluator.stall,
                 evaluator.inference_energy,
+                evaluator.stats,
             )
         };
+
+        // Harvest the inference server's fault counters before shutdown.
+        let worker_panics = async_server.worker_panics();
+        let injected_losses = async_server.injected_losses();
+        let injected_outages = async_server.injected_outages();
 
         // The tuning job's output is the final-rung winner: raw ratio
         // scores are only comparable within one budget level.
@@ -674,6 +1089,23 @@ impl EdgeTune {
             final_cache.save(path)?;
         }
 
+        let faults = if faults_enabled {
+            Some(FaultReport {
+                plan: self.config.fault_plan,
+                degradation,
+                worker_panics,
+                injected_losses,
+                injected_outages,
+                failed_trials: history
+                    .records()
+                    .iter()
+                    .filter(|r| r.outcome.is_failed())
+                    .count() as u64,
+            })
+        } else {
+            None
+        };
+
         Ok(TuningReport {
             history,
             best,
@@ -683,6 +1115,7 @@ impl EdgeTune {
             makespan,
             stall_time: stall,
             inference_energy,
+            faults,
         })
     }
 }
@@ -940,6 +1373,131 @@ mod parallel_tests {
             .fold(0.0f64, f64::max);
         assert!(report.tuning_runtime().value() >= longest - 1e-6);
         assert!(report.tuning_runtime() <= report.trial_resource_time());
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn disabled_plan_leaves_the_report_without_fault_keys() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(report.faults().is_none());
+        let json = report.to_json().unwrap();
+        assert!(
+            !json.contains("\"faults\"") && !json.contains("\"failure\""),
+            "a fault-free report must serialize exactly as before this feature existed"
+        );
+    }
+
+    #[test]
+    fn chaos_run_reports_what_was_injected_and_how_it_degraded() {
+        let report = EdgeTune::new(quick_config().with_fault_plan(FaultPlan::uniform(0.25)))
+            .run()
+            .unwrap();
+        let faults = report.faults().expect("chaos runs carry a fault report");
+        assert_eq!(faults.plan, FaultPlan::uniform(0.25));
+        let d = &faults.degradation;
+        assert!(
+            !d.is_empty(),
+            "a 25% fault rate over a full study must inject something"
+        );
+        assert_eq!(
+            faults.failed_trials,
+            report
+                .history()
+                .records()
+                .iter()
+                .filter(|r| r.outcome.is_failed())
+                .count() as u64
+        );
+        // The study still produces a usable answer.
+        assert!(report.best_accuracy() > 0.0 || report.best().outcome.is_failed());
+        assert!(report.recommendation().batch >= 1);
+    }
+
+    #[test]
+    fn trial_crashes_are_retried_and_survivors_win() {
+        let plan = FaultPlan::none().with_trial_crash(0.2);
+        let report = EdgeTune::new(quick_config().with_fault_plan(plan))
+            .run()
+            .unwrap();
+        let d = &report.faults().unwrap().degradation;
+        assert!(d.trial_crashes > 0, "20% crash rate must fire: {d:?}");
+        assert!(
+            d.trial_retries > 0,
+            "the supervisor must retry crashed trials: {d:?}"
+        );
+        assert!(
+            report.best().outcome.score.is_finite(),
+            "the winner must be a surviving trial"
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let config = || quick_config().with_fault_plan(FaultPlan::uniform(0.3));
+        let a = EdgeTune::new(config()).run().unwrap();
+        let b = EdgeTune::new(config()).run().unwrap();
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn lost_inference_replies_degrade_instead_of_poisoning_the_study() {
+        // Every request's worker dies, so no real recommendation ever
+        // arrives: the ladder must fall through to stale-cache/default
+        // recommendations and the run must still complete.
+        let plan = FaultPlan::none().with_worker_panic(1.0);
+        let config = quick_config()
+            .with_fault_plan(plan)
+            .with_reply_timeout(Duration::from_millis(200))
+            .with_supervisor(Supervisor::new(edgetune_faults::RetryPolicy {
+                max_attempts: 2,
+                base_delay: Seconds::new(1.0),
+                multiplier: 2.0,
+                max_delay: Seconds::new(10.0),
+                jitter: 0.5,
+            }));
+        let report = EdgeTune::new(config).run().unwrap();
+        let faults = report.faults().unwrap();
+        assert!(faults.injected_losses > 0);
+        let d = &faults.degradation;
+        assert!(d.worker_losses > 0);
+        assert!(
+            d.stale_cache_served + d.default_recommendations + d.trials_skipped > 0,
+            "lost replies must walk the ladder: {d:?}"
+        );
+        assert!(report.recommendation().batch >= 1);
+    }
+
+    #[test]
+    fn resume_under_a_different_seed_is_rejected() {
+        let dir = std::env::temp_dir().join("edgetune-resume-seed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt.json");
+        std::fs::remove_file(&path).ok();
+        let _ = EdgeTune::new(quick_config().with_checkpoint_path(&path))
+            .run()
+            .unwrap();
+        assert!(path.exists(), "each rung writes a checkpoint");
+        let err = EdgeTune::new(
+            quick_config()
+                .with_seed(43)
+                .with_checkpoint_path(&path)
+                .resuming(),
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        std::fs::remove_file(&path).ok();
     }
 }
 

@@ -1,0 +1,126 @@
+//! The degradation ladder: ordered fallbacks for a failing dependency.
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Fallback {
+    /// Resubmit the request under the retry policy.
+    Retry,
+    /// Serve the last known cache entry for the key, even if stale.
+    StaleCache,
+    /// Fall back to the device-model default recommendation (batch 1,
+    /// all cores, maximum frequency).
+    DeviceDefault,
+    /// Give up on the trial and record it with a penalty score so the
+    /// scheduler routes budget elsewhere.
+    SkipWithPenalty,
+}
+
+/// The ordered fallbacks tried when a dependency stops answering.
+///
+/// The default ladder is retry → stale cache entry → device-model default
+/// recommendation → skip the trial with a penalty score, mirroring how an
+/// operator would want an unattended tuning job to degrade: prefer any
+/// real answer over a guess, and any guess over poisoning the study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationLadder {
+    steps: Vec<Fallback>,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        DegradationLadder {
+            steps: vec![
+                Fallback::Retry,
+                Fallback::StaleCache,
+                Fallback::DeviceDefault,
+                Fallback::SkipWithPenalty,
+            ],
+        }
+    }
+}
+
+impl DegradationLadder {
+    /// A custom ladder; rungs are tried in the order given.
+    #[must_use]
+    pub fn new(steps: Vec<Fallback>) -> Self {
+        DegradationLadder { steps }
+    }
+
+    /// The rungs, most-preferred first.
+    #[must_use]
+    pub fn steps(&self) -> &[Fallback] {
+        &self.steps
+    }
+}
+
+/// Counters for every fault observed and every ladder rung exercised.
+///
+/// All zeros in a fault-free run; serialized into the chaos sections of
+/// the tuning report so degradation is observable, not silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Injected trial crashes observed (each failed attempt counts).
+    pub trial_crashes: u64,
+    /// Injected trial stragglers observed.
+    pub trial_stragglers: u64,
+    /// Trials that hit their deadline and were treated as hung.
+    pub trial_timeouts: u64,
+    /// Trial retries performed after crashes/timeouts.
+    pub trial_retries: u64,
+    /// Trials abandoned with a penalty score after exhausting retries.
+    pub trials_skipped: u64,
+    /// Inference requests whose reply was lost (worker death or timeout).
+    pub worker_losses: u64,
+    /// Inference requests resubmitted by the ladder's retry rung.
+    pub inference_retries: u64,
+    /// Trials served from a stale cache entry.
+    pub stale_cache_served: u64,
+    /// Trials served the device-model default recommendation.
+    pub default_recommendations: u64,
+}
+
+impl DegradationStats {
+    /// True when nothing was ever injected or degraded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == DegradationStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_prefers_answers_over_guesses() {
+        let ladder = DegradationLadder::default();
+        assert_eq!(
+            ladder.steps(),
+            [
+                Fallback::Retry,
+                Fallback::StaleCache,
+                Fallback::DeviceDefault,
+                Fallback::SkipWithPenalty,
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_start_empty_and_notice_any_counter() {
+        let mut stats = DegradationStats::default();
+        assert!(stats.is_empty());
+        stats.stale_cache_served += 1;
+        assert!(!stats.is_empty());
+    }
+
+    #[test]
+    fn ladder_round_trips_through_json() {
+        let ladder = DegradationLadder::default();
+        let json = serde_json::to_string(&ladder).unwrap();
+        let back: DegradationLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(ladder, back);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic fault injection and fault-tolerance policies.
+//!
+//! Real edge fleets are not the happy path the paper benchmarks: trials
+//! crash or straggle under co-location interference, inference workers
+//! die, devices blink out for seconds at a time, and cache files get torn
+//! by mid-write crashes. This crate provides the two halves needed to
+//! engineer (and test) survival of all of that:
+//!
+//! * **Injection** — a [`FaultPlan`] holds per-component fault rates and a
+//!   [`FaultInjector`] turns them into concrete, *reproducible* decisions.
+//!   Every decision is drawn from an independent
+//!   [`SeedStream`](edgetune_util::rng::SeedStream) child keyed by a
+//!   stable index (trial counter, request sequence number), never by
+//!   wall-clock time or arrival order, so the same seed and plan replay
+//!   the same chaos regardless of thread interleaving. A plan of
+//!   [`FaultPlan::none`] draws nothing at all: with injection disabled
+//!   the layer is a strict no-op and every report stays byte-identical.
+//! * **Tolerance** — a [`Supervisor`] combines a [`RetryPolicy`]
+//!   (exponential backoff with deterministic jitter, capped) with an
+//!   optional per-trial [`Deadline`], and a [`DegradationLadder`] orders
+//!   the fallbacks taken when retries run out: serve a stale cache entry,
+//!   fall back to the device-model default recommendation, or skip the
+//!   trial with a penalty score. [`DegradationStats`] counts every rung
+//!   of the ladder actually exercised so chaos runs are observable.
+
+pub mod degrade;
+pub mod plan;
+pub mod retry;
+
+pub use degrade::{DegradationLadder, DegradationStats, Fallback};
+pub use plan::{FaultInjector, FaultPlan, TrialFault};
+pub use retry::{Deadline, RetryPolicy, Supervisor};

@@ -59,7 +59,7 @@ pub mod runtime;
 pub mod traffic;
 
 pub use drift::{DriftConfig, DriftDetector};
-pub use metrics::{ConfigSwitch, ServingReport};
+pub use metrics::{ConfigSwitch, ServingFaultSummary, ServingReport};
 pub use queue::{AdaptiveBatcher, BatchPolicy, SloPolicy};
 pub use runtime::{OnlineTuner, RuntimeOptions, ServingConfig, ServingRuntime};
 pub use traffic::TrafficProfile;

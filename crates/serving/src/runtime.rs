@@ -15,13 +15,14 @@
 use edgetune_device::latency::{simulate_inference, CpuAllocation};
 use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::{FaultInjector, FaultPlan};
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Hertz, ItemsPerSecond, Joules, JoulesPerItem, Seconds};
 use edgetune_util::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::drift::{DriftConfig, DriftDetector};
-use crate::metrics::{response_percentiles, ConfigSwitch, ServingReport};
+use crate::metrics::{response_percentiles, ConfigSwitch, ServingFaultSummary, ServingReport};
 use crate::queue::{AdaptiveBatcher, BatchPolicy, SloPolicy};
 use crate::traffic::TrafficProfile;
 
@@ -112,6 +113,10 @@ pub struct RuntimeOptions {
     pub workers: u32,
     /// Drift detection; `None` disables online re-tuning.
     pub drift: Option<DriftConfig>,
+    /// Fault plan for chaos serving; `None` (the default) serves
+    /// fault-free and keeps reports byte-identical to pre-chaos runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultPlan>,
 }
 
 impl RuntimeOptions {
@@ -125,7 +130,17 @@ impl RuntimeOptions {
             max_cap: 128,
             workers: 1,
             drift: Some(DriftConfig::default_for_rate()),
+            faults: None,
         }
+    }
+
+    /// Serves under `plan`: transient device outages stall workers and
+    /// injected re-tune failures leave the current configuration in
+    /// place. The report gains a [`ServingFaultSummary`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Freezes the deployed configuration: no adaptive cap, no drift
@@ -267,6 +282,14 @@ impl ServingRuntime {
         // Memoised per-batch-size (latency, energy), invalidated on
         // configuration switches.
         let mut cache: Vec<Option<(f64, f64)>> = Vec::new();
+        // Fault decisions are keyed by batch index / re-tune attempt, so
+        // the chaos schedule is a pure function of (plan, seed).
+        let injector = self
+            .options
+            .faults
+            .filter(|plan| !plan.is_none())
+            .map(|plan| FaultInjector::new(plan, seed.child("serving-faults")));
+        let (mut outages, mut outage_downtime, mut retune_failures) = (0u64, 0.0f64, 0u64);
 
         let mut workers = vec![0.0f64; self.options.workers as usize];
         let mut responses: Vec<f64> = Vec::with_capacity(n);
@@ -282,6 +305,15 @@ impl ServingRuntime {
             for (i, &t) in workers.iter().enumerate() {
                 if t < workers[wi] {
                     wi = i;
+                }
+            }
+            // A transient device outage stalls the dispatched worker; the
+            // batch waits it out (and may shed its expired head below).
+            if let Some(inj) = injector.as_ref() {
+                if let Some(down) = inj.device_outage(batches) {
+                    workers[wi] += down.value();
+                    outages += 1;
+                    outage_downtime += down.value();
                 }
             }
             let wf = workers[wi];
@@ -360,6 +392,18 @@ impl ServingRuntime {
             // hot-swap.
             if let Some(est) = pending_drift {
                 if let (Some(det), Some(tuner)) = (detector.as_mut(), tuner) {
+                    let attempt = switches.len() as u64 + retune_failures;
+                    if injector
+                        .as_ref()
+                        .is_some_and(|inj| inj.retune_failure(attempt))
+                    {
+                        // Injected re-tune failure: keep serving (and
+                        // shedding) on the current configuration, re-arm
+                        // on the estimate to avoid a re-tune storm.
+                        retune_failures += 1;
+                        det.rearm(est, completion);
+                        continue;
+                    }
                     let retune_seed = seed.child_indexed("retune", switches.len() as u64);
                     match tuner.retune(est, retune_seed) {
                         Some(new_config) => {
@@ -440,6 +484,11 @@ impl ServingRuntime {
             },
             final_batch_cap: batcher.cap(),
             switches,
+            faults: injector.as_ref().map(|_| ServingFaultSummary {
+                outages,
+                downtime: Seconds::new(outage_downtime),
+                retune_failures,
+            }),
         })
     }
 
@@ -701,6 +750,94 @@ mod tests {
             RuntimeOptions::new(SloPolicy::new(Seconds::new(1.0)))
         )
         .is_err());
+    }
+
+    #[test]
+    fn an_all_zero_fault_plan_is_a_strict_no_op() {
+        let slo = SloPolicy::new(Seconds::new(2.0));
+        let traffic = TrafficProfile::Poisson { rate: 5.0 };
+        let clean = runtime(RuntimeOptions::new(slo))
+            .serve(&traffic, Seconds::new(60.0), None, SeedStream::new(11))
+            .unwrap();
+        let chaos = runtime(RuntimeOptions::new(slo).with_faults(FaultPlan::none()))
+            .serve(&traffic, Seconds::new(60.0), None, SeedStream::new(11))
+            .unwrap();
+        assert_eq!(clean, chaos);
+        assert_eq!(clean.to_json().unwrap(), chaos.to_json().unwrap());
+        assert!(clean.faults.is_none());
+    }
+
+    #[test]
+    fn chaos_serving_is_deterministic_per_seed() {
+        let slo = SloPolicy::new(Seconds::new(2.0));
+        let options = RuntimeOptions::new(slo).with_faults(FaultPlan::uniform(0.3));
+        let traffic = TrafficProfile::Poisson { rate: 5.0 };
+        let a = runtime(options)
+            .serve(&traffic, Seconds::new(30.0), None, SeedStream::new(12))
+            .unwrap();
+        let b = runtime(options)
+            .serve(&traffic, Seconds::new(30.0), None, SeedStream::new(12))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.faults.is_some(), "an active plan reports its summary");
+    }
+
+    #[test]
+    fn injected_outages_stall_workers_and_are_accounted() {
+        let slo = SloPolicy::new(Seconds::new(2.0));
+        let traffic = TrafficProfile::Poisson { rate: 2.0 };
+        let clean = runtime(RuntimeOptions::new(slo))
+            .serve(&traffic, Seconds::new(120.0), None, SeedStream::new(13))
+            .unwrap();
+        let plan = FaultPlan {
+            device_outage: 0.5,
+            outage_duration_s: 2.0,
+            ..FaultPlan::none()
+        };
+        let chaos = runtime(RuntimeOptions::new(slo).with_faults(plan))
+            .serve(&traffic, Seconds::new(120.0), None, SeedStream::new(13))
+            .unwrap();
+        let summary = chaos.faults.expect("plan was active");
+        assert!(summary.outages > 0, "a 50% outage rate must fire");
+        assert!(
+            (summary.downtime.value() - summary.outages as f64 * 2.0).abs() < 1e-9,
+            "downtime is outages x duration"
+        );
+        assert!(chaos.served > 0, "the run degrades, it does not collapse");
+        assert_eq!(chaos.requests, chaos.served + chaos.shed);
+        assert!(
+            chaos.slo_violation_rate > clean.slo_violation_rate,
+            "2 s outages against a 2 s deadline must cost violations: {} vs {}",
+            chaos.slo_violation_rate,
+            clean.slo_violation_rate
+        );
+    }
+
+    #[test]
+    fn injected_retune_failures_suppress_config_switches() {
+        let slo = SloPolicy::new(Seconds::new(4.0));
+        let traffic = TrafficProfile::RateShift {
+            initial_rate: 5.0,
+            shifted_rate: 20.0,
+            at: Seconds::new(60.0),
+        };
+        let plan = FaultPlan::none().with_retune_failure(1.0);
+        let report = runtime(RuntimeOptions::new(slo).with_faults(plan))
+            .serve(
+                &traffic,
+                Seconds::new(240.0),
+                Some(&StepTuner),
+                SeedStream::new(4),
+            )
+            .unwrap();
+        assert!(
+            report.switches.is_empty(),
+            "every re-tune was injected to fail"
+        );
+        assert!(
+            report.faults.expect("plan was active").retune_failures >= 1,
+            "the sustained shift must have attempted a re-tune"
+        );
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub use objective::{InferenceObjective, Metric, TrainObjective};
 pub use sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
 pub use scheduler::{FixedBudgetSearch, HyperBand, SchedulerConfig, SuccessiveHalving};
 pub use space::{Config, Domain, SearchSpace};
-pub use trial::{History, TrialOutcome, TrialRecord};
+pub use trial::{History, TrialFailure, TrialOutcome, TrialRecord};

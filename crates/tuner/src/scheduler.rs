@@ -31,6 +31,17 @@ pub trait Evaluate {
             .map(|(id, config, budget)| self.evaluate(id, &config, budget))
             .collect()
     }
+
+    /// Called after a rung's outcomes were appended to `history` — a
+    /// natural checkpoint boundary. The default does nothing.
+    fn on_rung_complete(&mut self, _history: &History) {}
+
+    /// True when the evaluator wants tuning to stop early (a deadline
+    /// passed, or an injected interruption fired in a chaos run). Checked
+    /// after every rung; the default never halts.
+    fn should_halt(&self) -> bool {
+        false
+    }
 }
 
 impl<F> Evaluate for F
@@ -138,7 +149,7 @@ impl SuccessiveHalving {
                 rung.len(),
                 "evaluator must answer every trial"
             );
-            let mut scored: Vec<(Config, f64)> = Vec::with_capacity(rung.len());
+            let mut scored: Vec<(Config, f64, bool)> = Vec::with_capacity(rung.len());
             for ((id, config, budget), outcome) in rung.into_iter().zip(outcomes) {
                 history.push(TrialRecord {
                     id,
@@ -146,14 +157,37 @@ impl SuccessiveHalving {
                     budget,
                     outcome,
                 });
-                scored.push((config, outcome.score));
+                scored.push((config, outcome.score, outcome.is_failed()));
             }
+            evaluator.on_rung_complete(history);
             if scored.len() <= 1 || iteration >= self.config.max_iteration {
                 break;
             }
+            if evaluator.should_halt() {
+                break;
+            }
+            // Trials the fault-tolerance layer abandoned must not poison
+            // promotion: drop them from the pool, then refill the freed
+            // slots with fresh samples so their budget is reallocated
+            // instead of lost. With no failures this is a no-op and the
+            // promotion is exactly classic successive halving.
+            let rung_size = scored.len();
+            let keep = ((rung_size as f64 / self.config.eta).ceil() as usize).max(1);
+            let failures = scored.iter().filter(|(_, _, failed)| *failed).count();
+            scored.retain(|(_, _, failed)| !failed);
             scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
-            let keep = ((scored.len() as f64 / self.config.eta).ceil() as usize).max(1);
-            cohort = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+            cohort = scored
+                .into_iter()
+                .take(keep)
+                .map(|(config, _, _)| config)
+                .collect();
+            if failures > 0 {
+                while cohort.len() < keep {
+                    let obs = history.observations();
+                    let obs_refs: Vec<(&Config, f64)> = obs.iter().map(|(c, s)| (*c, *s)).collect();
+                    cohort.push(sampler.suggest(space, &obs_refs));
+                }
+            }
             iteration = ((f64::from(iteration) * self.config.eta).round() as u32)
                 .min(self.config.max_iteration);
         }
@@ -276,6 +310,9 @@ impl HyperBand {
                 .floor()
                 .max(1.0) as u32;
             sha.run_bracket(sampler, space, policy, evaluator, &mut history, n, start);
+            if evaluator.should_halt() {
+                break;
+            }
         }
         history
     }
@@ -457,6 +494,89 @@ mod tests {
     #[should_panic(expected = "reduction factor")]
     fn scheduler_config_rejects_eta_one() {
         let _ = SchedulerConfig::new(4, 1.0, 4);
+    }
+
+    #[test]
+    fn failed_trials_are_never_promoted_and_their_slots_are_refilled() {
+        use crate::trial::TrialFailure;
+        // Every rung-0 trial with x < 0.5 "crashes"; the scheduler must
+        // promote only survivors and backfill the freed slots with fresh
+        // samples instead of shrinking the bracket.
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(16, 2.0, 4));
+        let mut sampler = RandomSampler::new(SeedStream::new(21));
+        let policy = BudgetPolicy::epoch_default();
+        let mut crashed: Vec<f64> = Vec::new();
+        let mut eval = |_id: u64, config: &Config, budget: TrialBudget| {
+            let x = config.get("x").unwrap();
+            if budget.effective_epochs() <= 1.0 && x < 0.5 {
+                crashed.push(x);
+                return TrialOutcome::failed(
+                    TrialFailure::Crash,
+                    Seconds::new(5.0),
+                    Joules::new(1.0),
+                );
+            }
+            let truth = (x - 0.7).abs();
+            TrialOutcome::new(truth, 1.0 - truth, Seconds::new(10.0), Joules::new(5.0))
+        };
+        let history = sha.run(&mut sampler, &space(), &policy, &mut eval);
+        assert!(!crashed.is_empty(), "the fault pattern must fire");
+        // Rung sizes are unchanged by the failures: 16 → 8 → 4.
+        let at_level = |epochs: f64| {
+            history
+                .records()
+                .iter()
+                .filter(|r| (r.budget.effective_epochs() - epochs).abs() < 1e-9)
+                .count()
+        };
+        assert_eq!(at_level(1.0), 16);
+        assert_eq!(at_level(2.0), 8);
+        assert_eq!(at_level(4.0), 4);
+        // No failed configuration ever reached a later rung.
+        for r in history.records() {
+            if r.budget.effective_epochs() > 1.0 {
+                assert!(
+                    !r.outcome.is_failed(),
+                    "failed trials only exist on rung 0 in this pattern"
+                );
+            }
+        }
+        // The study still produces a meaningful winner.
+        assert!(history.winner().unwrap().outcome.score.is_finite());
+    }
+
+    #[test]
+    fn should_halt_stops_after_the_current_rung() {
+        struct HaltAfterFirstRung {
+            rungs: u32,
+        }
+        impl Evaluate for HaltAfterFirstRung {
+            fn evaluate(
+                &mut self,
+                _id: u64,
+                config: &Config,
+                _budget: TrialBudget,
+            ) -> TrialOutcome {
+                let truth = (config.get("x").unwrap() - 0.42).abs();
+                TrialOutcome::new(truth, 1.0 - truth, Seconds::new(1.0), Joules::new(1.0))
+            }
+            fn on_rung_complete(&mut self, _history: &History) {
+                self.rungs += 1;
+            }
+            fn should_halt(&self) -> bool {
+                self.rungs >= 1
+            }
+        }
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(8, 2.0, 8));
+        let mut sampler = RandomSampler::new(SeedStream::new(22));
+        let mut eval = HaltAfterFirstRung { rungs: 0 };
+        let history = sha.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::epoch_default(),
+            &mut eval,
+        );
+        assert_eq!(history.len(), 8, "only the first rung ran");
     }
 
     #[test]

@@ -6,6 +6,19 @@ use serde::{Deserialize, Serialize};
 use crate::budget::TrialBudget;
 use crate::space::Config;
 
+/// Why a trial was abandoned by the fault-tolerance layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TrialFailure {
+    /// The training process crashed and exhausted its retry budget.
+    Crash,
+    /// The trial exceeded its deadline and was treated as hung.
+    Timeout,
+    /// The inference side never produced a recommendation and the
+    /// degradation ladder had no fallback left.
+    InferenceLoss,
+}
+
 /// What a trial evaluation reports back to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
@@ -18,6 +31,12 @@ pub struct TrialOutcome {
     pub runtime: Seconds,
     /// Energy the trial consumed.
     pub energy: Joules,
+    /// Failure marker set by the fault-tolerance layer when the trial was
+    /// abandoned after exhausting its retries. `None` for every healthy
+    /// (or naturally infeasible) trial, and omitted from JSON so
+    /// fault-free reports are unchanged by its existence.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub failure: Option<TrialFailure>,
 }
 
 impl TrialOutcome {
@@ -35,7 +54,27 @@ impl TrialOutcome {
             accuracy,
             runtime,
             energy,
+            failure: None,
         }
+    }
+
+    /// An abandoned trial: infinite penalty score, zero accuracy, and the
+    /// (wasted) runtime and energy the attempts consumed.
+    #[must_use]
+    pub fn failed(failure: TrialFailure, runtime: Seconds, energy: Joules) -> Self {
+        TrialOutcome {
+            score: f64::INFINITY,
+            accuracy: 0.0,
+            runtime,
+            energy,
+            failure: Some(failure),
+        }
+    }
+
+    /// True when the fault-tolerance layer abandoned this trial.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failure.is_some()
     }
 }
 
@@ -268,6 +307,37 @@ mod tests {
             TrialOutcome::new(f64::NAN, 0.0, Seconds::ZERO, Joules::ZERO)
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn failure_marker_is_absent_from_healthy_json() {
+        let healthy = TrialOutcome::new(1.0, 0.9, Seconds::new(5.0), Joules::new(2.0));
+        assert!(!healthy.is_failed());
+        let json = serde_json::to_string(&healthy).unwrap();
+        assert!(
+            !json.contains("failure"),
+            "healthy outcomes must serialize exactly as before: {json}"
+        );
+        let back: TrialOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(healthy, back);
+    }
+
+    #[test]
+    fn failed_outcome_carries_penalty_and_marker() {
+        let failed =
+            TrialOutcome::failed(TrialFailure::Crash, Seconds::new(40.0), Joules::new(9.0));
+        assert!(failed.is_failed());
+        assert!(failed.score.is_infinite());
+        assert_eq!(failed.accuracy, 0.0);
+        let json = serde_json::to_string(&failed).unwrap();
+        assert!(json.contains("\"failure\":\"crash\""));
+        // Non-finite scores serialize as `null` (serde_json), so parse a
+        // finite failed outcome to exercise the marker's deserialization.
+        let back: TrialOutcome = serde_json::from_str(
+            r#"{"score":1e9,"accuracy":0.0,"runtime":40.0,"energy":9.0,"failure":"timeout"}"#,
+        )
+        .unwrap();
+        assert_eq!(back.failure, Some(TrialFailure::Timeout));
     }
 
     #[test]

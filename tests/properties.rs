@@ -5,6 +5,7 @@ use edgetune_device::latency::{simulate_inference, CpuAllocation};
 use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
 use edgetune_device::profile::{Phase, WorkProfile};
 use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::RetryPolicy;
 use edgetune_tuner::budget::BudgetPolicy;
 use edgetune_tuner::space::{Config, Domain, SearchSpace};
 use edgetune_util::rng::SeedStream;
@@ -209,6 +210,45 @@ proptest! {
         let c1 = Config::new().with("x", a).with("y", b);
         let c2 = Config::new().with("y", b).with("x", a);
         prop_assert_eq!(c1.key(), c2.key());
+    }
+
+    // --- fault tolerance ---
+
+    #[test]
+    fn backoff_delays_are_bounded_monotone_and_deterministic(
+        seed in 0u64..10_000,
+        draw in 0u64..64,
+        max_attempts in 1u32..=10,
+        base in 0.01f64..10.0,
+        multiplier in 1.0f64..4.0,
+        cap in 0.01f64..60.0,
+        jitter in 0.0f64..=1.0,
+    ) {
+        use edgetune_util::units::Seconds;
+        let policy = RetryPolicy {
+            max_attempts,
+            base_delay: Seconds::new(base),
+            multiplier,
+            max_delay: Seconds::new(cap),
+            jitter,
+        };
+        let stream = SeedStream::new(seed);
+        let mut previous = Seconds::ZERO;
+        for attempt in 1..=12u32 {
+            let schedule = policy.base_delay_for(attempt);
+            // The jitter-free schedule is monotone and saturates at the cap.
+            prop_assert!(schedule >= previous, "attempt {attempt}: schedule fell");
+            prop_assert!(schedule <= policy.max_delay);
+            previous = schedule;
+
+            let delay = policy.delay(attempt, stream, draw);
+            // Jitter only ever shortens: every delay sits inside
+            // [0, schedule], hence inside [0, cap].
+            prop_assert!(delay.value() >= 0.0);
+            prop_assert!(delay <= schedule, "jitter lengthened a delay");
+            // Deterministic per (seed, draw, attempt).
+            prop_assert_eq!(delay, policy.delay(attempt, stream, draw));
+        }
     }
 
     // --- statistics ---

@@ -63,3 +63,119 @@ fn pipelining_holds_for_every_seed() {
         assert_eq!(report.stall_time(), Seconds::ZERO, "seed {seed}");
     }
 }
+
+// --- chaos robustness ---
+//
+// CI runs this file twice with different EDGETUNE_CHAOS_SEED values, so
+// the fault-tolerance claims are not artefacts of one lucky seed either.
+
+fn chaos_seed() -> u64 {
+    std::env::var("EDGETUNE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn chaos_config(seed: u64, rate: f64) -> EdgeTuneConfig {
+    let mut config = EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+        .without_hyperband()
+        .with_seed(seed);
+    if rate > 0.0 {
+        config = config.with_fault_plan(FaultPlan::uniform(rate));
+    }
+    config
+}
+
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    let seed = chaos_seed();
+    let a = EdgeTune::new(chaos_config(seed, 0.3)).run().expect("run a");
+    let b = EdgeTune::new(chaos_config(seed, 0.3)).run().expect("run b");
+    assert_eq!(
+        a.to_json().unwrap(),
+        b.to_json().unwrap(),
+        "seed {seed}: same seed and plan must reproduce the identical report"
+    );
+    assert!(
+        a.faults().is_some(),
+        "an active plan reports its injections"
+    );
+}
+
+#[test]
+fn ten_percent_failures_still_produce_a_valid_winner() {
+    let seed = chaos_seed();
+    let clean = EdgeTune::new(chaos_config(seed, 0.0))
+        .run()
+        .expect("fault-free run");
+    let chaos = EdgeTune::new(chaos_config(seed, 0.1))
+        .run()
+        .expect("chaos degrades, it must not fail");
+    assert!(
+        chaos.best().outcome.score.is_finite(),
+        "seed {seed}: the winner must be a real, non-penalised trial"
+    );
+    assert!(
+        chaos.best_accuracy() >= clean.best_accuracy() * 0.5,
+        "seed {seed}: degradation stays bounded: {} vs fault-free {}",
+        chaos.best_accuracy(),
+        clean.best_accuracy()
+    );
+}
+
+#[test]
+fn a_disabled_fault_plan_is_a_strict_no_op() {
+    let seed = chaos_seed();
+    let plain = EdgeTune::new(chaos_config(seed, 0.0)).run().expect("plain");
+    let noop = EdgeTune::new(chaos_config(seed, 0.0).with_fault_plan(FaultPlan::none()))
+        .run()
+        .expect("no-op plan");
+    let json = plain.to_json().unwrap();
+    assert_eq!(
+        json,
+        noop.to_json().unwrap(),
+        "seed {seed}: FaultPlan::none() must leave the report byte-identical"
+    );
+    assert!(!json.contains("\"faults\""));
+    assert!(!json.contains("\"failure\""));
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_history() {
+    let seed = chaos_seed();
+    let dir = std::env::temp_dir().join(format!("edgetune-resume-robustness-{seed}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("study.ckpt.json");
+    std::fs::remove_file(&path).ok();
+
+    let full = EdgeTune::new(chaos_config(seed, 0.2))
+        .run()
+        .expect("uninterrupted run");
+    let halted = EdgeTune::new(
+        chaos_config(seed, 0.2)
+            .with_checkpoint_path(&path)
+            .with_halt_after_rungs(2),
+    )
+    .run()
+    .expect("interrupted run");
+    assert!(
+        halted.history().len() < full.history().len(),
+        "seed {seed}: the interruption must actually cut the study short"
+    );
+    assert!(path.exists(), "the halted run left a checkpoint behind");
+    let resumed = EdgeTune::new(
+        chaos_config(seed, 0.2)
+            .with_checkpoint_path(&path)
+            .resuming(),
+    )
+    .run()
+    .expect("resumed run");
+    assert_eq!(
+        resumed.history(),
+        full.history(),
+        "seed {seed}: resume must reproduce the exact uninterrupted history"
+    );
+    assert_eq!(resumed.best_config(), full.best_config());
+    std::fs::remove_file(&path).ok();
+}
