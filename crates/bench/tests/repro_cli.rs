@@ -27,7 +27,10 @@ fn runs_a_single_experiment() {
 #[test]
 fn seed_changes_stochastic_experiments_deterministically() {
     let run = |seed: &str| {
-        let out = repro().args(["--seed", seed, "fig12"]).output().expect("repro runs");
+        let out = repro()
+            .args(["--seed", seed, "fig12"])
+            .output()
+            .expect("repro runs");
         assert!(out.status.success());
         String::from_utf8(out.stdout).expect("utf8")
     };

@@ -461,7 +461,11 @@ mod tests {
             .map(|i| server.submit(key(&format!("arch-{i}")), profile()))
             .collect();
         for p in pendings {
-            let reply = p.wait_timeout(Duration::from_secs(30)).unwrap();
+            // `wait` blocks on channel signaling (no polling deadline):
+            // it returns as soon as the worker replies or errors as soon
+            // as the reply sender is dropped, so the test never sits on a
+            // wall-clock timeout.
+            let reply = p.wait().unwrap();
             assert!(reply.recommendation.throughput.value() > 0.0);
         }
     }
@@ -523,11 +527,13 @@ mod tests {
         // server keeps accepting and the process survives.
         let server = start_supervised(FaultPlan::none().with_worker_panic(1.0));
         let pending = server.submit(key("doomed"), profile());
-        assert!(pending.wait_timeout(Duration::from_millis(500)).is_err());
+        // An injected death drops the reply sender, so `wait` fails via
+        // channel disconnect immediately — no 500 ms wall-clock stall.
+        assert!(pending.wait().is_err());
         assert_eq!(server.injected_losses(), 1);
         // The worker slot survived the injected death.
         let second = server.submit(key("also-doomed"), profile());
-        assert!(second.wait_timeout(Duration::from_millis(500)).is_err());
+        assert!(second.wait().is_err());
         assert_eq!(server.injected_losses(), 2);
         assert_eq!(server.submitted(), 2);
     }

@@ -7,8 +7,6 @@
 //! gradient-descent training with `edgetune-nn`, proving the middleware is
 //! not tied to the simulation.
 
-use std::time::Instant;
-
 use edgetune_device::latency::{simulate_training_epoch, CpuAllocation};
 use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
 use edgetune_device::profile::WorkProfile;
@@ -19,6 +17,7 @@ use edgetune_nn::layer::{Conv2d, Dense, Flatten, MaxPool2d, Relu, Reshape};
 use edgetune_nn::model::Sequential;
 use edgetune_nn::optim::Sgd;
 use edgetune_nn::train::{fit, FitConfig};
+use edgetune_runtime::SharedClock;
 use edgetune_tuner::budget::TrialBudget;
 use edgetune_tuner::space::{Config, Domain, SearchSpace};
 use edgetune_util::rng::SeedStream;
@@ -64,6 +63,18 @@ pub trait TrainingBackend: Send {
     /// Restores the fault-injection cursor on resume. A no-op for
     /// backends without a fault hook.
     fn set_fault_cursor(&mut self, _cursor: u64) {}
+
+    /// A deep copy of this backend for real-parallel rung execution, or
+    /// `None` when trials are order-dependent (e.g. an attached fault
+    /// injector's draw cursor) and must run sequentially on the primary
+    /// backend. The contract: for any `(config, budget)` a snapshot must
+    /// return exactly the measurement the primary backend would, so the
+    /// engine can fan snapshots out across threads without changing any
+    /// reported number. The conservative default keeps unknown backends
+    /// sequential.
+    fn parallel_snapshot(&self) -> Option<Box<dyn TrainingBackend + Send>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +367,17 @@ impl TrainingBackend for SimTrainingBackend {
     fn set_fault_cursor(&mut self, cursor: u64) {
         self.fault_draws = cursor;
     }
+
+    fn parallel_snapshot(&self) -> Option<Box<dyn TrainingBackend + Send>> {
+        // With an injector attached, trial fate depends on the shared
+        // fault-draw cursor — snapshots would each replay draw 0 and
+        // change the chaos. Sequential execution is the only faithful
+        // order in that case.
+        if self.faults.is_some() {
+            return None;
+        }
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -381,17 +403,32 @@ enum NnArchitecture {
     },
 }
 
+/// Rough sustained throughput assumed for the tuning host when modeling
+/// a real training run's cost on the virtual clock (FLOP/s).
+const NN_HOST_FLOPS: f64 = 2.0e9;
+/// Fixed per-trial setup charge of the real backend on the virtual
+/// clock (process spawn, data load).
+const NN_SETUP_S: f64 = 0.05;
+
 /// Real mini-batch SGD training of a small network on a synthetic
-/// dataset, timed with the host clock.
+/// dataset, timed on the workspace clock.
+///
+/// The default [`SharedClock`] is virtual: each trial advances it by a
+/// *modeled* cost (FLOPs at [`NN_HOST_FLOPS`] plus [`NN_SETUP_S`]), so
+/// runtime and energy are deterministic functions of the configuration
+/// and budget — reports stay byte-identical across machines and thread
+/// counts. Opting into [`SharedClock::wall`] via
+/// [`NnTrainingBackend::with_clock`] restores genuine host timing.
 #[derive(Debug, Clone)]
 pub struct NnTrainingBackend {
     train: Dataset,
     val: Dataset,
     seed: SeedStream,
     architecture: NnArchitecture,
-    /// Host power assumed when converting wall-clock time to energy (a
+    /// Host power assumed when converting training time to energy (a
     /// RAPL stand-in).
     host_power: Watts,
+    clock: SharedClock,
 }
 
 impl NnTrainingBackend {
@@ -407,6 +444,7 @@ impl NnTrainingBackend {
             seed,
             architecture: NnArchitecture::Mlp,
             host_power: Watts::new(25.0),
+            clock: SharedClock::sim(),
         }
     }
 
@@ -424,6 +462,7 @@ impl NnTrainingBackend {
             seed,
             architecture: NnArchitecture::ConvNet { side },
             host_power: Watts::new(25.0),
+            clock: SharedClock::sim(),
         }
     }
 
@@ -436,7 +475,28 @@ impl NnTrainingBackend {
             seed,
             architecture: NnArchitecture::Mlp,
             host_power: Watts::new(25.0),
+            clock: SharedClock::sim(),
         }
+    }
+
+    /// Replaces the backend's clock — pass [`SharedClock::wall`] to time
+    /// trials with the real host clock instead of the deterministic
+    /// modeled cost.
+    #[must_use]
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The modeled virtual-clock cost of one trial: three passes
+    /// (forward + backward + update) over the budgeted samples for the
+    /// budgeted epochs at [`NN_HOST_FLOPS`], plus fixed setup.
+    fn modeled_runtime(&self, config: &Config, budget: TrialBudget) -> Seconds {
+        let (_, profile) = TrainingBackend::architecture(self, config);
+        let epochs = budget.epochs.ceil().max(1.0);
+        let samples = (self.train.len() as f64 * budget.data_fraction.clamp(0.0, 1.0)).max(1.0);
+        let flops = 3.0 * profile.flops_per_sample * samples * epochs;
+        Seconds::new(NN_SETUP_S + flops / NN_HOST_FLOPS)
     }
 
     fn build_model(&self, hidden: usize) -> Sequential {
@@ -526,7 +586,13 @@ impl TrainingBackend for NnTrainingBackend {
         let fit_config = FitConfig::new(budget.epochs.ceil().max(1.0) as u32, batch)
             .with_data_fraction(budget.data_fraction);
 
-        let start = Instant::now();
+        // Time the trial on the workspace clock. Under the default
+        // virtual clock the advance is the modeled cost — deterministic
+        // in (config, budget) — while a wall clock advances by itself
+        // during `fit` and ignores the no-op advance, yielding real
+        // host timing. Either way `elapsed` is a local difference, so
+        // forked snapshots report the same numbers as the primary.
+        let start = self.clock.now();
         let report = fit(
             &mut model,
             &mut opt,
@@ -535,13 +601,23 @@ impl TrainingBackend for NnTrainingBackend {
             &fit_config,
             self.seed,
         );
-        let elapsed = Seconds::new(start.elapsed().as_secs_f64());
+        self.clock.advance(self.modeled_runtime(config, budget));
+        let elapsed = self.clock.now() - start;
         TrialMeasurement {
             accuracy: report.final_val_accuracy(),
             runtime: elapsed,
             energy: self.host_power * elapsed,
             injected: None,
         }
+    }
+
+    fn parallel_snapshot(&self) -> Option<Box<dyn TrainingBackend + Send>> {
+        // Fork the clock so concurrent snapshots never interleave their
+        // advances on one timeline: each trial's elapsed time is a local
+        // difference on its own fork and thus independent of scheduling.
+        let mut snapshot = self.clone();
+        snapshot.clock = self.clock.fork();
+        Some(Box::new(snapshot))
     }
 }
 
@@ -666,6 +742,80 @@ mod tests {
         let full = backend.run_trial(&cfg, TrialBudget::new(10.0, 1.0));
         assert!(full.runtime > cheap.runtime);
         assert!(full.accuracy >= cheap.accuracy - 0.05);
+    }
+
+    #[test]
+    fn nn_runtime_is_deterministic_on_the_virtual_clock() {
+        let cfg = Config::new()
+            .with(PARAM_HIDDEN, 16.0)
+            .with(PARAM_TRAIN_BATCH, 16.0)
+            .with(PARAM_LR, 0.1);
+        let budget = TrialBudget::new(2.0, 0.5);
+        let a = NnTrainingBackend::new(seed()).run_trial(&cfg, budget);
+        let b = NnTrainingBackend::new(seed()).run_trial(&cfg, budget);
+        assert_eq!(a.runtime, b.runtime, "modeled cost must not wobble");
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn nn_wall_clock_opt_in_times_the_real_host() {
+        use edgetune_runtime::SharedClock;
+        let mut backend = NnTrainingBackend::new(seed()).with_clock(SharedClock::wall());
+        let cfg = Config::new()
+            .with(PARAM_HIDDEN, 16.0)
+            .with(PARAM_TRAIN_BATCH, 16.0)
+            .with(PARAM_LR, 0.1);
+        let m = backend.run_trial(&cfg, TrialBudget::new(2.0, 0.5));
+        assert!(m.runtime.value() > 0.0, "real training takes real time");
+        assert!(m.energy.value() > 0.0);
+    }
+
+    #[test]
+    fn nn_snapshots_reproduce_the_primary_backend() {
+        let mut primary = NnTrainingBackend::new(seed());
+        let mut snapshot = primary
+            .parallel_snapshot()
+            .expect("the nn backend always snapshots");
+        let cfg = Config::new()
+            .with(PARAM_HIDDEN, 16.0)
+            .with(PARAM_TRAIN_BATCH, 16.0)
+            .with(PARAM_LR, 0.1);
+        let budget = TrialBudget::new(2.0, 0.5);
+        let from_primary = primary.run_trial(&cfg, budget);
+        let from_snapshot = snapshot.run_trial(&cfg, budget);
+        assert_eq!(from_primary.accuracy, from_snapshot.accuracy);
+        assert_eq!(from_primary.runtime, from_snapshot.runtime);
+        assert_eq!(from_primary.energy, from_snapshot.energy);
+    }
+
+    #[test]
+    fn sim_snapshots_exist_only_without_fault_injection() {
+        use edgetune_faults::FaultPlan;
+        assert!(sim().parallel_snapshot().is_some());
+        let chaotic = sim().with_fault_injector(FaultInjector::new(
+            FaultPlan::uniform(0.4),
+            seed().child("faults"),
+        ));
+        assert!(
+            chaotic.parallel_snapshot().is_none(),
+            "fault draws are order-dependent, so parallel execution must be refused"
+        );
+    }
+
+    #[test]
+    fn sim_snapshots_reproduce_the_primary_backend() {
+        let mut primary = sim();
+        let mut snapshot = primary
+            .parallel_snapshot()
+            .expect("fault-free sim backends snapshot");
+        let cfg = config(18.0, 128.0, 2.0);
+        let budget = TrialBudget::new(2.0, 0.5);
+        let a = primary.run_trial(&cfg, budget);
+        let b = snapshot.run_trial(&cfg, budget);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.energy, b.energy);
     }
 
     #[test]

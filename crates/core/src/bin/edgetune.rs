@@ -6,7 +6,8 @@
 //! edgetune --workload sr --budget epoch        # a different trial budget
 //! edgetune --workload ic --device intel        # target a different edge device
 //! edgetune --workload ic --json report.json    # dump the full report as JSON
-//! edgetune --workload ic --trial-workers 4     # parallel trial slots
+//! edgetune --workload ic --trial-workers 4     # real measurement threads
+//! edgetune --workload ic --trial-slots 4       # simulated parallel trial slots
 //! edgetune --workload ic --scenario multistream:10
 //!                                              # add a scenario-aware batching
 //!                                              # recommendation (§3.4); also
@@ -46,6 +47,7 @@ struct Args {
     initial: usize,
     max_iteration: u32,
     trial_workers: usize,
+    trial_slots: usize,
     cache: Option<String>,
     json: Option<String>,
     pipelining: bool,
@@ -136,6 +138,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         initial: 8,
         max_iteration: 10,
         trial_workers: 1,
+        trial_slots: 1,
         cache: None,
         json: None,
         pipelining: true,
@@ -190,6 +193,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad worker count: {e}"))?;
             }
+            "--trial-slots" => {
+                args.trial_slots = value(&mut argv, "--trial-slots")?
+                    .parse()
+                    .map_err(|e| format!("bad slot count: {e}"))?;
+            }
             "--cache" => args.cache = Some(value(&mut argv, "--cache")?),
             "--json" => args.json = Some(value(&mut argv, "--json")?),
             "--no-pipelining" => args.pipelining = false,
@@ -201,7 +209,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 println!(
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
-                     [--trials N] [--max-iter N] [--trial-workers N] [--cache FILE] \
+                     [--trials N] [--max-iter N] [--trial-workers N] [--trial-slots N] \
+                     [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
                      [--checkpoint FILE] [--resume] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
@@ -578,6 +587,7 @@ fn main() -> ExitCode {
         .with_budget(args.budget)
         .with_scheduler(SchedulerConfig::new(args.initial, 2.0, args.max_iteration))
         .with_trial_workers(args.trial_workers)
+        .with_trial_slots(args.trial_slots)
         .with_seed(args.seed);
     if let Some(name) = &args.device {
         match DeviceSpec::by_name(name) {

@@ -1,0 +1,358 @@
+//! Configuration of an EdgeTune run.
+//!
+//! [`EdgeTuneConfig`] is the single builder-style knob surface of the
+//! whole middleware: workload and edge device, objectives, budget and
+//! scheduler shape, sampler choice, the ablation switches (cache,
+//! pipelining), parallelism (real worker threads vs. simulated trial
+//! slots), fault-injection and fault-tolerance policies, and
+//! checkpoint/resume. The [`Engine`](crate::engine::Engine) consumes a
+//! finished configuration; nothing here executes anything.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::{DegradationLadder, FaultPlan, Supervisor};
+use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+use edgetune_tuner::scheduler::SchedulerConfig;
+use edgetune_tuner::Metric;
+use edgetune_util::rng::SeedStream;
+use edgetune_workloads::catalog::WorkloadId;
+
+/// Which search strategy the Model Tuning Server uses (§4.2; the user
+/// can pick per server, the default being BOHB = TPE + HyperBand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Exhaustive grid with the given per-dimension resolution.
+    Grid(usize),
+    /// Uniform random search.
+    Random,
+    /// Model-based TPE (BOHB's sampler).
+    Tpe,
+}
+
+/// Complete configuration of an EdgeTune run.
+#[derive(Debug, Clone)]
+pub struct EdgeTuneConfig {
+    /// The workload to tune (used by the default simulated backend).
+    pub workload: WorkloadId,
+    /// The edge device inference is tuned for.
+    pub edge_device: DeviceSpec,
+    /// Metric of the Model Tuning Server's ratio objective.
+    pub train_metric: Metric,
+    /// Metric of the Inference Tuning Server's objective.
+    pub inference_metric: Metric,
+    /// Budget policy for training trials.
+    pub budget: BudgetPolicy,
+    /// Scheduler shape (cohort size, η, rungs).
+    pub scheduler: SchedulerConfig,
+    /// Search strategy of the model server.
+    pub sampler: SamplerKind,
+    /// Use HyperBand brackets (BOHB-style) instead of one
+    /// successive-halving bracket.
+    pub hyperband: bool,
+    /// Trials below this accuracy are infeasible, if set.
+    pub accuracy_floor: Option<f64>,
+    /// Load/save the historical inference cache at this path, if set.
+    pub cache_path: Option<PathBuf>,
+    /// Consult the historical cache (§3.4); disabling it is an ablation
+    /// that re-tunes every architecture from scratch.
+    pub historical_cache: bool,
+    /// Pipeline inference tuning with training (Algorithm 1); disabling
+    /// it is an ablation that runs every sweep on the critical path.
+    pub pipelining: bool,
+    /// Concurrent sweep workers inside the inference server.
+    pub inference_workers: usize,
+    /// Real worker threads measuring a rung's trials concurrently. This
+    /// is pure wall-clock engineering: results are merged back in input
+    /// order and every simulated number (makespan, energy, history,
+    /// report JSON) is byte-identical whatever the thread count. Backends
+    /// opt in via
+    /// [`TrainingBackend::parallel_snapshot`](crate::backend::TrainingBackend::parallel_snapshot);
+    /// rungs fall back to sequential execution otherwise.
+    pub trial_workers: usize,
+    /// Concurrent *simulated* training-trial slots on the model server
+    /// (§3.1: "the model server can parallelize its tuning process").
+    /// Trials of one scheduler rung are independent; with `n` slots the
+    /// simulated makespan of a rung is its list-scheduled parallel
+    /// length. Unlike [`trial_workers`](EdgeTuneConfig::trial_workers),
+    /// this knob *changes* the reported makespan — it models a bigger
+    /// tuning cluster, not a faster simulation.
+    pub trial_slots: usize,
+    /// Root randomness seed.
+    pub seed: u64,
+    /// Fault-injection plan for chaos runs. [`FaultPlan::none`] (the
+    /// default) injects nothing and leaves every code path and report
+    /// byte-identical to a fault-free build.
+    pub fault_plan: FaultPlan,
+    /// Retry/backoff/deadline policy the fault-tolerance layer applies to
+    /// crashed trials and lost inference replies.
+    pub supervisor: Supervisor,
+    /// Ordered fallbacks when an inference reply is lost.
+    pub degradation: DegradationLadder,
+    /// Real-time cap on waiting for one inference reply before the
+    /// degradation ladder engages.
+    pub reply_timeout: Duration,
+    /// Write a resumable study checkpoint here after every completed
+    /// rung, if set.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` when it exists: completed trials are
+    /// replayed from the checkpoint instead of re-executed, and the
+    /// fault-injection cursors are restored so the continuation makes the
+    /// same random decisions the uninterrupted run would have made.
+    pub resume: bool,
+    /// Stop tuning after this many completed rungs, if set — the
+    /// controlled "interruption" used to exercise checkpoint/resume.
+    pub halt_after_rungs: Option<u32>,
+}
+
+impl EdgeTuneConfig {
+    /// The paper's default setup for a workload: BOHB (TPE + HyperBand),
+    /// multi-budget, runtime objectives, Raspberry Pi 3B+ as the edge
+    /// target.
+    #[must_use]
+    pub fn for_workload(workload: WorkloadId) -> Self {
+        EdgeTuneConfig {
+            workload,
+            edge_device: DeviceSpec::raspberry_pi_3b(),
+            train_metric: Metric::Runtime,
+            inference_metric: Metric::Runtime,
+            budget: BudgetPolicy::multi_default(),
+            scheduler: SchedulerConfig::new(8, 2.0, 8),
+            sampler: SamplerKind::Tpe,
+            hyperband: true,
+            accuracy_floor: None,
+            cache_path: None,
+            historical_cache: true,
+            pipelining: true,
+            inference_workers: 1,
+            trial_workers: 1,
+            trial_slots: 1,
+            seed: SeedStream::default().seed(),
+            fault_plan: FaultPlan::none(),
+            supervisor: Supervisor::default(),
+            degradation: DegradationLadder::default(),
+            reply_timeout: Duration::from_secs(30),
+            checkpoint_path: None,
+            resume: false,
+            halt_after_rungs: None,
+        }
+    }
+
+    /// Sets the edge device.
+    #[must_use]
+    pub fn with_edge_device(mut self, device: DeviceSpec) -> Self {
+        self.edge_device = device;
+        self
+    }
+
+    /// Sets both objectives' metric (runtime- vs energy-oriented run,
+    /// the §5.4 comparison).
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.train_metric = metric;
+        self.inference_metric = metric;
+        self
+    }
+
+    /// Sets the budget policy.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetPolicy) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the scheduler shape.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the sampler.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Single successive-halving bracket instead of HyperBand.
+    #[must_use]
+    pub fn without_hyperband(mut self) -> Self {
+        self.hyperband = false;
+        self
+    }
+
+    /// Requires trials to reach at least this accuracy.
+    #[must_use]
+    pub fn with_accuracy_floor(mut self, floor: f64) -> Self {
+        self.accuracy_floor = Some(floor);
+        self
+    }
+
+    /// Persists the historical cache at `path`.
+    #[must_use]
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Disables the historical cache (ablation: every architecture is
+    /// re-tuned on every trial).
+    #[must_use]
+    pub fn without_historical_cache(mut self) -> Self {
+        self.historical_cache = false;
+        self
+    }
+
+    /// Disables pipelining (ablation: inference sweeps run synchronously
+    /// on the model server's critical path).
+    #[must_use]
+    pub fn without_pipelining(mut self) -> Self {
+        self.pipelining = false;
+        self
+    }
+
+    /// Sets the number of concurrent inference-sweep workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_inference_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.inference_workers = workers;
+        self
+    }
+
+    /// Sets the number of real trial-measuring worker threads (and gives
+    /// the inference server a matching worker pool). Affects wall-clock
+    /// tuning speed only — reports are byte-identical for any count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_trial_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.trial_workers = workers;
+        self.inference_workers = self.inference_workers.max(workers);
+        self
+    }
+
+    /// Sets the number of simulated concurrent trial slots: the modeled
+    /// tuning cluster's width, which shrinks the *simulated* makespan of
+    /// every rung to its list-scheduled parallel length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    #[must_use]
+    pub fn with_trial_slots(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "need at least one trial slot");
+        self.trial_slots = slots;
+        self
+    }
+
+    /// Sets the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables fault injection under `plan` (a chaos run).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the retry/deadline policy of the fault-tolerance layer.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Sets the degradation ladder for lost inference replies.
+    #[must_use]
+    pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
+        self.degradation = ladder;
+        self
+    }
+
+    /// Sets the real-time cap on waiting for one inference reply.
+    #[must_use]
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Checkpoints the study at `path` after every completed rung.
+    #[must_use]
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from the configured checkpoint path when it exists.
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Halts tuning after `rungs` completed rungs (a controlled
+    /// interruption for checkpoint/resume testing).
+    #[must_use]
+    pub fn with_halt_after_rungs(mut self, rungs: u32) -> Self {
+        self.halt_after_rungs = Some(rungs);
+        self
+    }
+
+    pub(crate) fn build_sampler(&self) -> Box<dyn Sampler> {
+        let seed = SeedStream::new(self.seed).child("sampler");
+        match self.sampler {
+            SamplerKind::Grid(resolution) => Box::new(GridSampler::new(resolution)),
+            SamplerKind::Random => Box::new(RandomSampler::new(seed)),
+            SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_setup() {
+        let config = EdgeTuneConfig::for_workload(WorkloadId::Ic);
+        assert_eq!(config.sampler, SamplerKind::Tpe);
+        assert!(config.hyperband);
+        assert!(config.pipelining);
+        assert!(config.historical_cache);
+        assert_eq!(config.trial_workers, 1);
+        assert_eq!(config.trial_slots, 1);
+        assert_eq!(config.inference_workers, 1);
+    }
+
+    #[test]
+    fn trial_workers_and_slots_are_independent_knobs() {
+        let config = EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_trial_workers(4)
+            .with_trial_slots(2);
+        assert_eq!(config.trial_workers, 4);
+        assert_eq!(config.trial_slots, 2);
+        // Real threads pull the inference pool up with them; simulated
+        // slots do not.
+        assert_eq!(config.inference_workers, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial slot")]
+    fn zero_trial_slots_are_rejected() {
+        let _ = EdgeTuneConfig::for_workload(WorkloadId::Ic).with_trial_slots(0);
+    }
+}

@@ -1,0 +1,605 @@
+//! The onefold evaluator: one training trial coupled to its pipelined
+//! inference request, plus all time accounting.
+//!
+//! Two orthogonal kinds of parallelism meet here:
+//!
+//! * **Simulated trial slots** (`trial_slots`) model a tuning cluster:
+//!   a rung's trials are list-scheduled onto `n` slots and the virtual
+//!   clock advances by the rung's makespan instead of the sum of trial
+//!   durations. This *changes* the reported numbers — that is the point.
+//! * **Real worker threads** (`trial_workers`) merely speed up the
+//!   measurement itself: when the backend can snapshot, a rung's raw
+//!   [`TrialMeasurement`]s are precomputed concurrently on scoped
+//!   threads and then replayed through the exact sequential accounting
+//!   path in input order. Cache hits, request sequence numbers, timeline
+//!   entries and every clock reading are byte-identical to a
+//!   single-threaded run, so reports never depend on the thread count.
+//!
+//! All simulated time lives on an [`edgetune_runtime::SimClock`]; clock
+//! advances replicate the original accumulation order exactly (two
+//! separate advances for `train + stall`, one advance by the rung
+//! makespan) so the floating-point trajectory is bit-stable across the
+//! refactor.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use edgetune_device::profile::WorkProfile;
+use edgetune_device::spec::DeviceSpec;
+use edgetune_faults::{DegradationLadder, DegradationStats, Fallback, Supervisor, TrialFault};
+use edgetune_runtime::{parallel_map_ordered, SimClock};
+use edgetune_tuner::budget::TrialBudget;
+use edgetune_tuner::objective::{TrainMeasurement, TrainObjective};
+use edgetune_tuner::scheduler::Evaluate;
+use edgetune_tuner::space::Config;
+use edgetune_tuner::trial::{History, TrialFailure, TrialOutcome, TrialRecord};
+use edgetune_tuner::Metric;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::{Joules, Seconds};
+
+use crate::async_server::{AsyncInferenceServer, InferenceReply};
+use crate::backend::{TrainingBackend, TrialMeasurement};
+use crate::cache::CacheKey;
+use crate::checkpoint::StudyCheckpoint;
+use crate::inference::fallback_recommendation;
+use crate::timeline::{Lane, Timeline};
+
+/// Evaluator wiring one training trial to its pipelined inference request.
+pub(crate) struct OnefoldEvaluator<'a> {
+    pub(crate) backend: &'a mut dyn TrainingBackend,
+    pub(crate) inference: &'a AsyncInferenceServer,
+    pub(crate) device: &'a DeviceSpec,
+    pub(crate) inference_metric: Metric,
+    pub(crate) objective: TrainObjective,
+    pub(crate) timeline: &'a mut Timeline,
+    pub(crate) pipelining: bool,
+    /// Real measurement threads (wall-clock only; see the module docs).
+    pub(crate) trial_workers: usize,
+    /// Simulated concurrent trial slots (changes the reported makespan).
+    pub(crate) trial_slots: usize,
+    /// The study's virtual clock; its final reading is the makespan.
+    pub(crate) clock: SimClock,
+    pub(crate) stall: Seconds,
+    pub(crate) inference_energy: Joules,
+    /// Whether a fault plan is active. With `false` every fault-tolerance
+    /// branch below is dead code and the evaluator behaves exactly like
+    /// the pre-chaos implementation.
+    pub(crate) faults_enabled: bool,
+    pub(crate) supervisor: Supervisor,
+    pub(crate) ladder: &'a DegradationLadder,
+    pub(crate) reply_timeout: Duration,
+    /// Seed stream for backoff jitter; draws are counted so retried
+    /// operations never share a jitter value.
+    pub(crate) supervisor_seed: SeedStream,
+    pub(crate) backoff_draws: u64,
+    pub(crate) stats: DegradationStats,
+    /// Checkpointing: where to write, under which root seed, and how many
+    /// rungs have completed (the halt criterion).
+    pub(crate) checkpoint_path: Option<&'a PathBuf>,
+    pub(crate) root_seed: u64,
+    pub(crate) halt_after_rungs: Option<u32>,
+    pub(crate) rungs_completed: u32,
+    /// Trials restored from a checkpoint, replayed front-to-back instead
+    /// of re-executed. Empty on a fresh run.
+    pub(crate) replay: VecDeque<TrialRecord>,
+}
+
+/// Everything one trial produced, before timeline/clock accounting.
+struct TrialRun {
+    outcome: TrialOutcome,
+    arch: String,
+    train_runtime: Seconds,
+    sweep_runtime: Seconds,
+    sweep_energy: Joules,
+    stall: Seconds,
+    cache_hit: bool,
+}
+
+impl OnefoldEvaluator<'_> {
+    fn next_backoff(&mut self, attempt: u32) -> Seconds {
+        let draw = self.backoff_draws;
+        self.backoff_draws += 1;
+        self.supervisor.backoff(attempt, self.supervisor_seed, draw)
+    }
+
+    /// Walks the degradation ladder after an inference reply was lost.
+    /// Returns the salvaged reply (if any rung produced one) and the
+    /// extra stall time the recovery cost.
+    fn degrade(
+        &mut self,
+        key: &CacheKey,
+        profile: WorkProfile,
+    ) -> (Option<InferenceReply>, Seconds) {
+        let mut extra = Seconds::ZERO;
+        for step in self.ladder.steps() {
+            match step {
+                Fallback::Retry => {
+                    let mut attempt: u32 = 1;
+                    while !self.supervisor.give_up(attempt) {
+                        extra += self.next_backoff(attempt);
+                        self.stats.inference_retries += 1;
+                        let Some(pending) = self.inference.try_submit(key.clone(), profile) else {
+                            break;
+                        };
+                        match pending.wait_timeout(self.reply_timeout) {
+                            Ok(reply) => return (Some(reply), extra),
+                            Err(_) => {
+                                self.stats.worker_losses += 1;
+                                attempt += 1;
+                            }
+                        }
+                    }
+                }
+                Fallback::StaleCache => {
+                    if let Some(recommendation) = self.inference.peek(key) {
+                        self.stats.stale_cache_served += 1;
+                        let reply = InferenceReply {
+                            recommendation,
+                            runtime: Seconds::ZERO,
+                            energy: Joules::ZERO,
+                            cache_hit: true,
+                        };
+                        return (Some(reply), extra);
+                    }
+                }
+                Fallback::DeviceDefault => {
+                    self.stats.default_recommendations += 1;
+                    let reply = InferenceReply {
+                        recommendation: fallback_recommendation(self.device, &profile),
+                        runtime: Seconds::ZERO,
+                        energy: Joules::ZERO,
+                        cache_hit: true,
+                    };
+                    return (Some(reply), extra);
+                }
+                Fallback::SkipWithPenalty => return (None, extra),
+            }
+        }
+        (None, extra)
+    }
+
+    /// Runs the training side of one trial under the supervisor: injected
+    /// crashes are retried with backoff until success, retry exhaustion,
+    /// or the deadline. Returns the successful measurement (with the
+    /// wasted time/energy of failed attempts folded in) or the failure to
+    /// record. A `precomputed` measurement (from the real-thread rung
+    /// phase) substitutes for the first backend call.
+    fn train_supervised(
+        &mut self,
+        config: &Config,
+        budget: TrialBudget,
+        mut precomputed: Option<TrialMeasurement>,
+    ) -> std::result::Result<(Seconds, Joules, f64), (TrialFailure, Seconds, Joules)> {
+        let mut attempt: u32 = 1;
+        let mut paid_runtime = Seconds::ZERO;
+        let mut paid_energy = Joules::ZERO;
+        loop {
+            let trial = match precomputed.take() {
+                Some(measurement) => measurement,
+                None => self.backend.run_trial(config, budget),
+            };
+            match trial.injected {
+                Some(TrialFault::Crash) => {
+                    self.stats.trial_crashes += 1;
+                    paid_runtime += trial.runtime;
+                    paid_energy += trial.energy;
+                    if self.supervisor.deadline_exceeded(paid_runtime) {
+                        self.stats.trial_timeouts += 1;
+                        return Err((TrialFailure::Timeout, paid_runtime, paid_energy));
+                    }
+                    if self.supervisor.give_up(attempt) {
+                        self.stats.trials_skipped += 1;
+                        return Err((TrialFailure::Crash, paid_runtime, paid_energy));
+                    }
+                    paid_runtime += self.next_backoff(attempt);
+                    self.stats.trial_retries += 1;
+                    attempt += 1;
+                }
+                Some(TrialFault::Straggle { .. }) => {
+                    self.stats.trial_stragglers += 1;
+                    return Ok((
+                        paid_runtime + trial.runtime,
+                        paid_energy + trial.energy,
+                        trial.accuracy,
+                    ));
+                }
+                None => {
+                    return Ok((
+                        paid_runtime + trial.runtime,
+                        paid_energy + trial.energy,
+                        trial.accuracy,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Runs one trial plus its pipelined inference request, with no
+    /// global accounting.
+    fn run_one(
+        &mut self,
+        config: &Config,
+        budget: TrialBudget,
+        precomputed: Option<TrialMeasurement>,
+    ) -> TrialRun {
+        // (1) Fire the inference request as soon as the architecture is
+        //     known — before training starts (Algorithm 1, line 6).
+        let (arch, profile) = self.backend.architecture(config);
+        let key = CacheKey::new(
+            self.device.name.clone(),
+            arch.clone(),
+            self.inference_metric,
+        );
+        let pending = self.inference.submit(key.clone(), profile);
+
+        // (2) Run the training trial (supervised when faults are active).
+        let (train_runtime, train_energy, accuracy) =
+            match self.train_supervised(config, budget, precomputed) {
+                Ok(success) => success,
+                Err((failure, paid_runtime, paid_energy)) => {
+                    // The trial is abandoned; still collect (and account)
+                    // its pipelined sweep so the queue drains and the
+                    // sweep's energy is not silently lost.
+                    let (sweep_runtime, sweep_energy, cache_hit) =
+                        match pending.wait_timeout(self.reply_timeout) {
+                            Ok(reply) => (reply.runtime, reply.energy, reply.cache_hit),
+                            Err(_) => (Seconds::ZERO, Joules::ZERO, true),
+                        };
+                    return TrialRun {
+                        outcome: TrialOutcome::failed(
+                            failure,
+                            paid_runtime,
+                            paid_energy + sweep_energy,
+                        ),
+                        arch,
+                        train_runtime: paid_runtime,
+                        sweep_runtime,
+                        sweep_energy,
+                        stall: Seconds::ZERO,
+                        cache_hit,
+                    };
+                }
+            };
+
+        // (3) Collect the inference reply, degrading when it is lost.
+        let (reply, extra_stall) = match pending.wait_timeout(self.reply_timeout) {
+            Ok(reply) => (Some(reply), Seconds::ZERO),
+            Err(_) if self.faults_enabled => {
+                self.stats.worker_losses += 1;
+                self.degrade(&key, profile)
+            }
+            Err(_) => (None, Seconds::ZERO),
+        };
+        let Some(reply) = reply else {
+            // Fault-free: the server died — mark the trial infeasible
+            // rather than crash the job (legacy behaviour, no marker).
+            // Chaos: the ladder ran dry — skip with a penalty score.
+            let outcome = if self.faults_enabled {
+                self.stats.trials_skipped += 1;
+                TrialOutcome::failed(
+                    TrialFailure::InferenceLoss,
+                    train_runtime + extra_stall,
+                    train_energy,
+                )
+            } else {
+                TrialOutcome::new(f64::INFINITY, accuracy, train_runtime, train_energy)
+            };
+            return TrialRun {
+                outcome,
+                arch,
+                train_runtime,
+                sweep_runtime: Seconds::ZERO,
+                sweep_energy: Joules::ZERO,
+                stall: extra_stall,
+                cache_hit: true,
+            };
+        };
+        // Pipelined: only the sweep's excess over its trial stalls the
+        // model server. Synchronous (ablation): the whole sweep sits on
+        // the critical path after the trial.
+        let base_stall = if self.pipelining {
+            Seconds::new((reply.runtime.value() - train_runtime.value()).max(0.0))
+        } else {
+            reply.runtime
+        };
+        let stall = base_stall + extra_stall;
+
+        // (4) Combine both servers' metrics in the ratio objective.
+        let measurement = TrainMeasurement {
+            accuracy,
+            train_time: train_runtime,
+            train_energy,
+            inference_time: Some(reply.recommendation.latency_per_item),
+            inference_energy: Some(reply.recommendation.energy_per_item),
+        };
+        let score = self.objective.score(&measurement);
+        TrialRun {
+            outcome: TrialOutcome::new(
+                score,
+                accuracy,
+                train_runtime + stall,
+                train_energy + reply.energy,
+            ),
+            arch,
+            train_runtime,
+            sweep_runtime: reply.runtime,
+            sweep_energy: reply.energy,
+            stall,
+            cache_hit: reply.cache_hit,
+        }
+    }
+
+    /// Timeline/clock accounting for one trial placed at `start`.
+    fn record(&mut self, id: u64, run: &TrialRun, start: Seconds) {
+        let busy_end = start + run.train_runtime;
+        self.timeline
+            .record(Lane::ModelServer, format!("trial-{id}"), start, busy_end);
+        if !run.cache_hit && run.sweep_runtime.value() > 0.0 {
+            let sweep_start = if self.pipelining { start } else { busy_end };
+            self.timeline.record(
+                Lane::InferenceServer,
+                run.arch.clone(),
+                sweep_start,
+                sweep_start + run.sweep_runtime,
+            );
+        }
+        self.stall += run.stall;
+        self.inference_energy += run.sweep_energy;
+    }
+
+    /// Phase A of rung execution: measure the rung's trials on real
+    /// scoped worker threads, one backend snapshot per worker. Returns
+    /// `None` — sequential execution — when threads are not requested,
+    /// cannot help, or would change results (an active fault plan makes
+    /// trial fate order-dependent; a backend without snapshots cannot be
+    /// shared). The returned measurements are in input order, ready to be
+    /// replayed through the unchanged sequential accounting path.
+    fn measure_rung(
+        &self,
+        trials: &[(u64, Config, TrialBudget)],
+    ) -> Option<Vec<Option<TrialMeasurement>>> {
+        if self.trial_workers <= 1 || trials.len() <= 1 || self.faults_enabled {
+            return None;
+        }
+        let workers = self.trial_workers.min(trials.len());
+        let mut snapshots = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            snapshots.push(self.backend.parallel_snapshot()?);
+        }
+        let measured = parallel_map_ordered(trials, snapshots, |backend, _index, trial| {
+            backend.run_trial(&trial.1, trial.2)
+        });
+        Some(measured.into_iter().map(Some).collect())
+    }
+}
+
+impl Evaluate for OnefoldEvaluator<'_> {
+    fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome {
+        // Resume: trials already in the checkpoint are replayed, not
+        // re-executed. The scheduler regenerates the identical (id,
+        // config) sequence from the shared seed; a mismatch means the
+        // checkpoint belongs to a different run, so replay is abandoned
+        // and the trial executes live.
+        if let Some(front) = self.replay.front() {
+            if front.id == id && front.config == *config {
+                let record = self.replay.pop_front().expect("front exists");
+                let start = self.clock.now();
+                self.timeline.record(
+                    Lane::ModelServer,
+                    format!("trial-{id}"),
+                    start,
+                    start + record.outcome.runtime,
+                );
+                self.clock.advance(record.outcome.runtime);
+                return record.outcome;
+            }
+            self.replay.clear();
+        }
+        let run = self.run_one(config, budget, None);
+        let start = self.clock.now();
+        self.record(id, &run, start);
+        // Two separate advances, replicating `(start + train) + stall`.
+        self.clock.advance(run.train_runtime);
+        self.clock.advance(run.stall);
+        run.outcome
+    }
+
+    fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
+        // Replayed trials must go through `evaluate`'s front-of-queue
+        // matching one at a time.
+        if !self.replay.is_empty() {
+            return trials
+                .into_iter()
+                .map(|(id, config, budget)| self.evaluate(id, &config, budget))
+                .collect();
+        }
+        // Phase A: real threads precompute the measurements when that is
+        // provably invisible in the results.
+        let mut measured = self.measure_rung(&trials);
+        let precomputed = |measured: &mut Option<Vec<Option<TrialMeasurement>>>, index: usize| {
+            measured.as_mut().and_then(|m| m[index].take())
+        };
+        if self.trial_slots <= 1 || trials.len() <= 1 {
+            // Phase B, one slot: the exact sequential accounting path.
+            return trials
+                .into_iter()
+                .enumerate()
+                .map(|(index, (id, config, budget))| {
+                    let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                    let start = self.clock.now();
+                    self.record(id, &run, start);
+                    self.clock.advance(run.train_runtime);
+                    self.clock.advance(run.stall);
+                    run.outcome
+                })
+                .collect();
+        }
+        // Phase B, simulated parallel slots: the rung's trials are
+        // list-scheduled onto `trial_slots` slots; the rung advances
+        // the clock by its makespan, not by the sum of trial durations.
+        let runs: Vec<(u64, TrialRun)> = trials
+            .into_iter()
+            .enumerate()
+            .map(|(index, (id, config, budget))| {
+                let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                (id, run)
+            })
+            .collect();
+        let rung_start = self.clock.now();
+        let mut loads = vec![Seconds::ZERO; self.trial_slots];
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for (id, run) in runs {
+            let (slot, _) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite loads"))
+                .expect("at least one worker");
+            let start = rung_start + loads[slot];
+            self.record(id, &run, start);
+            loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
+            outcomes.push(run.outcome);
+        }
+        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
+        self.clock.advance(makespan);
+        outcomes
+    }
+
+    fn on_rung_complete(&mut self, history: &History) {
+        self.rungs_completed += 1;
+        if let Some(path) = self.checkpoint_path {
+            let checkpoint = StudyCheckpoint::new(
+                self.root_seed,
+                history,
+                self.inference.cache_snapshot(),
+                self.backend.fault_cursor(),
+                self.inference.submitted(),
+            );
+            // A failed checkpoint write must never kill the study: the
+            // run is still correct, only resumability is lost.
+            let _ = checkpoint.save(path);
+        }
+    }
+
+    fn should_halt(&self) -> bool {
+        self.halt_after_rungs
+            .is_some_and(|rungs| self.rungs_completed >= rungs)
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use edgetune_tuner::scheduler::SchedulerConfig;
+    use edgetune_workloads::catalog::WorkloadId;
+
+    use crate::config::EdgeTuneConfig;
+    use crate::server::EdgeTune;
+
+    fn base() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn parallel_trials_shrink_the_makespan_not_the_work() {
+        let sequential = EdgeTune::new(base()).run().unwrap();
+        let parallel = EdgeTune::new(base().with_trial_slots(4)).run().unwrap();
+        // Same trials, same evidence, same winner.
+        assert_eq!(sequential.history().len(), parallel.history().len());
+        assert_eq!(sequential.best_config(), parallel.best_config());
+        // Resource time is identical; simulated wall time shrinks.
+        assert_eq!(
+            sequential.trial_resource_time(),
+            parallel.trial_resource_time(),
+            "parallelism must not change the work done"
+        );
+        assert!(
+            parallel.tuning_runtime().value() < sequential.tuning_runtime().value() * 0.6,
+            "4 slots should cut the makespan substantially: {} vs {}",
+            parallel.tuning_runtime(),
+            sequential.tuning_runtime()
+        );
+        // Energy is work, not wall time: unchanged.
+        assert_eq!(sequential.tuning_energy(), parallel.tuning_energy());
+    }
+
+    #[test]
+    fn sequential_makespan_equals_resource_time() {
+        let report = EdgeTune::new(base()).run().unwrap();
+        assert!(
+            (report.tuning_runtime().value() - report.trial_resource_time().value()).abs() < 1e-6,
+            "one slot: makespan == sum of trial durations"
+        );
+    }
+
+    #[test]
+    fn parallel_makespan_is_bounded_by_theory() {
+        // makespan >= resource_time / slots and >= longest trial.
+        let report = EdgeTune::new(base().with_trial_slots(3)).run().unwrap();
+        let lower_bound = report.trial_resource_time().value() / 3.0;
+        assert!(report.tuning_runtime().value() >= lower_bound - 1e-6);
+        let longest = report
+            .history()
+            .records()
+            .iter()
+            .map(|r| r.outcome.runtime.value())
+            .fold(0.0f64, f64::max);
+        assert!(report.tuning_runtime().value() >= longest - 1e-6);
+        assert!(report.tuning_runtime() <= report.trial_resource_time());
+    }
+
+    #[test]
+    fn real_threads_change_no_reported_numbers() {
+        // `trial_workers` is wall-clock engineering: the full JSON
+        // artefact must be byte-identical whatever the thread count.
+        let sequential = EdgeTune::new(base()).run().unwrap();
+        let threaded = EdgeTune::new(base().with_trial_workers(4)).run().unwrap();
+        assert_eq!(
+            sequential.to_json().unwrap(),
+            threaded.to_json().unwrap(),
+            "real threads must be invisible in the report"
+        );
+    }
+
+    #[test]
+    fn real_threads_layer_under_simulated_slots() {
+        // Threads and slots compose: the slot-scheduled makespan is the
+        // same whether the measurements came from one thread or four.
+        let unthreaded = EdgeTune::new(base().with_trial_slots(4)).run().unwrap();
+        let threaded = EdgeTune::new(base().with_trial_slots(4).with_trial_workers(4))
+            .run()
+            .unwrap();
+        assert_eq!(
+            unthreaded.to_json().unwrap(),
+            threaded.to_json().unwrap(),
+            "threads must not disturb the slot scheduler"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_refuse_parallel_measurement_but_still_match() {
+        // With a fault plan the backend declines snapshots; the engine
+        // must fall back to sequential measurement and the report must
+        // still not depend on the requested thread count.
+        use edgetune_faults::FaultPlan;
+        let chaos = |workers: usize| {
+            let mut config = base().with_fault_plan(FaultPlan::uniform(0.3));
+            if workers > 1 {
+                config = config.with_trial_workers(workers);
+                // Undo the inference-pool bump so the only difference
+                // under test is the measurement thread count.
+                config.inference_workers = 1;
+            }
+            EdgeTune::new(config).run().unwrap()
+        };
+        let sequential = chaos(1);
+        let threaded = chaos(4);
+        assert_eq!(
+            sequential.to_json().unwrap(),
+            threaded.to_json().unwrap(),
+            "fault-plan runs must serialize measurement and stay deterministic"
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! The tuning engine: orchestration, trial evaluation, and report
+//! assembly behind the [`EdgeTune`](crate::server::EdgeTune) façade.
+//!
+//! The engine is split along Algorithm 1's seams:
+//!
+//! * [`orchestrator`] — [`Engine`] builds the study (backend, inference
+//!   server, sampler, scheduler, checkpoint/resume wiring), runs it, and
+//!   assembles the final [`TuningReport`].
+//! * [`evaluator`] — the onefold evaluator couples each training trial
+//!   to its pipelined inference request, owns the simulated clock and
+//!   rung accounting, and layers real worker threads *under* the
+//!   simulated trial-slot scheduler.
+//! * [`report`] — the user-facing result types ([`TuningReport`],
+//!   [`FaultReport`]) with their serialisation contract.
+
+pub(crate) mod evaluator;
+pub mod orchestrator;
+pub mod report;
+
+pub use orchestrator::Engine;
+pub use report::{FaultReport, TuningReport};

@@ -1,0 +1,613 @@
+//! The [`Engine`]: study construction, execution, and report assembly.
+//!
+//! The engine owns everything between a finished
+//! [`EdgeTuneConfig`](crate::config::EdgeTuneConfig) and a
+//! [`TuningReport`]: checkpoint restore, cache loading, inference-server
+//! startup, sampler/scheduler wiring, the evaluator's lifetime, and the
+//! final harvest of history, winner, recommendation, and fault counters.
+//! The public [`EdgeTune`](crate::server::EdgeTune) job is a thin façade
+//! over this type.
+
+use std::collections::VecDeque;
+
+use edgetune_faults::{DegradationStats, FaultInjector};
+use edgetune_runtime::SimClock;
+use edgetune_tuner::objective::{InferenceObjective, TrainObjective};
+use edgetune_tuner::scheduler::{HyperBand, SuccessiveHalving};
+use edgetune_tuner::trial::TrialRecord;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::{Joules, Seconds};
+use edgetune_util::{Error, Result};
+use edgetune_workloads::catalog::Workload;
+
+use crate::async_server::AsyncInferenceServer;
+use crate::backend::{SimTrainingBackend, TrainingBackend};
+use crate::cache::{CacheKey, HistoricalCache};
+use crate::checkpoint::StudyCheckpoint;
+use crate::config::EdgeTuneConfig;
+use crate::engine::evaluator::OnefoldEvaluator;
+use crate::engine::report::{FaultReport, TuningReport};
+use crate::inference::{InferenceSpace, InferenceTuningServer};
+use crate::timeline::Timeline;
+
+/// The tuning engine: runs one study described by a borrowed
+/// configuration and assembles its [`TuningReport`].
+#[derive(Debug)]
+pub struct Engine<'a> {
+    config: &'a EdgeTuneConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over a configuration.
+    #[must_use]
+    pub fn new(config: &'a EdgeTuneConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Runs the study with the default simulated backend for the
+    /// configured workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and storage errors; see
+    /// [`Engine::run_with_backend`].
+    pub fn run(&self) -> Result<TuningReport> {
+        let workload = Workload::by_id(self.config.workload);
+        let mut backend =
+            SimTrainingBackend::new(workload, SeedStream::new(self.config.seed).child("trials"));
+        if !self.config.fault_plan.is_none() {
+            backend = backend.with_fault_injector(FaultInjector::new(
+                self.config.fault_plan,
+                SeedStream::new(self.config.seed).child("trial-faults"),
+            ));
+        }
+        self.run_with_backend(&mut backend)
+    }
+
+    /// Runs the study against any training backend (e.g. the real
+    /// `edgetune-nn` one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for inconsistent configurations,
+    /// [`Error::Storage`] if the historical cache cannot be written, and
+    /// [`Error::Channel`] if the inference server fails irrecoverably.
+    pub fn run_with_backend(&self, backend: &mut dyn TrainingBackend) -> Result<TuningReport> {
+        let space = backend.search_space();
+        if space.is_empty() {
+            return Err(Error::invalid_config("backend search space is empty"));
+        }
+        let faults_enabled = !self.config.fault_plan.is_none();
+
+        // Resume: restore the trial log, cache, and fault cursors from the
+        // checkpoint so the continuation replays the interrupted study.
+        let mut replay: VecDeque<TrialRecord> = VecDeque::new();
+        let mut first_seq: u64 = 0;
+        let mut resumed_cache: Option<HistoricalCache> = None;
+        if self.config.resume {
+            if let Some(path) = &self.config.checkpoint_path {
+                if path.exists() {
+                    let checkpoint = StudyCheckpoint::load(path)?;
+                    if checkpoint.seed != self.config.seed {
+                        return Err(Error::invalid_config(format!(
+                            "checkpoint was written under seed {}, not {}: resuming would \
+                             silently diverge",
+                            checkpoint.seed, self.config.seed
+                        )));
+                    }
+                    backend.set_fault_cursor(checkpoint.fault_cursor);
+                    first_seq = checkpoint.inference_cursor;
+                    replay = checkpoint.history().records().to_vec().into();
+                    resumed_cache = Some(checkpoint.cache);
+                }
+            }
+        }
+
+        // Historical cache: the checkpoint's snapshot wins on resume, then
+        // the persistent file, else start fresh.
+        let cache = match resumed_cache {
+            Some(cache) => cache,
+            None => match &self.config.cache_path {
+                Some(path) if path.exists() => HistoricalCache::load(path)?,
+                _ => HistoricalCache::new(),
+            },
+        };
+
+        let inference_server = InferenceTuningServer::new(
+            self.config.edge_device.clone(),
+            InferenceSpace::for_device(&self.config.edge_device),
+            InferenceObjective::new(self.config.inference_metric),
+        )?;
+        let inference_faults = if faults_enabled {
+            Some(FaultInjector::new(
+                self.config.fault_plan,
+                SeedStream::new(self.config.seed).child("inference-faults"),
+            ))
+        } else {
+            None
+        };
+        let async_server = AsyncInferenceServer::start_supervised(
+            inference_server,
+            cache,
+            self.config.inference_workers,
+            self.config.historical_cache,
+            inference_faults,
+            first_seq,
+        );
+
+        let mut objective = TrainObjective::inference_aware(self.config.train_metric);
+        if let Some(floor) = self.config.accuracy_floor {
+            objective = objective.with_accuracy_floor(floor);
+        }
+
+        let mut timeline = Timeline::new();
+        let mut sampler = self.config.build_sampler();
+        let device_name = self.config.edge_device.name.clone();
+
+        let (history, makespan, stall, inference_energy, degradation) = {
+            let mut evaluator = OnefoldEvaluator {
+                backend,
+                inference: &async_server,
+                device: &self.config.edge_device,
+                inference_metric: self.config.inference_metric,
+                objective,
+                timeline: &mut timeline,
+                pipelining: self.config.pipelining,
+                trial_workers: self.config.trial_workers,
+                trial_slots: self.config.trial_slots,
+                clock: SimClock::new(),
+                stall: Seconds::ZERO,
+                inference_energy: Joules::ZERO,
+                faults_enabled,
+                supervisor: self.config.supervisor,
+                ladder: &self.config.degradation,
+                reply_timeout: self.config.reply_timeout,
+                supervisor_seed: SeedStream::new(self.config.seed).child("supervisor"),
+                backoff_draws: 0,
+                stats: DegradationStats::default(),
+                checkpoint_path: self.config.checkpoint_path.as_ref(),
+                root_seed: self.config.seed,
+                halt_after_rungs: self.config.halt_after_rungs,
+                rungs_completed: 0,
+                replay,
+            };
+            let history = if self.config.hyperband {
+                HyperBand::new(self.config.scheduler).run(
+                    sampler.as_mut(),
+                    &space,
+                    &self.config.budget,
+                    &mut evaluator,
+                )
+            } else {
+                SuccessiveHalving::new(self.config.scheduler).run(
+                    sampler.as_mut(),
+                    &space,
+                    &self.config.budget,
+                    &mut evaluator,
+                )
+            };
+            (
+                history,
+                evaluator.clock.now(),
+                evaluator.stall,
+                evaluator.inference_energy,
+                evaluator.stats,
+            )
+        };
+
+        // Harvest the inference server's fault counters before shutdown.
+        let worker_panics = async_server.worker_panics();
+        let injected_losses = async_server.injected_losses();
+        let injected_outages = async_server.injected_outages();
+
+        // The tuning job's output is the final-rung winner: raw ratio
+        // scores are only comparable within one budget level.
+        let best = history
+            .winner()
+            .ok_or_else(|| Error::invalid_config("no trials were executed"))?
+            .clone();
+
+        // The winner's recommendation is in the cache by construction.
+        let (best_arch, best_profile) = backend.architecture(&best.config);
+        let key = CacheKey::new(&device_name, best_arch, self.config.inference_metric);
+        let mut final_cache = async_server.shutdown();
+        let recommendation = match final_cache.peek(&key) {
+            Some(rec) => rec.clone(),
+            None => {
+                // Only reachable if the worker died mid-run; recompute
+                // synchronously.
+                let server = InferenceTuningServer::new(
+                    self.config.edge_device.clone(),
+                    InferenceSpace::for_device(&self.config.edge_device),
+                    InferenceObjective::new(self.config.inference_metric),
+                )?;
+                let (rec, _) = server.tune(&best_profile);
+                final_cache.store(&key, rec.clone());
+                rec
+            }
+        };
+
+        if let Some(path) = &self.config.cache_path {
+            final_cache.save(path)?;
+        }
+
+        let faults = if faults_enabled {
+            Some(FaultReport {
+                plan: self.config.fault_plan,
+                degradation,
+                worker_panics,
+                injected_losses,
+                injected_outages,
+                failed_trials: history
+                    .records()
+                    .iter()
+                    .filter(|r| r.outcome.is_failed())
+                    .count() as u64,
+            })
+        } else {
+            None
+        };
+
+        Ok(TuningReport {
+            history,
+            best,
+            recommendation,
+            timeline,
+            cache_stats: final_cache.stats(),
+            makespan,
+            stall_time: stall,
+            inference_energy,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{PARAM_GPUS, PARAM_MODEL_HP};
+    use crate::config::SamplerKind;
+    use crate::server::EdgeTune;
+    use edgetune_tuner::scheduler::SchedulerConfig;
+    use edgetune_tuner::Metric;
+    use edgetune_workloads::catalog::WorkloadId;
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn end_to_end_run_produces_report() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(!report.history().is_empty());
+        assert!(report.best_accuracy() > 0.0);
+        assert!(report.tuning_runtime().value() > 0.0);
+        assert!(report.tuning_energy().value() > 0.0);
+        assert!(report.recommendation().batch >= 1);
+        assert!(report.recommendation().throughput.value() > 0.0);
+        assert!(report.best_config().get(PARAM_MODEL_HP).is_some());
+        assert!(report.best_config().get(PARAM_GPUS).is_some());
+    }
+
+    #[test]
+    fn engine_and_facade_agree() {
+        let config = quick_config();
+        let from_engine = Engine::new(&config).run().unwrap();
+        let from_facade = EdgeTune::new(config).run().unwrap();
+        assert_eq!(
+            from_engine.to_json().unwrap(),
+            from_facade.to_json().unwrap(),
+            "the façade must add nothing to the engine"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let a = EdgeTune::new(quick_config()).run().unwrap();
+        let b = EdgeTune::new(quick_config()).run().unwrap();
+        assert_eq!(a.best_config(), b.best_config());
+        assert_eq!(a.tuning_runtime(), b.tuning_runtime());
+        assert_eq!(a.recommendation(), b.recommendation());
+        let c = EdgeTune::new(quick_config().with_seed(43)).run().unwrap();
+        // Different seed explores differently (history differs).
+        assert!(
+            c.history().records().len() != a.history().records().len()
+                || c.tuning_runtime() != a.tuning_runtime()
+                || c.best_config() != a.best_config()
+        );
+    }
+
+    #[test]
+    fn inference_tuning_is_pipelined_not_stalling() {
+        // The paper's claim: the inference sweep always fits inside its
+        // training trial, so the model server never stalls.
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert_eq!(
+            report.stall_time(),
+            Seconds::ZERO,
+            "inference must hide behind training"
+        );
+        assert!((report.timeline().overlap_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn historical_cache_avoids_retuning_architectures() {
+        // Only 3 distinct architectures exist for IC, so with >3 trials
+        // the cache must hit.
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        let stats = report.cache_stats();
+        assert!(
+            stats.misses <= 3,
+            "at most one miss per architecture: {stats:?}"
+        );
+        assert!(stats.hits > 0, "repeated architectures must hit: {stats:?}");
+    }
+
+    #[test]
+    fn inference_energy_is_accounted() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(report.inference_energy().value() > 0.0);
+        assert!(report.tuning_energy().value() > report.inference_energy().value());
+    }
+
+    #[test]
+    fn cache_persists_across_runs() {
+        let dir = std::env::temp_dir().join("edgetune-server-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::remove_file(&path).ok();
+
+        let cfg = quick_config().with_cache_path(&path);
+        let first = EdgeTune::new(cfg.clone()).run().unwrap();
+        assert!(path.exists());
+        let second = EdgeTune::new(cfg).run().unwrap();
+        // Second run starts warm: no misses at all.
+        assert_eq!(second.cache_stats().misses, 0, "warm cache should not miss");
+        assert!(second.inference_energy().value() < first.inference_energy().value() + 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hyperband_mode_runs_more_trials() {
+        let sha = EdgeTune::new(quick_config()).run().unwrap();
+        let hb = EdgeTune::new(quick_config().with_scheduler(SchedulerConfig::new(4, 2.0, 4)))
+            .run()
+            .unwrap();
+        // without_hyperband was only applied to `sha`.
+        let _ = (sha, hb);
+    }
+
+    #[test]
+    fn energy_metric_changes_the_objective() {
+        let runtime = EdgeTune::new(quick_config()).run().unwrap();
+        let energy = EdgeTune::new(quick_config().with_metric(Metric::Energy))
+            .run()
+            .unwrap();
+        // Both must complete; the recommendations may legitimately agree,
+        // but the recommendation metric must be populated either way.
+        assert!(runtime.recommendation().energy_per_item.value() > 0.0);
+        assert!(energy.recommendation().energy_per_item.value() > 0.0);
+    }
+
+    #[test]
+    fn accuracy_floor_filters_low_budget_winners() {
+        let report = EdgeTune::new(quick_config().with_accuracy_floor(0.3))
+            .run()
+            .unwrap();
+        assert!(
+            report.best_accuracy() >= 0.3,
+            "winner must respect the floor: {}",
+            report.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn random_and_grid_samplers_work() {
+        for kind in [SamplerKind::Random, SamplerKind::Grid(3)] {
+            let report = EdgeTune::new(quick_config().with_sampler(kind))
+                .run()
+                .unwrap();
+            assert!(!report.history().is_empty(), "{kind:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use crate::config::EdgeTuneConfig;
+    use crate::server::EdgeTune;
+    use edgetune_tuner::scheduler::SchedulerConfig;
+    use edgetune_util::units::Seconds;
+    use edgetune_workloads::catalog::WorkloadId;
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn cache_ablation_retunes_every_architecture() {
+        let with_cache = EdgeTune::new(quick_config()).run().unwrap();
+        let without = EdgeTune::new(quick_config().without_historical_cache())
+            .run()
+            .unwrap();
+        assert_eq!(without.cache_stats().hits, 0, "no hits without the cache");
+        assert!(
+            without.cache_stats().misses > with_cache.cache_stats().misses,
+            "every trial pays a sweep: {} vs {}",
+            without.cache_stats().misses,
+            with_cache.cache_stats().misses
+        );
+        assert!(
+            without.inference_energy() > with_cache.inference_energy(),
+            "re-tuning costs energy"
+        );
+        // The recommendation itself is unchanged — the cache is purely a
+        // cost optimisation.
+        assert_eq!(without.recommendation(), with_cache.recommendation());
+    }
+
+    #[test]
+    fn pipelining_ablation_puts_sweeps_on_the_critical_path() {
+        let pipelined = EdgeTune::new(quick_config()).run().unwrap();
+        let synchronous = EdgeTune::new(quick_config().without_pipelining())
+            .run()
+            .unwrap();
+        assert_eq!(pipelined.stall_time(), Seconds::ZERO);
+        assert!(
+            synchronous.stall_time().value() > 0.0,
+            "synchronous sweeps must stall the model server"
+        );
+        assert!(synchronous.tuning_runtime() > pipelined.tuning_runtime());
+        // Synchronous sweeps start after their trial, so nothing
+        // overlaps.
+        assert!(synchronous.timeline().overlap_fraction() < 0.01);
+    }
+
+    #[test]
+    fn worker_pool_accepts_multiple_workers() {
+        let report = EdgeTune::new(quick_config().with_inference_workers(4))
+            .run()
+            .unwrap();
+        assert!(!report.history().is_empty());
+        assert!(report.recommendation().batch >= 1);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use std::time::Duration;
+
+    use crate::config::EdgeTuneConfig;
+    use crate::server::EdgeTune;
+    use edgetune_faults::{FaultPlan, Supervisor};
+    use edgetune_tuner::scheduler::SchedulerConfig;
+    use edgetune_util::units::Seconds;
+    use edgetune_util::Error;
+    use edgetune_workloads::catalog::WorkloadId;
+
+    fn quick_config() -> EdgeTuneConfig {
+        EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+            .without_hyperband()
+            .with_seed(42)
+    }
+
+    #[test]
+    fn disabled_plan_leaves_the_report_without_fault_keys() {
+        let report = EdgeTune::new(quick_config()).run().unwrap();
+        assert!(report.faults().is_none());
+        let json = report.to_json().unwrap();
+        assert!(
+            !json.contains("\"faults\"") && !json.contains("\"failure\""),
+            "a fault-free report must serialize exactly as before this feature existed"
+        );
+    }
+
+    #[test]
+    fn chaos_run_reports_what_was_injected_and_how_it_degraded() {
+        let report = EdgeTune::new(quick_config().with_fault_plan(FaultPlan::uniform(0.25)))
+            .run()
+            .unwrap();
+        let faults = report.faults().expect("chaos runs carry a fault report");
+        assert_eq!(faults.plan, FaultPlan::uniform(0.25));
+        let d = &faults.degradation;
+        assert!(
+            !d.is_empty(),
+            "a 25% fault rate over a full study must inject something"
+        );
+        assert_eq!(
+            faults.failed_trials,
+            report
+                .history()
+                .records()
+                .iter()
+                .filter(|r| r.outcome.is_failed())
+                .count() as u64
+        );
+        // The study still produces a usable answer.
+        assert!(report.best_accuracy() > 0.0 || report.best().outcome.is_failed());
+        assert!(report.recommendation().batch >= 1);
+    }
+
+    #[test]
+    fn trial_crashes_are_retried_and_survivors_win() {
+        let plan = FaultPlan::none().with_trial_crash(0.2);
+        let report = EdgeTune::new(quick_config().with_fault_plan(plan))
+            .run()
+            .unwrap();
+        let d = &report.faults().unwrap().degradation;
+        assert!(d.trial_crashes > 0, "20% crash rate must fire: {d:?}");
+        assert!(
+            d.trial_retries > 0,
+            "the supervisor must retry crashed trials: {d:?}"
+        );
+        assert!(
+            report.best().outcome.score.is_finite(),
+            "the winner must be a surviving trial"
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let config = || quick_config().with_fault_plan(FaultPlan::uniform(0.3));
+        let a = EdgeTune::new(config()).run().unwrap();
+        let b = EdgeTune::new(config()).run().unwrap();
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn lost_inference_replies_degrade_instead_of_poisoning_the_study() {
+        // Every request's worker dies, so no real recommendation ever
+        // arrives: the ladder must fall through to stale-cache/default
+        // recommendations and the run must still complete.
+        let plan = FaultPlan::none().with_worker_panic(1.0);
+        let config = quick_config()
+            .with_fault_plan(plan)
+            .with_reply_timeout(Duration::from_millis(200))
+            .with_supervisor(Supervisor::new(edgetune_faults::RetryPolicy {
+                max_attempts: 2,
+                base_delay: Seconds::new(1.0),
+                multiplier: 2.0,
+                max_delay: Seconds::new(10.0),
+                jitter: 0.5,
+            }));
+        let report = EdgeTune::new(config).run().unwrap();
+        let faults = report.faults().unwrap();
+        assert!(faults.injected_losses > 0);
+        let d = &faults.degradation;
+        assert!(d.worker_losses > 0);
+        assert!(
+            d.stale_cache_served + d.default_recommendations + d.trials_skipped > 0,
+            "lost replies must walk the ladder: {d:?}"
+        );
+        assert!(report.recommendation().batch >= 1);
+    }
+
+    #[test]
+    fn resume_under_a_different_seed_is_rejected() {
+        let dir = std::env::temp_dir().join("edgetune-resume-seed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt.json");
+        std::fs::remove_file(&path).ok();
+        let _ = EdgeTune::new(quick_config().with_checkpoint_path(&path))
+            .run()
+            .unwrap();
+        assert!(path.exists(), "each rung writes a checkpoint");
+        let err = EdgeTune::new(
+            quick_config()
+                .with_seed(43)
+                .with_checkpoint_path(&path)
+                .resuming(),
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

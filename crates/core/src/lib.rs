@@ -52,6 +52,8 @@ pub mod backend;
 pub mod batching;
 pub mod cache;
 pub mod checkpoint;
+pub mod config;
+pub mod engine;
 pub mod inference;
 pub mod scenario;
 pub mod serve;
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use edgetune_workloads::WorkloadId;
 }
 
+pub use engine::Engine;
 pub use inference::{InferenceRecommendation, InferenceSpace, InferenceTuningServer};
 pub use serve::ScenarioRetuner;
 pub use server::{EdgeTune, EdgeTuneConfig, TuningReport};

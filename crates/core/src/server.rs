@@ -1,888 +1,39 @@
-//! The Model Tuning Server and the end-to-end EdgeTune run
+//! The Model Tuning Server façade and the end-to-end EdgeTune run
 //! (Algorithm 1).
 //!
-//! [`EdgeTune`] wires everything together: a [`TrainingBackend`] supplies
-//! trials, a sampler + multi-fidelity scheduler explores the joint
+//! [`EdgeTune`] wires everything together: a
+//! [`TrainingBackend`](crate::backend::TrainingBackend) supplies trials,
+//! a sampler + multi-fidelity scheduler explores the joint
 //! (model × training × system)-parameter space under a budget policy, and
-//! for every trial an [`AsyncInferenceServer`] request is fired *at trial
-//! start* and collected *at trial end* — the onefold pipelining of Fig. 6.
-//! Trial scores combine training cost, accuracy and the estimated
-//! inference metrics through the §4.4 ratio objective, and the user gets
-//! back both the winning configuration and the deployment
-//! [`InferenceRecommendation`].
+//! for every trial an
+//! [`AsyncInferenceServer`](crate::async_server::AsyncInferenceServer)
+//! request is fired *at trial start* and collected *at trial end* — the
+//! onefold pipelining of Fig. 6. Trial scores combine training cost,
+//! accuracy and the estimated inference metrics through the §4.4 ratio
+//! objective, and the user gets back both the winning configuration and
+//! the deployment
+//! [`InferenceRecommendation`](crate::inference::InferenceRecommendation).
 //!
 //! Time accounting is *simulated*: trial runtimes come from the device
 //! models, and because the inference sweep runs on separate CPU resources
 //! in parallel with training, it only extends the tuning makespan when it
 //! outlasts its trial (which the paper argues — and these models confirm —
 //! essentially never happens). Its *energy*, however, is real work done by
-//! the tuning server and is always added.
+//! the tuning server and is always added. Real worker threads
+//! ([`EdgeTuneConfig::with_trial_workers`]) only change how fast that
+//! simulation is computed, never what it computes.
+//!
+//! This module is a façade: configuration lives in [`crate::config`],
+//! execution in [`crate::engine`]. The long-standing public paths
+//! (`server::EdgeTune`, `server::EdgeTuneConfig`, `server::TuningReport`,
+//! …) are preserved via re-exports.
 
-use std::collections::VecDeque;
-use std::path::PathBuf;
-use std::time::Duration;
+pub use crate::config::{EdgeTuneConfig, SamplerKind};
+pub use crate::engine::report::{FaultReport, TuningReport};
 
-use edgetune_device::profile::WorkProfile;
-use edgetune_device::spec::DeviceSpec;
-use edgetune_faults::{
-    DegradationLadder, DegradationStats, Fallback, FaultInjector, FaultPlan, Supervisor, TrialFault,
-};
-use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
-use edgetune_tuner::objective::{InferenceObjective, TrainMeasurement, TrainObjective};
-use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
-use edgetune_tuner::scheduler::{Evaluate, HyperBand, SchedulerConfig, SuccessiveHalving};
-use edgetune_tuner::space::Config;
-use edgetune_tuner::trial::{History, TrialFailure, TrialOutcome, TrialRecord};
-use edgetune_tuner::Metric;
-use edgetune_util::rng::SeedStream;
-use edgetune_util::units::{Joules, Seconds};
-use edgetune_util::{Error, Result};
-use edgetune_workloads::catalog::{Workload, WorkloadId};
-
-use crate::async_server::{AsyncInferenceServer, InferenceReply};
-use crate::backend::{SimTrainingBackend, TrainingBackend};
-use crate::cache::{CacheKey, CacheStats, HistoricalCache};
-use crate::checkpoint::StudyCheckpoint;
-use crate::inference::{
-    fallback_recommendation, InferenceRecommendation, InferenceSpace, InferenceTuningServer,
-};
-use crate::timeline::{Lane, Timeline};
-
-/// Which search strategy the Model Tuning Server uses (§4.2; the user
-/// can pick per server, the default being BOHB = TPE + HyperBand).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SamplerKind {
-    /// Exhaustive grid with the given per-dimension resolution.
-    Grid(usize),
-    /// Uniform random search.
-    Random,
-    /// Model-based TPE (BOHB's sampler).
-    Tpe,
-}
-
-/// Complete configuration of an EdgeTune run.
-#[derive(Debug, Clone)]
-pub struct EdgeTuneConfig {
-    /// The workload to tune (used by the default simulated backend).
-    pub workload: WorkloadId,
-    /// The edge device inference is tuned for.
-    pub edge_device: DeviceSpec,
-    /// Metric of the Model Tuning Server's ratio objective.
-    pub train_metric: Metric,
-    /// Metric of the Inference Tuning Server's objective.
-    pub inference_metric: Metric,
-    /// Budget policy for training trials.
-    pub budget: BudgetPolicy,
-    /// Scheduler shape (cohort size, η, rungs).
-    pub scheduler: SchedulerConfig,
-    /// Search strategy of the model server.
-    pub sampler: SamplerKind,
-    /// Use HyperBand brackets (BOHB-style) instead of one
-    /// successive-halving bracket.
-    pub hyperband: bool,
-    /// Trials below this accuracy are infeasible, if set.
-    pub accuracy_floor: Option<f64>,
-    /// Load/save the historical inference cache at this path, if set.
-    pub cache_path: Option<PathBuf>,
-    /// Consult the historical cache (§3.4); disabling it is an ablation
-    /// that re-tunes every architecture from scratch.
-    pub historical_cache: bool,
-    /// Pipeline inference tuning with training (Algorithm 1); disabling
-    /// it is an ablation that runs every sweep on the critical path.
-    pub pipelining: bool,
-    /// Concurrent sweep workers inside the inference server.
-    pub inference_workers: usize,
-    /// Concurrent training-trial slots on the model server (§3.1: "the
-    /// model server can parallelize its tuning process"). Trials of one
-    /// scheduler rung are independent; with `n` slots the simulated
-    /// makespan of a rung is its list-scheduled parallel length.
-    pub trial_workers: usize,
-    /// Root randomness seed.
-    pub seed: u64,
-    /// Fault-injection plan for chaos runs. [`FaultPlan::none`] (the
-    /// default) injects nothing and leaves every code path and report
-    /// byte-identical to a fault-free build.
-    pub fault_plan: FaultPlan,
-    /// Retry/backoff/deadline policy the fault-tolerance layer applies to
-    /// crashed trials and lost inference replies.
-    pub supervisor: Supervisor,
-    /// Ordered fallbacks when an inference reply is lost.
-    pub degradation: DegradationLadder,
-    /// Real-time cap on waiting for one inference reply before the
-    /// degradation ladder engages.
-    pub reply_timeout: Duration,
-    /// Write a resumable study checkpoint here after every completed
-    /// rung, if set.
-    pub checkpoint_path: Option<PathBuf>,
-    /// Resume from `checkpoint_path` when it exists: completed trials are
-    /// replayed from the checkpoint instead of re-executed, and the
-    /// fault-injection cursors are restored so the continuation makes the
-    /// same random decisions the uninterrupted run would have made.
-    pub resume: bool,
-    /// Stop tuning after this many completed rungs, if set — the
-    /// controlled "interruption" used to exercise checkpoint/resume.
-    pub halt_after_rungs: Option<u32>,
-}
-
-impl EdgeTuneConfig {
-    /// The paper's default setup for a workload: BOHB (TPE + HyperBand),
-    /// multi-budget, runtime objectives, Raspberry Pi 3B+ as the edge
-    /// target.
-    #[must_use]
-    pub fn for_workload(workload: WorkloadId) -> Self {
-        EdgeTuneConfig {
-            workload,
-            edge_device: DeviceSpec::raspberry_pi_3b(),
-            train_metric: Metric::Runtime,
-            inference_metric: Metric::Runtime,
-            budget: BudgetPolicy::multi_default(),
-            scheduler: SchedulerConfig::new(8, 2.0, 8),
-            sampler: SamplerKind::Tpe,
-            hyperband: true,
-            accuracy_floor: None,
-            cache_path: None,
-            historical_cache: true,
-            pipelining: true,
-            inference_workers: 1,
-            trial_workers: 1,
-            seed: SeedStream::default().seed(),
-            fault_plan: FaultPlan::none(),
-            supervisor: Supervisor::default(),
-            degradation: DegradationLadder::default(),
-            reply_timeout: Duration::from_secs(30),
-            checkpoint_path: None,
-            resume: false,
-            halt_after_rungs: None,
-        }
-    }
-
-    /// Sets the edge device.
-    #[must_use]
-    pub fn with_edge_device(mut self, device: DeviceSpec) -> Self {
-        self.edge_device = device;
-        self
-    }
-
-    /// Sets both objectives' metric (runtime- vs energy-oriented run,
-    /// the §5.4 comparison).
-    #[must_use]
-    pub fn with_metric(mut self, metric: Metric) -> Self {
-        self.train_metric = metric;
-        self.inference_metric = metric;
-        self
-    }
-
-    /// Sets the budget policy.
-    #[must_use]
-    pub fn with_budget(mut self, budget: BudgetPolicy) -> Self {
-        self.budget = budget;
-        self
-    }
-
-    /// Sets the scheduler shape.
-    #[must_use]
-    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
-        self.scheduler = scheduler;
-        self
-    }
-
-    /// Sets the sampler.
-    #[must_use]
-    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
-        self.sampler = sampler;
-        self
-    }
-
-    /// Single successive-halving bracket instead of HyperBand.
-    #[must_use]
-    pub fn without_hyperband(mut self) -> Self {
-        self.hyperband = false;
-        self
-    }
-
-    /// Requires trials to reach at least this accuracy.
-    #[must_use]
-    pub fn with_accuracy_floor(mut self, floor: f64) -> Self {
-        self.accuracy_floor = Some(floor);
-        self
-    }
-
-    /// Persists the historical cache at `path`.
-    #[must_use]
-    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
-        self.cache_path = Some(path.into());
-        self
-    }
-
-    /// Disables the historical cache (ablation: every architecture is
-    /// re-tuned on every trial).
-    #[must_use]
-    pub fn without_historical_cache(mut self) -> Self {
-        self.historical_cache = false;
-        self
-    }
-
-    /// Disables pipelining (ablation: inference sweeps run synchronously
-    /// on the model server's critical path).
-    #[must_use]
-    pub fn without_pipelining(mut self) -> Self {
-        self.pipelining = false;
-        self
-    }
-
-    /// Sets the number of concurrent inference-sweep workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    #[must_use]
-    pub fn with_inference_workers(mut self, workers: usize) -> Self {
-        assert!(workers >= 1, "need at least one worker");
-        self.inference_workers = workers;
-        self
-    }
-
-    /// Sets the number of concurrent training-trial slots (and gives the
-    /// inference server a matching worker pool).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    #[must_use]
-    pub fn with_trial_workers(mut self, workers: usize) -> Self {
-        assert!(workers >= 1, "need at least one worker");
-        self.trial_workers = workers;
-        self.inference_workers = self.inference_workers.max(workers);
-        self
-    }
-
-    /// Sets the root seed.
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Enables fault injection under `plan` (a chaos run).
-    #[must_use]
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = plan;
-        self
-    }
-
-    /// Sets the retry/deadline policy of the fault-tolerance layer.
-    #[must_use]
-    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
-        self.supervisor = supervisor;
-        self
-    }
-
-    /// Sets the degradation ladder for lost inference replies.
-    #[must_use]
-    pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
-        self.degradation = ladder;
-        self
-    }
-
-    /// Sets the real-time cap on waiting for one inference reply.
-    #[must_use]
-    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
-        self.reply_timeout = timeout;
-        self
-    }
-
-    /// Checkpoints the study at `path` after every completed rung.
-    #[must_use]
-    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
-        self.checkpoint_path = Some(path.into());
-        self
-    }
-
-    /// Resumes from the configured checkpoint path when it exists.
-    #[must_use]
-    pub fn resuming(mut self) -> Self {
-        self.resume = true;
-        self
-    }
-
-    /// Halts tuning after `rungs` completed rungs (a controlled
-    /// interruption for checkpoint/resume testing).
-    #[must_use]
-    pub fn with_halt_after_rungs(mut self, rungs: u32) -> Self {
-        self.halt_after_rungs = Some(rungs);
-        self
-    }
-
-    fn build_sampler(&self) -> Box<dyn Sampler> {
-        let seed = SeedStream::new(self.seed).child("sampler");
-        match self.sampler {
-            SamplerKind::Grid(resolution) => Box::new(GridSampler::new(resolution)),
-            SamplerKind::Random => Box::new(RandomSampler::new(seed)),
-            SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
-        }
-    }
-}
-
-/// What the fault-tolerance layer observed during a chaos run: the plan
-/// that was injected, every ladder rung exercised, and the failure
-/// counters of both servers. Present in a [`TuningReport`] only when a
-/// fault plan was active, so fault-free reports are unchanged.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct FaultReport {
-    /// The injected fault plan.
-    pub plan: FaultPlan,
-    /// Faults observed and fallbacks taken by the Model Tuning Server.
-    pub degradation: DegradationStats,
-    /// Real panics caught by the inference server's supervision loop.
-    pub worker_panics: u64,
-    /// Inference requests dropped by injected worker deaths.
-    pub injected_losses: u64,
-    /// Inference sweeps delayed by injected device outages.
-    pub injected_outages: u64,
-    /// Trials that ended with a failure marker in the history.
-    pub failed_trials: u64,
-}
-
-/// The outcome of an EdgeTune run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct TuningReport {
-    history: History,
-    best: TrialRecord,
-    recommendation: InferenceRecommendation,
-    timeline: Timeline,
-    cache_stats: CacheStats,
-    makespan: Seconds,
-    stall_time: Seconds,
-    inference_energy: Joules,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    faults: Option<FaultReport>,
-}
-
-impl TuningReport {
-    /// Full trial history.
-    #[must_use]
-    pub fn history(&self) -> &History {
-        &self.history
-    }
-
-    /// The winning trial.
-    #[must_use]
-    pub fn best(&self) -> &TrialRecord {
-        &self.best
-    }
-
-    /// The winning configuration.
-    #[must_use]
-    pub fn best_config(&self) -> &Config {
-        &self.best.config
-    }
-
-    /// Accuracy of the winning trial.
-    #[must_use]
-    pub fn best_accuracy(&self) -> f64 {
-        self.best.outcome.accuracy
-    }
-
-    /// The deployment recommendation for the winning architecture —
-    /// EdgeTune's extra output over a conventional tuner.
-    #[must_use]
-    pub fn recommendation(&self) -> &InferenceRecommendation {
-        &self.recommendation
-    }
-
-    /// Total tuning duration (wall clock): with one trial slot this is
-    /// the sum of trial runtimes plus any stalls waiting for the
-    /// inference server (Fig. 13/14's "tuning duration"); with parallel
-    /// trial slots it is the list-scheduled makespan.
-    #[must_use]
-    pub fn tuning_runtime(&self) -> Seconds {
-        self.makespan
-    }
-
-    /// Total *resource* time consumed by trials (the sum of their
-    /// durations, independent of how many ran concurrently).
-    #[must_use]
-    pub fn trial_resource_time(&self) -> Seconds {
-        self.history.total_runtime()
-    }
-
-    /// Total tuning energy: training trials plus the inference server's
-    /// sweeps (Fig. 13/14's "tuning energy").
-    #[must_use]
-    pub fn tuning_energy(&self) -> Joules {
-        self.history.total_energy()
-    }
-
-    /// Time the model server spent stalled on inference replies (zero
-    /// when pipelining fully hides the inference server).
-    #[must_use]
-    pub fn stall_time(&self) -> Seconds {
-        self.stall_time
-    }
-
-    /// Energy consumed by inference sweeps alone.
-    #[must_use]
-    pub fn inference_energy(&self) -> Joules {
-        self.inference_energy
-    }
-
-    /// The Fig. 6-style pipelining timeline.
-    #[must_use]
-    pub fn timeline(&self) -> &Timeline {
-        &self.timeline
-    }
-
-    /// Historical-cache statistics of the run.
-    #[must_use]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache_stats
-    }
-
-    /// What the fault-tolerance layer observed — `None` unless the run
-    /// had an active fault plan.
-    #[must_use]
-    pub fn faults(&self) -> Option<&FaultReport> {
-        self.faults.as_ref()
-    }
-
-    /// A compact human-readable summary of the run — what the CLI and
-    /// examples print.
-    #[must_use]
-    pub fn summary(&self) -> String {
-        let rec = &self.recommendation;
-        let mut summary = format!(
-            "winner {} (accuracy {:.1}%, {} trials)\n\
-             tuning {:.1} min / {:.1} kJ (stall {:.1}s, cache {}h/{}m)\n\
-             deploy on {}: batch {}, {} cores @ {:.2} GHz -> {:.1} items/s, {:.3} J/item",
-            self.best.config,
-            self.best.outcome.accuracy * 100.0,
-            self.history.len(),
-            self.tuning_runtime().as_minutes(),
-            self.tuning_energy().as_kilojoules(),
-            self.stall_time.value(),
-            self.cache_stats.hits,
-            self.cache_stats.misses,
-            rec.device,
-            rec.batch,
-            rec.cores,
-            rec.freq.as_ghz(),
-            rec.throughput.value(),
-            rec.energy_per_item.value(),
-        );
-        if let Some(faults) = &self.faults {
-            let d = &faults.degradation;
-            summary.push_str(&format!(
-                "\nchaos: {} failed trials ({} crashes, {} stragglers, {} timeouts), \
-                 {} retries, {} lost replies \
-                 (stale-cache {}, default-rec {}, skipped {})",
-                faults.failed_trials,
-                d.trial_crashes,
-                d.trial_stragglers,
-                d.trial_timeouts,
-                d.trial_retries,
-                d.worker_losses,
-                d.stale_cache_served,
-                d.default_recommendations,
-                d.trials_skipped,
-            ));
-        }
-        summary
-    }
-
-    /// Serialises the full report (history, winner, recommendation,
-    /// timeline, statistics) to pretty JSON — the artefact a tuning
-    /// service would hand back to its user.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Storage`] if serialisation fails.
-    pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| Error::storage(format!("serialising report: {e}")))
-    }
-
-    /// Reads a report previously produced by [`TuningReport::to_json`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Storage`] if parsing fails.
-    pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| Error::storage(format!("parsing report: {e}")))
-    }
-}
-
-/// Evaluator wiring one training trial to its pipelined inference request.
-struct OnefoldEvaluator<'a> {
-    backend: &'a mut dyn TrainingBackend,
-    inference: &'a AsyncInferenceServer,
-    device: &'a DeviceSpec,
-    inference_metric: Metric,
-    objective: TrainObjective,
-    timeline: &'a mut Timeline,
-    pipelining: bool,
-    trial_workers: usize,
-    clock: Seconds,
-    stall: Seconds,
-    inference_energy: Joules,
-    /// Whether a fault plan is active. With `false` every fault-tolerance
-    /// branch below is dead code and the evaluator behaves exactly like
-    /// the pre-chaos implementation.
-    faults_enabled: bool,
-    supervisor: Supervisor,
-    ladder: &'a DegradationLadder,
-    reply_timeout: Duration,
-    /// Seed stream for backoff jitter; draws are counted so retried
-    /// operations never share a jitter value.
-    supervisor_seed: SeedStream,
-    backoff_draws: u64,
-    stats: DegradationStats,
-    /// Checkpointing: where to write, under which root seed, and how many
-    /// rungs have completed (the halt criterion).
-    checkpoint_path: Option<&'a PathBuf>,
-    root_seed: u64,
-    halt_after_rungs: Option<u32>,
-    rungs_completed: u32,
-    /// Trials restored from a checkpoint, replayed front-to-back instead
-    /// of re-executed. Empty on a fresh run.
-    replay: VecDeque<TrialRecord>,
-}
-
-/// Everything one trial produced, before timeline/clock accounting.
-struct TrialRun {
-    outcome: TrialOutcome,
-    arch: String,
-    train_runtime: Seconds,
-    sweep_runtime: Seconds,
-    sweep_energy: Joules,
-    stall: Seconds,
-    cache_hit: bool,
-}
-
-impl OnefoldEvaluator<'_> {
-    fn next_backoff(&mut self, attempt: u32) -> Seconds {
-        let draw = self.backoff_draws;
-        self.backoff_draws += 1;
-        self.supervisor.backoff(attempt, self.supervisor_seed, draw)
-    }
-
-    /// Walks the degradation ladder after an inference reply was lost.
-    /// Returns the salvaged reply (if any rung produced one) and the
-    /// extra stall time the recovery cost.
-    fn degrade(
-        &mut self,
-        key: &CacheKey,
-        profile: WorkProfile,
-    ) -> (Option<InferenceReply>, Seconds) {
-        let mut extra = Seconds::ZERO;
-        for step in self.ladder.steps() {
-            match step {
-                Fallback::Retry => {
-                    let mut attempt: u32 = 1;
-                    while !self.supervisor.give_up(attempt) {
-                        extra += self.next_backoff(attempt);
-                        self.stats.inference_retries += 1;
-                        let Some(pending) = self.inference.try_submit(key.clone(), profile) else {
-                            break;
-                        };
-                        match pending.wait_timeout(self.reply_timeout) {
-                            Ok(reply) => return (Some(reply), extra),
-                            Err(_) => {
-                                self.stats.worker_losses += 1;
-                                attempt += 1;
-                            }
-                        }
-                    }
-                }
-                Fallback::StaleCache => {
-                    if let Some(recommendation) = self.inference.peek(key) {
-                        self.stats.stale_cache_served += 1;
-                        let reply = InferenceReply {
-                            recommendation,
-                            runtime: Seconds::ZERO,
-                            energy: Joules::ZERO,
-                            cache_hit: true,
-                        };
-                        return (Some(reply), extra);
-                    }
-                }
-                Fallback::DeviceDefault => {
-                    self.stats.default_recommendations += 1;
-                    let reply = InferenceReply {
-                        recommendation: fallback_recommendation(self.device, &profile),
-                        runtime: Seconds::ZERO,
-                        energy: Joules::ZERO,
-                        cache_hit: true,
-                    };
-                    return (Some(reply), extra);
-                }
-                Fallback::SkipWithPenalty => return (None, extra),
-            }
-        }
-        (None, extra)
-    }
-
-    /// Runs the training side of one trial under the supervisor: injected
-    /// crashes are retried with backoff until success, retry exhaustion,
-    /// or the deadline. Returns the successful measurement (with the
-    /// wasted time/energy of failed attempts folded in) or the failure to
-    /// record.
-    fn train_supervised(
-        &mut self,
-        config: &Config,
-        budget: TrialBudget,
-    ) -> std::result::Result<(Seconds, Joules, f64), (TrialFailure, Seconds, Joules)> {
-        let mut attempt: u32 = 1;
-        let mut paid_runtime = Seconds::ZERO;
-        let mut paid_energy = Joules::ZERO;
-        loop {
-            let trial = self.backend.run_trial(config, budget);
-            match trial.injected {
-                Some(TrialFault::Crash) => {
-                    self.stats.trial_crashes += 1;
-                    paid_runtime += trial.runtime;
-                    paid_energy += trial.energy;
-                    if self.supervisor.deadline_exceeded(paid_runtime) {
-                        self.stats.trial_timeouts += 1;
-                        return Err((TrialFailure::Timeout, paid_runtime, paid_energy));
-                    }
-                    if self.supervisor.give_up(attempt) {
-                        self.stats.trials_skipped += 1;
-                        return Err((TrialFailure::Crash, paid_runtime, paid_energy));
-                    }
-                    paid_runtime += self.next_backoff(attempt);
-                    self.stats.trial_retries += 1;
-                    attempt += 1;
-                }
-                Some(TrialFault::Straggle { .. }) => {
-                    self.stats.trial_stragglers += 1;
-                    return Ok((
-                        paid_runtime + trial.runtime,
-                        paid_energy + trial.energy,
-                        trial.accuracy,
-                    ));
-                }
-                None => {
-                    return Ok((
-                        paid_runtime + trial.runtime,
-                        paid_energy + trial.energy,
-                        trial.accuracy,
-                    ));
-                }
-            }
-        }
-    }
-
-    /// Runs one trial plus its pipelined inference request, with no
-    /// global accounting.
-    fn run_one(&mut self, config: &Config, budget: TrialBudget) -> TrialRun {
-        // (1) Fire the inference request as soon as the architecture is
-        //     known — before training starts (Algorithm 1, line 6).
-        let (arch, profile) = self.backend.architecture(config);
-        let key = CacheKey::new(
-            self.device.name.clone(),
-            arch.clone(),
-            self.inference_metric,
-        );
-        let pending = self.inference.submit(key.clone(), profile);
-
-        // (2) Run the training trial (supervised when faults are active).
-        let (train_runtime, train_energy, accuracy) = match self.train_supervised(config, budget) {
-            Ok(success) => success,
-            Err((failure, paid_runtime, paid_energy)) => {
-                // The trial is abandoned; still collect (and account)
-                // its pipelined sweep so the queue drains and the
-                // sweep's energy is not silently lost.
-                let (sweep_runtime, sweep_energy, cache_hit) =
-                    match pending.wait_timeout(self.reply_timeout) {
-                        Ok(reply) => (reply.runtime, reply.energy, reply.cache_hit),
-                        Err(_) => (Seconds::ZERO, Joules::ZERO, true),
-                    };
-                return TrialRun {
-                    outcome: TrialOutcome::failed(
-                        failure,
-                        paid_runtime,
-                        paid_energy + sweep_energy,
-                    ),
-                    arch,
-                    train_runtime: paid_runtime,
-                    sweep_runtime,
-                    sweep_energy,
-                    stall: Seconds::ZERO,
-                    cache_hit,
-                };
-            }
-        };
-
-        // (3) Collect the inference reply, degrading when it is lost.
-        let (reply, extra_stall) = match pending.wait_timeout(self.reply_timeout) {
-            Ok(reply) => (Some(reply), Seconds::ZERO),
-            Err(_) if self.faults_enabled => {
-                self.stats.worker_losses += 1;
-                self.degrade(&key, profile)
-            }
-            Err(_) => (None, Seconds::ZERO),
-        };
-        let Some(reply) = reply else {
-            // Fault-free: the server died — mark the trial infeasible
-            // rather than crash the job (legacy behaviour, no marker).
-            // Chaos: the ladder ran dry — skip with a penalty score.
-            let outcome = if self.faults_enabled {
-                self.stats.trials_skipped += 1;
-                TrialOutcome::failed(
-                    TrialFailure::InferenceLoss,
-                    train_runtime + extra_stall,
-                    train_energy,
-                )
-            } else {
-                TrialOutcome::new(f64::INFINITY, accuracy, train_runtime, train_energy)
-            };
-            return TrialRun {
-                outcome,
-                arch,
-                train_runtime,
-                sweep_runtime: Seconds::ZERO,
-                sweep_energy: Joules::ZERO,
-                stall: extra_stall,
-                cache_hit: true,
-            };
-        };
-        // Pipelined: only the sweep's excess over its trial stalls the
-        // model server. Synchronous (ablation): the whole sweep sits on
-        // the critical path after the trial.
-        let base_stall = if self.pipelining {
-            Seconds::new((reply.runtime.value() - train_runtime.value()).max(0.0))
-        } else {
-            reply.runtime
-        };
-        let stall = base_stall + extra_stall;
-
-        // (4) Combine both servers' metrics in the ratio objective.
-        let measurement = TrainMeasurement {
-            accuracy,
-            train_time: train_runtime,
-            train_energy,
-            inference_time: Some(reply.recommendation.latency_per_item),
-            inference_energy: Some(reply.recommendation.energy_per_item),
-        };
-        let score = self.objective.score(&measurement);
-        TrialRun {
-            outcome: TrialOutcome::new(
-                score,
-                accuracy,
-                train_runtime + stall,
-                train_energy + reply.energy,
-            ),
-            arch,
-            train_runtime,
-            sweep_runtime: reply.runtime,
-            sweep_energy: reply.energy,
-            stall,
-            cache_hit: reply.cache_hit,
-        }
-    }
-
-    /// Timeline/clock accounting for one trial placed at `start`.
-    fn record(&mut self, id: u64, run: &TrialRun, start: Seconds) {
-        let busy_end = start + run.train_runtime;
-        self.timeline
-            .record(Lane::ModelServer, format!("trial-{id}"), start, busy_end);
-        if !run.cache_hit && run.sweep_runtime.value() > 0.0 {
-            let sweep_start = if self.pipelining { start } else { busy_end };
-            self.timeline.record(
-                Lane::InferenceServer,
-                run.arch.clone(),
-                sweep_start,
-                sweep_start + run.sweep_runtime,
-            );
-        }
-        self.stall += run.stall;
-        self.inference_energy += run.sweep_energy;
-    }
-}
-
-impl Evaluate for OnefoldEvaluator<'_> {
-    fn evaluate(&mut self, id: u64, config: &Config, budget: TrialBudget) -> TrialOutcome {
-        // Resume: trials already in the checkpoint are replayed, not
-        // re-executed. The scheduler regenerates the identical (id,
-        // config) sequence from the shared seed; a mismatch means the
-        // checkpoint belongs to a different run, so replay is abandoned
-        // and the trial executes live.
-        if let Some(front) = self.replay.front() {
-            if front.id == id && front.config == *config {
-                let record = self.replay.pop_front().expect("front exists");
-                let start = self.clock;
-                self.timeline.record(
-                    Lane::ModelServer,
-                    format!("trial-{id}"),
-                    start,
-                    start + record.outcome.runtime,
-                );
-                self.clock = start + record.outcome.runtime;
-                return record.outcome;
-            }
-            self.replay.clear();
-        }
-        let run = self.run_one(config, budget);
-        let start = self.clock;
-        self.record(id, &run, start);
-        self.clock = start + run.train_runtime + run.stall;
-        run.outcome
-    }
-
-    fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
-        if !self.replay.is_empty() || self.trial_workers <= 1 || trials.len() <= 1 {
-            return trials
-                .into_iter()
-                .map(|(id, config, budget)| self.evaluate(id, &config, budget))
-                .collect();
-        }
-        // Simulated parallel execution: the rung's trials are
-        // list-scheduled onto `trial_workers` slots; the rung advances
-        // the clock by its makespan, not by the sum of trial durations.
-        let runs: Vec<(u64, TrialRun)> = trials
-            .into_iter()
-            .map(|(id, config, budget)| (id, self.run_one(&config, budget)))
-            .collect();
-        let rung_start = self.clock;
-        let mut loads = vec![Seconds::ZERO; self.trial_workers];
-        let mut outcomes = Vec::with_capacity(runs.len());
-        for (id, run) in runs {
-            let (slot, _) = loads
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite loads"))
-                .expect("at least one worker");
-            let start = rung_start + loads[slot];
-            self.record(id, &run, start);
-            loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
-            outcomes.push(run.outcome);
-        }
-        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
-        self.clock = rung_start + makespan;
-        outcomes
-    }
-
-    fn on_rung_complete(&mut self, history: &History) {
-        self.rungs_completed += 1;
-        if let Some(path) = self.checkpoint_path {
-            let checkpoint = StudyCheckpoint::new(
-                self.root_seed,
-                history,
-                self.inference.cache_snapshot(),
-                self.backend.fault_cursor(),
-                self.inference.submitted(),
-            );
-            // A failed checkpoint write must never kill the study: the
-            // run is still correct, only resumability is lost.
-            let _ = checkpoint.save(path);
-        }
-    }
-
-    fn should_halt(&self) -> bool {
-        self.halt_after_rungs
-            .is_some_and(|rungs| self.rungs_completed >= rungs)
-    }
-}
+use crate::backend::TrainingBackend;
+use crate::engine::Engine;
+use edgetune_util::Result;
 
 /// The EdgeTune tuning job.
 #[derive(Debug, Clone)]
@@ -911,16 +62,7 @@ impl EdgeTune {
     /// Propagates configuration and storage errors; see
     /// [`EdgeTune::run_with_backend`].
     pub fn run(&self) -> Result<TuningReport> {
-        let workload = Workload::by_id(self.config.workload);
-        let mut backend =
-            SimTrainingBackend::new(workload, SeedStream::new(self.config.seed).child("trials"));
-        if !self.config.fault_plan.is_none() {
-            backend = backend.with_fault_injector(FaultInjector::new(
-                self.config.fault_plan,
-                SeedStream::new(self.config.seed).child("trial-faults"),
-            ));
-        }
-        self.run_with_backend(&mut backend)
+        Engine::new(&self.config).run()
     }
 
     /// Runs the job against any training backend (e.g. the real
@@ -928,597 +70,66 @@ impl EdgeTune {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] for inconsistent configurations,
-    /// [`Error::Storage`] if the historical cache cannot be written, and
-    /// [`Error::Channel`] if the inference server fails irrecoverably.
+    /// Returns [`Error::InvalidConfig`](edgetune_util::Error::InvalidConfig)
+    /// for inconsistent configurations,
+    /// [`Error::Storage`](edgetune_util::Error::Storage) if the historical
+    /// cache cannot be written, and
+    /// [`Error::Channel`](edgetune_util::Error::Channel) if the inference
+    /// server fails irrecoverably.
     pub fn run_with_backend(&self, backend: &mut dyn TrainingBackend) -> Result<TuningReport> {
-        let space = backend.search_space();
-        if space.is_empty() {
-            return Err(Error::invalid_config("backend search space is empty"));
-        }
-        let faults_enabled = !self.config.fault_plan.is_none();
-
-        // Resume: restore the trial log, cache, and fault cursors from the
-        // checkpoint so the continuation replays the interrupted study.
-        let mut replay: VecDeque<TrialRecord> = VecDeque::new();
-        let mut first_seq: u64 = 0;
-        let mut resumed_cache: Option<HistoricalCache> = None;
-        if self.config.resume {
-            if let Some(path) = &self.config.checkpoint_path {
-                if path.exists() {
-                    let checkpoint = StudyCheckpoint::load(path)?;
-                    if checkpoint.seed != self.config.seed {
-                        return Err(Error::invalid_config(format!(
-                            "checkpoint was written under seed {}, not {}: resuming would \
-                             silently diverge",
-                            checkpoint.seed, self.config.seed
-                        )));
-                    }
-                    backend.set_fault_cursor(checkpoint.fault_cursor);
-                    first_seq = checkpoint.inference_cursor;
-                    replay = checkpoint.history().records().to_vec().into();
-                    resumed_cache = Some(checkpoint.cache);
-                }
-            }
-        }
-
-        // Historical cache: the checkpoint's snapshot wins on resume, then
-        // the persistent file, else start fresh.
-        let cache = match resumed_cache {
-            Some(cache) => cache,
-            None => match &self.config.cache_path {
-                Some(path) if path.exists() => HistoricalCache::load(path)?,
-                _ => HistoricalCache::new(),
-            },
-        };
-
-        let inference_server = InferenceTuningServer::new(
-            self.config.edge_device.clone(),
-            InferenceSpace::for_device(&self.config.edge_device),
-            InferenceObjective::new(self.config.inference_metric),
-        )?;
-        let inference_faults = if faults_enabled {
-            Some(FaultInjector::new(
-                self.config.fault_plan,
-                SeedStream::new(self.config.seed).child("inference-faults"),
-            ))
-        } else {
-            None
-        };
-        let async_server = AsyncInferenceServer::start_supervised(
-            inference_server,
-            cache,
-            self.config.inference_workers,
-            self.config.historical_cache,
-            inference_faults,
-            first_seq,
-        );
-
-        let mut objective = TrainObjective::inference_aware(self.config.train_metric);
-        if let Some(floor) = self.config.accuracy_floor {
-            objective = objective.with_accuracy_floor(floor);
-        }
-
-        let mut timeline = Timeline::new();
-        let mut sampler = self.config.build_sampler();
-        let device_name = self.config.edge_device.name.clone();
-
-        let (history, makespan, stall, inference_energy, degradation) = {
-            let mut evaluator = OnefoldEvaluator {
-                backend,
-                inference: &async_server,
-                device: &self.config.edge_device,
-                inference_metric: self.config.inference_metric,
-                objective,
-                timeline: &mut timeline,
-                pipelining: self.config.pipelining,
-                trial_workers: self.config.trial_workers,
-                clock: Seconds::ZERO,
-                stall: Seconds::ZERO,
-                inference_energy: Joules::ZERO,
-                faults_enabled,
-                supervisor: self.config.supervisor,
-                ladder: &self.config.degradation,
-                reply_timeout: self.config.reply_timeout,
-                supervisor_seed: SeedStream::new(self.config.seed).child("supervisor"),
-                backoff_draws: 0,
-                stats: DegradationStats::default(),
-                checkpoint_path: self.config.checkpoint_path.as_ref(),
-                root_seed: self.config.seed,
-                halt_after_rungs: self.config.halt_after_rungs,
-                rungs_completed: 0,
-                replay,
-            };
-            let history = if self.config.hyperband {
-                HyperBand::new(self.config.scheduler).run(
-                    sampler.as_mut(),
-                    &space,
-                    &self.config.budget,
-                    &mut evaluator,
-                )
-            } else {
-                SuccessiveHalving::new(self.config.scheduler).run(
-                    sampler.as_mut(),
-                    &space,
-                    &self.config.budget,
-                    &mut evaluator,
-                )
-            };
-            (
-                history,
-                evaluator.clock,
-                evaluator.stall,
-                evaluator.inference_energy,
-                evaluator.stats,
-            )
-        };
-
-        // Harvest the inference server's fault counters before shutdown.
-        let worker_panics = async_server.worker_panics();
-        let injected_losses = async_server.injected_losses();
-        let injected_outages = async_server.injected_outages();
-
-        // The tuning job's output is the final-rung winner: raw ratio
-        // scores are only comparable within one budget level.
-        let best = history
-            .winner()
-            .ok_or_else(|| Error::invalid_config("no trials were executed"))?
-            .clone();
-
-        // The winner's recommendation is in the cache by construction.
-        let (best_arch, best_profile) = backend.architecture(&best.config);
-        let key = CacheKey::new(&device_name, best_arch, self.config.inference_metric);
-        let mut final_cache = async_server.shutdown();
-        let recommendation = match final_cache.peek(&key) {
-            Some(rec) => rec.clone(),
-            None => {
-                // Only reachable if the worker died mid-run; recompute
-                // synchronously.
-                let server = InferenceTuningServer::new(
-                    self.config.edge_device.clone(),
-                    InferenceSpace::for_device(&self.config.edge_device),
-                    InferenceObjective::new(self.config.inference_metric),
-                )?;
-                let (rec, _) = server.tune(&best_profile);
-                final_cache.store(&key, rec.clone());
-                rec
-            }
-        };
-
-        if let Some(path) = &self.config.cache_path {
-            final_cache.save(path)?;
-        }
-
-        let faults = if faults_enabled {
-            Some(FaultReport {
-                plan: self.config.fault_plan,
-                degradation,
-                worker_panics,
-                injected_losses,
-                injected_outages,
-                failed_trials: history
-                    .records()
-                    .iter()
-                    .filter(|r| r.outcome.is_failed())
-                    .count() as u64,
-            })
-        } else {
-            None
-        };
-
-        Ok(TuningReport {
-            history,
-            best,
-            recommendation,
-            timeline,
-            cache_stats: final_cache.stats(),
-            makespan,
-            stall_time: stall,
-            inference_energy,
-            faults,
-        })
+        Engine::new(&self.config).run_with_backend(backend)
     }
 }
 
 #[cfg(test)]
-mod tests {
+mod facade_tests {
     use super::*;
-    use crate::backend::{PARAM_GPUS, PARAM_MODEL_HP};
+    use edgetune_tuner::scheduler::SchedulerConfig;
+    use edgetune_workloads::catalog::WorkloadId;
 
-    fn quick_config() -> EdgeTuneConfig {
+    fn golden_config() -> EdgeTuneConfig {
         EdgeTuneConfig::for_workload(WorkloadId::Ic)
-            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+            .with_scheduler(SchedulerConfig::new(6, 2.0, 6))
             .without_hyperband()
-            .with_seed(42)
+            .with_seed(1234)
     }
 
+    /// The golden snapshot: the report's JSON artefact is a stability
+    /// contract — byte-identical for a fixed seed whatever the real
+    /// thread count, before and after any internal refactor.
     #[test]
-    fn end_to_end_run_produces_report() {
-        let report = EdgeTune::new(quick_config()).run().unwrap();
-        assert!(!report.history().is_empty());
-        assert!(report.best_accuracy() > 0.0);
-        assert!(report.tuning_runtime().value() > 0.0);
-        assert!(report.tuning_energy().value() > 0.0);
-        assert!(report.recommendation().batch >= 1);
-        assert!(report.recommendation().throughput.value() > 0.0);
-        assert!(report.best_config().get(PARAM_MODEL_HP).is_some());
-        assert!(report.best_config().get(PARAM_GPUS).is_some());
-    }
-
-    #[test]
-    fn run_is_deterministic_for_a_seed() {
-        let a = EdgeTune::new(quick_config()).run().unwrap();
-        let b = EdgeTune::new(quick_config()).run().unwrap();
-        assert_eq!(a.best_config(), b.best_config());
-        assert_eq!(a.tuning_runtime(), b.tuning_runtime());
-        assert_eq!(a.recommendation(), b.recommendation());
-        let c = EdgeTune::new(quick_config().with_seed(43)).run().unwrap();
-        // Different seed explores differently (history differs).
-        assert!(
-            c.history().records().len() != a.history().records().len()
-                || c.tuning_runtime() != a.tuning_runtime()
-                || c.best_config() != a.best_config()
-        );
-    }
-
-    #[test]
-    fn inference_tuning_is_pipelined_not_stalling() {
-        // The paper's claim: the inference sweep always fits inside its
-        // training trial, so the model server never stalls.
-        let report = EdgeTune::new(quick_config()).run().unwrap();
-        assert_eq!(
-            report.stall_time(),
-            Seconds::ZERO,
-            "inference must hide behind training"
-        );
-        assert!((report.timeline().overlap_fraction() - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn historical_cache_avoids_retuning_architectures() {
-        // Only 3 distinct architectures exist for IC, so with >3 trials
-        // the cache must hit.
-        let report = EdgeTune::new(quick_config()).run().unwrap();
-        let stats = report.cache_stats();
-        assert!(
-            stats.misses <= 3,
-            "at most one miss per architecture: {stats:?}"
-        );
-        assert!(stats.hits > 0, "repeated architectures must hit: {stats:?}");
-    }
-
-    #[test]
-    fn inference_energy_is_accounted() {
-        let report = EdgeTune::new(quick_config()).run().unwrap();
-        assert!(report.inference_energy().value() > 0.0);
-        assert!(report.tuning_energy().value() > report.inference_energy().value());
-    }
-
-    #[test]
-    fn cache_persists_across_runs() {
-        let dir = std::env::temp_dir().join("edgetune-server-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("cache.json");
-        std::fs::remove_file(&path).ok();
-
-        let cfg = quick_config().with_cache_path(&path);
-        let first = EdgeTune::new(cfg.clone()).run().unwrap();
-        assert!(path.exists());
-        let second = EdgeTune::new(cfg).run().unwrap();
-        // Second run starts warm: no misses at all.
-        assert_eq!(second.cache_stats().misses, 0, "warm cache should not miss");
-        assert!(second.inference_energy().value() < first.inference_energy().value() + 1e-9);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn hyperband_mode_runs_more_trials() {
-        let sha = EdgeTune::new(quick_config()).run().unwrap();
-        let hb = EdgeTune::new(quick_config().with_scheduler(SchedulerConfig::new(4, 2.0, 4)))
+    fn report_json_is_byte_identical_across_trial_worker_counts() {
+        let baseline = EdgeTune::new(golden_config())
             .run()
+            .unwrap()
+            .to_json()
             .unwrap();
-        // without_hyperband was only applied to `sha`.
-        let _ = (sha, hb);
-    }
-
-    #[test]
-    fn energy_metric_changes_the_objective() {
-        let runtime = EdgeTune::new(quick_config()).run().unwrap();
-        let energy = EdgeTune::new(quick_config().with_metric(Metric::Energy))
-            .run()
-            .unwrap();
-        // Both must complete; the recommendations may legitimately agree,
-        // but the recommendation metric must be populated either way.
-        assert!(runtime.recommendation().energy_per_item.value() > 0.0);
-        assert!(energy.recommendation().energy_per_item.value() > 0.0);
-    }
-
-    #[test]
-    fn accuracy_floor_filters_low_budget_winners() {
-        let report = EdgeTune::new(quick_config().with_accuracy_floor(0.3))
-            .run()
-            .unwrap();
-        assert!(
-            report.best_accuracy() >= 0.3,
-            "winner must respect the floor: {}",
-            report.best_accuracy()
-        );
-    }
-
-    #[test]
-    fn random_and_grid_samplers_work() {
-        for kind in [SamplerKind::Random, SamplerKind::Grid(3)] {
-            let report = EdgeTune::new(quick_config().with_sampler(kind))
+        for workers in [1, 4] {
+            let json = EdgeTune::new(golden_config().with_trial_workers(workers))
                 .run()
+                .unwrap()
+                .to_json()
                 .unwrap();
-            assert!(!report.history().is_empty(), "{kind:?}");
+            assert_eq!(baseline, json, "trial_workers={workers} changed the report");
         }
     }
-}
-
-#[cfg(test)]
-mod ablation_tests {
-    use super::*;
-
-    fn quick_config() -> EdgeTuneConfig {
-        EdgeTuneConfig::for_workload(WorkloadId::Ic)
-            .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
-            .without_hyperband()
-            .with_seed(42)
-    }
 
     #[test]
-    fn cache_ablation_retunes_every_architecture() {
-        let with_cache = EdgeTune::new(quick_config()).run().unwrap();
-        let without = EdgeTune::new(quick_config().without_historical_cache())
-            .run()
-            .unwrap();
-        assert_eq!(without.cache_stats().hits, 0, "no hits without the cache");
-        assert!(
-            without.cache_stats().misses > with_cache.cache_stats().misses,
-            "every trial pays a sweep: {} vs {}",
-            without.cache_stats().misses,
-            with_cache.cache_stats().misses
-        );
-        assert!(
-            without.inference_energy() > with_cache.inference_energy(),
-            "re-tuning costs energy"
-        );
-        // The recommendation itself is unchanged — the cache is purely a
-        // cost optimisation.
-        assert_eq!(without.recommendation(), with_cache.recommendation());
-    }
-
-    #[test]
-    fn pipelining_ablation_puts_sweeps_on_the_critical_path() {
-        let pipelined = EdgeTune::new(quick_config()).run().unwrap();
-        let synchronous = EdgeTune::new(quick_config().without_pipelining())
-            .run()
-            .unwrap();
-        assert_eq!(pipelined.stall_time(), Seconds::ZERO);
-        assert!(
-            synchronous.stall_time().value() > 0.0,
-            "synchronous sweeps must stall the model server"
-        );
-        assert!(synchronous.tuning_runtime() > pipelined.tuning_runtime());
-        // Synchronous sweeps start after their trial, so nothing
-        // overlaps.
-        assert!(synchronous.timeline().overlap_fraction() < 0.01);
-    }
-
-    #[test]
-    fn worker_pool_accepts_multiple_workers() {
-        let report = EdgeTune::new(quick_config().with_inference_workers(4))
-            .run()
-            .unwrap();
-        assert!(!report.history().is_empty());
-        assert!(report.recommendation().batch >= 1);
-    }
-}
-
-#[cfg(test)]
-mod parallel_tests {
-    use super::*;
-
-    fn base() -> EdgeTuneConfig {
-        EdgeTuneConfig::for_workload(WorkloadId::Ic)
-            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
-            .without_hyperband()
-            .with_seed(42)
-    }
-
-    #[test]
-    fn parallel_trials_shrink_the_makespan_not_the_work() {
-        let sequential = EdgeTune::new(base()).run().unwrap();
-        let parallel = EdgeTune::new(base().with_trial_workers(4)).run().unwrap();
-        // Same trials, same evidence, same winner.
-        assert_eq!(sequential.history().len(), parallel.history().len());
-        assert_eq!(sequential.best_config(), parallel.best_config());
-        // Resource time is identical; wall time shrinks.
-        assert_eq!(
-            sequential.trial_resource_time(),
-            parallel.trial_resource_time(),
-            "parallelism must not change the work done"
-        );
-        assert!(
-            parallel.tuning_runtime().value() < sequential.tuning_runtime().value() * 0.6,
-            "4 slots should cut the makespan substantially: {} vs {}",
-            parallel.tuning_runtime(),
-            sequential.tuning_runtime()
-        );
-        // Energy is work, not wall time: unchanged.
-        assert_eq!(sequential.tuning_energy(), parallel.tuning_energy());
-    }
-
-    #[test]
-    fn sequential_makespan_equals_resource_time() {
-        let report = EdgeTune::new(base()).run().unwrap();
-        assert!(
-            (report.tuning_runtime().value() - report.trial_resource_time().value()).abs() < 1e-6,
-            "one slot: makespan == sum of trial durations"
-        );
-    }
-
-    #[test]
-    fn parallel_makespan_is_bounded_by_theory() {
-        // makespan >= resource_time / workers and >= longest trial.
-        let report = EdgeTune::new(base().with_trial_workers(3)).run().unwrap();
-        let lower_bound = report.trial_resource_time().value() / 3.0;
-        assert!(report.tuning_runtime().value() >= lower_bound - 1e-6);
-        let longest = report
-            .history()
-            .records()
-            .iter()
-            .map(|r| r.outcome.runtime.value())
-            .fold(0.0f64, f64::max);
-        assert!(report.tuning_runtime().value() >= longest - 1e-6);
-        assert!(report.tuning_runtime() <= report.trial_resource_time());
-    }
-}
-
-#[cfg(test)]
-mod chaos_tests {
-    use super::*;
-
-    fn quick_config() -> EdgeTuneConfig {
-        EdgeTuneConfig::for_workload(WorkloadId::Ic)
-            .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
-            .without_hyperband()
-            .with_seed(42)
-    }
-
-    #[test]
-    fn disabled_plan_leaves_the_report_without_fault_keys() {
-        let report = EdgeTune::new(quick_config()).run().unwrap();
-        assert!(report.faults().is_none());
+    fn report_json_round_trips_through_the_facade_path() {
+        let report = EdgeTune::new(golden_config()).run().unwrap();
         let json = report.to_json().unwrap();
-        assert!(
-            !json.contains("\"faults\"") && !json.contains("\"failure\""),
-            "a fault-free report must serialize exactly as before this feature existed"
-        );
+        let restored = crate::server::TuningReport::from_json(&json).expect("parses");
+        assert_eq!(restored.best_config(), report.best_config());
+        assert_eq!(restored.to_json().unwrap(), json, "round trip is lossless");
     }
 
     #[test]
-    fn chaos_run_reports_what_was_injected_and_how_it_degraded() {
-        let report = EdgeTune::new(quick_config().with_fault_plan(FaultPlan::uniform(0.25)))
-            .run()
-            .unwrap();
-        let faults = report.faults().expect("chaos runs carry a fault report");
-        assert_eq!(faults.plan, FaultPlan::uniform(0.25));
-        let d = &faults.degradation;
-        assert!(
-            !d.is_empty(),
-            "a 25% fault rate over a full study must inject something"
-        );
-        assert_eq!(
-            faults.failed_trials,
-            report
-                .history()
-                .records()
-                .iter()
-                .filter(|r| r.outcome.is_failed())
-                .count() as u64
-        );
-        // The study still produces a usable answer.
-        assert!(report.best_accuracy() > 0.0 || report.best().outcome.is_failed());
-        assert!(report.recommendation().batch >= 1);
-    }
-
-    #[test]
-    fn trial_crashes_are_retried_and_survivors_win() {
-        let plan = FaultPlan::none().with_trial_crash(0.2);
-        let report = EdgeTune::new(quick_config().with_fault_plan(plan))
-            .run()
-            .unwrap();
-        let d = &report.faults().unwrap().degradation;
-        assert!(d.trial_crashes > 0, "20% crash rate must fire: {d:?}");
-        assert!(
-            d.trial_retries > 0,
-            "the supervisor must retry crashed trials: {d:?}"
-        );
-        assert!(
-            report.best().outcome.score.is_finite(),
-            "the winner must be a surviving trial"
-        );
-    }
-
-    #[test]
-    fn chaos_is_deterministic_per_seed() {
-        let config = || quick_config().with_fault_plan(FaultPlan::uniform(0.3));
-        let a = EdgeTune::new(config()).run().unwrap();
-        let b = EdgeTune::new(config()).run().unwrap();
-        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
-    }
-
-    #[test]
-    fn lost_inference_replies_degrade_instead_of_poisoning_the_study() {
-        // Every request's worker dies, so no real recommendation ever
-        // arrives: the ladder must fall through to stale-cache/default
-        // recommendations and the run must still complete.
-        let plan = FaultPlan::none().with_worker_panic(1.0);
-        let config = quick_config()
-            .with_fault_plan(plan)
-            .with_reply_timeout(Duration::from_millis(200))
-            .with_supervisor(Supervisor::new(edgetune_faults::RetryPolicy {
-                max_attempts: 2,
-                base_delay: Seconds::new(1.0),
-                multiplier: 2.0,
-                max_delay: Seconds::new(10.0),
-                jitter: 0.5,
-            }));
-        let report = EdgeTune::new(config).run().unwrap();
-        let faults = report.faults().unwrap();
-        assert!(faults.injected_losses > 0);
-        let d = &faults.degradation;
-        assert!(d.worker_losses > 0);
-        assert!(
-            d.stale_cache_served + d.default_recommendations + d.trials_skipped > 0,
-            "lost replies must walk the ladder: {d:?}"
-        );
-        assert!(report.recommendation().batch >= 1);
-    }
-
-    #[test]
-    fn resume_under_a_different_seed_is_rejected() {
-        let dir = std::env::temp_dir().join("edgetune-resume-seed-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("study.ckpt.json");
-        std::fs::remove_file(&path).ok();
-        let _ = EdgeTune::new(quick_config().with_checkpoint_path(&path))
-            .run()
-            .unwrap();
-        assert!(path.exists(), "each rung writes a checkpoint");
-        let err = EdgeTune::new(
-            quick_config()
-                .with_seed(43)
-                .with_checkpoint_path(&path)
-                .resuming(),
-        )
-        .run()
-        .unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig(_)));
-        std::fs::remove_file(&path).ok();
-    }
-}
-
-#[cfg(test)]
-mod summary_tests {
-    use super::*;
-
-    #[test]
-    fn summary_mentions_the_key_outputs() {
-        let report = EdgeTune::new(
-            EdgeTuneConfig::for_workload(WorkloadId::Ic)
-                .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
-                .without_hyperband()
-                .with_seed(42),
-        )
-        .run()
-        .unwrap();
-        let summary = report.summary();
-        assert!(summary.contains("winner"), "{summary}");
-        assert!(summary.contains("deploy on Raspberry Pi 3B+"), "{summary}");
-        assert!(summary.contains("items/s"), "{summary}");
-        assert!(summary.contains("J/item"), "{summary}");
+    fn facade_reexports_preserve_the_public_paths() {
+        // Compile-time check that the pre-refactor paths still resolve.
+        let _: fn(EdgeTuneConfig) -> EdgeTune = crate::server::EdgeTune::new;
+        let _ = crate::server::SamplerKind::Tpe;
+        fn takes_report(_: &crate::server::TuningReport) {}
+        fn takes_faults(_: &crate::server::FaultReport) {}
+        let _ = (takes_report, takes_faults);
     }
 }

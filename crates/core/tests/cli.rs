@@ -12,7 +12,11 @@ fn default_run_prints_both_outputs() {
         .args(["--workload", "ic", "--trials", "4", "--max-iter", "4"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     assert!(stdout.contains("winning trial"), "{stdout}");
     assert!(stdout.contains("deployment recommendation"), "{stdout}");
@@ -36,7 +40,11 @@ fn json_flag_writes_a_loadable_report() {
         ])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&path).expect("report written");
     let report = edgetune::server::TuningReport::from_json(&json).expect("report parses");
     assert!(report.best_accuracy() > 0.0);
@@ -45,16 +53,25 @@ fn json_flag_writes_a_loadable_report() {
 
 #[test]
 fn bad_flags_fail_with_guidance() {
-    let out = edgetune().args(["--workload", "bogus"]).output().expect("cli runs");
+    let out = edgetune()
+        .args(["--workload", "bogus"])
+        .output()
+        .expect("cli runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("unknown workload"), "{stderr}");
 
-    let out = edgetune().args(["--device", "tpu"]).output().expect("cli runs");
+    let out = edgetune()
+        .args(["--device", "tpu"])
+        .output()
+        .expect("cli runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("unknown device"), "{stderr}");
-    assert!(stderr.contains("Titan RTX node"), "catalog listed: {stderr}");
+    assert!(
+        stderr.contains("Titan RTX node"),
+        "catalog listed: {stderr}"
+    );
 }
 
 #[test]
@@ -62,7 +79,13 @@ fn help_lists_the_flags() {
     let out = edgetune().arg("--help").output().expect("cli runs");
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).expect("utf8");
-    for flag in ["--workload", "--metric", "--budget", "--trial-workers", "--json"] {
+    for flag in [
+        "--workload",
+        "--metric",
+        "--budget",
+        "--trial-workers",
+        "--json",
+    ] {
         assert!(stdout.contains(flag), "missing {flag} in help: {stdout}");
     }
 }

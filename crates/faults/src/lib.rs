@@ -17,7 +17,9 @@
 //!   the layer is a strict no-op and every report stays byte-identical.
 //! * **Tolerance** — a [`Supervisor`] combines a [`RetryPolicy`]
 //!   (exponential backoff with deterministic jitter, capped) with an
-//!   optional per-trial [`Deadline`], and a [`DegradationLadder`] orders
+//!   optional per-trial [`Deadline`] (checkable against elapsed time or
+//!   directly against an `edgetune-runtime` clock), and a
+//!   [`DegradationLadder`] orders
 //!   the fallbacks taken when retries run out: serve a stale cache entry,
 //!   fall back to the device-model default recommendation, or skip the
 //!   trial with a penalty score. [`DegradationStats`] counts every rung

@@ -1,0 +1,318 @@
+//! The workspace's single time domain.
+//!
+//! EdgeTune accounts time in *simulated* seconds: trial runtimes come
+//! from device models, serving makespans from a discrete-event loop, and
+//! reports must be byte-identical for a fixed seed. The [`Clock`] trait
+//! makes that time source explicit and injectable: production code holds
+//! a clock and asks it for [`now`](Clock::now); only the component that
+//! *owns* a duration calls [`advance`](Clock::advance). [`SimClock`] is
+//! the deterministic default, [`WallClock`] the opt-in for callers who
+//! want host-time measurements, and [`SharedClock`] the cloneable handle
+//! for threading one clock through a component graph.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use edgetune_util::units::Seconds;
+
+/// A monotone time source.
+///
+/// Implementations are thread-safe: a clock may be read and advanced from
+/// several threads (the real-parallel rung executor does exactly that
+/// with forked clocks). Virtual clocks apply `advance` exactly;
+/// wall clocks ignore it, because host time cannot be steered.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Current time on this clock.
+    fn now(&self) -> Seconds;
+
+    /// Moves the clock forward by `dt`. A no-op on wall clocks.
+    fn advance(&self, dt: Seconds);
+
+    /// Moves the clock forward to `target` if it is ahead of the current
+    /// time (a discrete-event `max`). A no-op on wall clocks and for
+    /// targets in the past.
+    fn advance_to(&self, target: Seconds);
+
+    /// An independent clock starting at this clock's current time.
+    /// Forks let parallel workers measure local durations without racing
+    /// on the parent's time line.
+    fn fork(&self) -> Box<dyn Clock>;
+}
+
+/// Deterministic virtual clock.
+///
+/// Time only moves when a caller advances it, so for a fixed seed every
+/// run reads the same timestamps regardless of host load or thread
+/// interleaving. The current time is an `f64` stored as raw bits in an
+/// [`AtomicU64`]; advances use a CAS loop, so concurrent advances never
+/// lose updates.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    bits: AtomicU64,
+}
+
+impl SimClock {
+    /// A virtual clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::at(Seconds::ZERO)
+    }
+
+    /// A virtual clock starting at `start`.
+    #[must_use]
+    pub fn at(start: Seconds) -> Self {
+        SimClock {
+            bits: AtomicU64::new(start.value().to_bits()),
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        Seconds::new(f64::from_bits(self.bits.load(Ordering::SeqCst)))
+    }
+
+    /// Moves virtual time forward by `dt`.
+    pub fn advance(&self, dt: Seconds) {
+        let mut current = self.bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(current) + dt.value()).to_bits();
+            match self
+                .bits
+                .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Moves virtual time forward to `target` when `target` is ahead —
+    /// the discrete-event "completion time" update.
+    pub fn advance_to(&self, target: Seconds) {
+        let mut current = self.bits.load(Ordering::SeqCst);
+        loop {
+            if f64::from_bits(current) >= target.value() {
+                return;
+            }
+            match self.bits.compare_exchange(
+                current,
+                target.value().to_bits(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Seconds {
+        SimClock::now(self)
+    }
+
+    fn advance(&self, dt: Seconds) {
+        SimClock::advance(self, dt);
+    }
+
+    fn advance_to(&self, target: Seconds) {
+        SimClock::advance_to(self, target);
+    }
+
+    fn fork(&self) -> Box<dyn Clock> {
+        Box::new(SimClock::at(SimClock::now(self)))
+    }
+}
+
+/// Host time, measured from the moment the clock was created.
+///
+/// `advance` calls are ignored — real time cannot be steered — which is
+/// exactly what lets one code path serve both domains: model-cost
+/// advances vanish under a wall clock, and wall-clock waits vanish under
+/// a virtual one.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is now.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Elapsed host time since the clock was created.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        Seconds::new(self.origin.elapsed().as_secs_f64())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Seconds {
+        WallClock::now(self)
+    }
+
+    fn advance(&self, _dt: Seconds) {}
+
+    fn advance_to(&self, _target: Seconds) {}
+
+    fn fork(&self) -> Box<dyn Clock> {
+        Box::new(self.clone())
+    }
+}
+
+/// A cloneable handle to a shared [`Clock`].
+///
+/// Clones observe (and advance) the *same* time line; use
+/// [`fork`](SharedClock::fork) for an independent one.
+#[derive(Debug, Clone)]
+pub struct SharedClock(Arc<dyn Clock>);
+
+impl SharedClock {
+    /// A shared virtual clock starting at zero — the deterministic
+    /// default every report-producing component should use.
+    #[must_use]
+    pub fn sim() -> Self {
+        SharedClock(Arc::new(SimClock::new()))
+    }
+
+    /// A shared virtual clock starting at `start`.
+    #[must_use]
+    pub fn sim_at(start: Seconds) -> Self {
+        SharedClock(Arc::new(SimClock::at(start)))
+    }
+
+    /// A shared wall clock (host time).
+    #[must_use]
+    pub fn wall() -> Self {
+        SharedClock(Arc::new(WallClock::new()))
+    }
+
+    /// Wraps any clock implementation.
+    pub fn from_clock(clock: impl Clock + 'static) -> Self {
+        SharedClock(Arc::new(clock))
+    }
+
+    /// Current time on the underlying clock.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.0.now()
+    }
+
+    /// Advances the underlying clock by `dt` (no-op on wall clocks).
+    pub fn advance(&self, dt: Seconds) {
+        self.0.advance(dt);
+    }
+
+    /// Advances the underlying clock to `target` when ahead.
+    pub fn advance_to(&self, target: Seconds) {
+        self.0.advance_to(target);
+    }
+
+    /// An independent clock of the same kind, starting at the current
+    /// time.
+    #[must_use]
+    pub fn fork(&self) -> SharedClock {
+        SharedClock(Arc::from(self.0.fork()))
+    }
+}
+
+impl Default for SharedClock {
+    fn default() -> Self {
+        SharedClock::sim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances_exactly() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Seconds::ZERO);
+        clock.advance(Seconds::new(1.5));
+        clock.advance(Seconds::new(0.25));
+        assert_eq!(clock.now(), Seconds::new(1.75));
+    }
+
+    #[test]
+    fn sim_clock_advance_to_is_a_max_not_a_set() {
+        let clock = SimClock::at(Seconds::new(10.0));
+        clock.advance_to(Seconds::new(4.0));
+        assert_eq!(clock.now(), Seconds::new(10.0), "never goes backwards");
+        clock.advance_to(Seconds::new(12.5));
+        assert_eq!(clock.now(), Seconds::new(12.5));
+    }
+
+    #[test]
+    fn sim_clock_forks_are_independent() {
+        let parent = SimClock::at(Seconds::new(3.0));
+        let child = Clock::fork(&parent);
+        parent.advance(Seconds::new(7.0));
+        assert_eq!(child.now(), Seconds::new(3.0), "forks do not follow");
+        child.advance(Seconds::new(1.0));
+        assert_eq!(parent.now(), Seconds::new(10.0), "parents do not follow");
+    }
+
+    #[test]
+    fn concurrent_advances_are_never_lost() {
+        let clock = SimClock::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        clock.advance(Seconds::new(0.5));
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), Seconds::new(2000.0));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_ignores_advances() {
+        let clock = WallClock::new();
+        let before = clock.now();
+        clock.advance(Seconds::new(1e6));
+        let after = clock.now();
+        assert!(after >= before, "host time is monotone");
+        assert!(
+            after.value() < 1e5,
+            "an advance must not move host time: {after}"
+        );
+    }
+
+    #[test]
+    fn shared_clones_share_one_time_line() {
+        let clock = SharedClock::sim();
+        let other = clock.clone();
+        clock.advance(Seconds::new(2.0));
+        assert_eq!(other.now(), Seconds::new(2.0));
+        let forked = other.fork();
+        other.advance(Seconds::new(3.0));
+        assert_eq!(forked.now(), Seconds::new(2.0), "forks are independent");
+    }
+
+    #[test]
+    fn shared_default_is_the_virtual_clock() {
+        let clock = SharedClock::default();
+        assert_eq!(clock.now(), Seconds::ZERO);
+        clock.advance(Seconds::new(1.0));
+        assert_eq!(clock.now(), Seconds::new(1.0), "default must be virtual");
+    }
+}

@@ -1,0 +1,23 @@
+//! Execution runtime shared by the whole EdgeTune workspace.
+//!
+//! Two concerns live here, deliberately below every domain crate:
+//!
+//! * **One time domain** — the [`Clock`] abstraction with its
+//!   [`SimClock`] (virtual, deterministic, thread-safe) and [`WallClock`]
+//!   (host time) implementations, plus the [`SharedClock`] handle for
+//!   injecting a clock across components. Simulated time is the currency
+//!   every report is denominated in; wall-clock time is an opt-in for
+//!   users who want to *measure* rather than *model*. Keeping both behind
+//!   one trait means no component ever mixes the two domains by accident.
+//! * **Deterministic parallelism** — [`parallel_map_ordered`], a scoped
+//!   worker pool that fans independent work items out over real OS
+//!   threads and merges the results back in input order. Thread
+//!   interleaving affects wall-clock duration only; the returned vector
+//!   is bit-identical to a sequential map, which is what lets the tuning
+//!   engine scale with cores while reports stay byte-identical per seed.
+
+pub mod clock;
+pub mod pool;
+
+pub use clock::{Clock, SharedClock, SimClock, WallClock};
+pub use pool::parallel_map_ordered;

@@ -11,11 +11,18 @@
 //! arrival-rate drift the runtime asks its [`OnlineTuner`] for a fresh
 //! scenario optimum and hot-swaps the configuration, recording the switch
 //! in the final [`ServingReport`].
+//!
+//! Simulation time lives on the workspace's unified clock: per-worker
+//! busy-until times are [`Seconds`] and the trace makespan is tracked on
+//! an `edgetune-runtime` [`SimClock`] advanced to each batch completion,
+//! so the serving runtime shares one deterministic time domain with the
+//! tuning engine.
 
 use edgetune_device::latency::{simulate_inference, CpuAllocation};
 use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::{FaultInjector, FaultPlan};
+use edgetune_runtime::SimClock;
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Hertz, ItemsPerSecond, Joules, JoulesPerItem, Seconds};
 use edgetune_util::{Error, Result};
@@ -291,11 +298,14 @@ impl ServingRuntime {
             .map(|plan| FaultInjector::new(plan, seed.child("serving-faults")));
         let (mut outages, mut outage_downtime, mut retune_failures) = (0u64, 0.0f64, 0u64);
 
-        let mut workers = vec![0.0f64; self.options.workers as usize];
+        let mut workers = vec![Seconds::ZERO; self.options.workers as usize];
         let mut responses: Vec<f64> = Vec::with_capacity(n);
         let mut next = 0usize;
         let (mut shed, mut late, mut batches, mut served) = (0u64, 0u64, 0u64, 0u64);
-        let (mut energy, mut makespan) = (0.0f64, 0.0f64);
+        let mut energy = 0.0f64;
+        // The trace clock: advanced to every batch completion, so its
+        // final reading is the makespan.
+        let clock = SimClock::new();
         let (mut depth_sum, mut depth_max) = (0.0f64, 0u64);
         let mut switches: Vec<ConfigSwitch> = Vec::new();
 
@@ -311,12 +321,12 @@ impl ServingRuntime {
             // batch waits it out (and may shed its expired head below).
             if let Some(inj) = injector.as_ref() {
                 if let Some(down) = inj.device_outage(batches) {
-                    workers[wi] += down.value();
+                    workers[wi] += down;
                     outages += 1;
                     outage_downtime += down.value();
                 }
             }
-            let wf = workers[wi];
+            let wf = workers[wi].value();
 
             let mut pending_drift: Option<f64> = None;
             // Batch-formation time; shedding the expired head of the
@@ -369,8 +379,8 @@ impl ServingRuntime {
 
             let (latency, batch_energy) = self.service(&alloc, size, &mut cache);
             let completion = start + latency;
-            workers[wi] = completion;
-            makespan = makespan.max(completion);
+            workers[wi] = Seconds::new(completion);
+            clock.advance_to(Seconds::new(completion));
             energy += batch_energy;
             batches += 1;
             served += u64::from(size);
@@ -443,6 +453,7 @@ impl ServingRuntime {
         }
 
         let (mean_response, p50, p95, p99) = response_percentiles(&responses);
+        let makespan = clock.now();
         Ok(ServingReport {
             device: self.device.name.clone(),
             trace: trace_label.to_string(),
@@ -451,9 +462,9 @@ impl ServingRuntime {
             served,
             shed,
             shed_fraction: shed as f64 / n as f64,
-            makespan: Seconds::new(makespan),
-            throughput: if makespan > 0.0 {
-                ItemsPerSecond::new(served as f64 / makespan)
+            makespan,
+            throughput: if makespan.value() > 0.0 {
+                ItemsPerSecond::new(served as f64 / makespan.value())
             } else {
                 ItemsPerSecond::ZERO
             },

@@ -22,9 +22,14 @@ pub trait Evaluate {
     /// Evaluates one scheduler rung — all trials share a budget level and
     /// have no mutual dependencies, so an implementation may run them in
     /// parallel ("the model server can parallelize its tuning process",
-    /// §3.1). The default runs them sequentially.
+    /// §3.1): either by *simulating* concurrent slots (list-scheduling
+    /// the rung and advancing a virtual clock by its makespan) or by
+    /// measuring trials on real worker threads — or both, as the
+    /// `edgetune` engine does. The default runs them sequentially.
     ///
-    /// Implementations must return outcomes in input order.
+    /// Implementations must return outcomes in input order, and real
+    /// parallelism must not leak into the outcomes: for a fixed seed the
+    /// returned numbers must be identical whatever the thread count.
     fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
         trials
             .into_iter()

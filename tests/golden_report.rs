@@ -1,0 +1,68 @@
+//! Golden-report snapshot tests: the `TuningReport` JSON artefact is a
+//! stability contract. For a fixed seed and configuration it must be
+//! byte-identical across repeated runs, across real measurement-thread
+//! counts (`trial_workers`), and across the façade's public paths —
+//! the determinism floor every engine refactor has to clear.
+
+use edgetune::prelude::*;
+
+fn golden_config() -> EdgeTuneConfig {
+    EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_scheduler(SchedulerConfig::new(6, 2.0, 6))
+        .without_hyperband()
+        .with_seed(1234)
+}
+
+fn json_of(config: EdgeTuneConfig) -> String {
+    EdgeTune::new(config)
+        .run()
+        .expect("golden run completes")
+        .to_json()
+        .expect("report serialises")
+}
+
+#[test]
+fn report_json_is_byte_identical_across_trial_worker_counts() {
+    // `trial_workers` turns on real scoped-thread rung measurement; the
+    // report must not know or care.
+    let baseline = json_of(golden_config().with_trial_workers(1));
+    let threaded = json_of(golden_config().with_trial_workers(4));
+    assert_eq!(
+        baseline, threaded,
+        "real threads changed the report artefact"
+    );
+}
+
+#[test]
+fn report_json_is_byte_identical_across_repeated_runs() {
+    assert_eq!(json_of(golden_config()), json_of(golden_config()));
+}
+
+#[test]
+fn threads_layer_under_simulated_slots_without_changing_json() {
+    // Simulated slots change the makespan by design; adding real threads
+    // underneath must not perturb that result by a single byte.
+    let slots_only = json_of(golden_config().with_trial_slots(4));
+    let slots_and_threads = json_of(golden_config().with_trial_slots(4).with_trial_workers(4));
+    assert_eq!(slots_only, slots_and_threads);
+
+    // And the slot scheduler really is doing something.
+    let sequential = json_of(golden_config());
+    assert_ne!(
+        sequential, slots_only,
+        "4 simulated slots must shrink the reported makespan"
+    );
+}
+
+#[test]
+fn facade_reexports_preserve_the_public_paths() {
+    // The refactor moved the implementation out of `server`; the
+    // long-standing paths must keep resolving and round-tripping.
+    let report = EdgeTune::new(golden_config()).run().unwrap();
+    let json = report.to_json().unwrap();
+    let restored = edgetune::server::TuningReport::from_json(&json).expect("parses");
+    assert_eq!(restored.best_config(), report.best_config());
+    assert_eq!(restored.to_json().unwrap(), json);
+    let _ = edgetune::server::SamplerKind::Tpe;
+    let _ = edgetune::config::SamplerKind::Tpe;
+}
