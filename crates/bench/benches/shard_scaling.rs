@@ -1,0 +1,84 @@
+//! Wall-clock parity harness for the two real-parallelism knobs: the
+//! same small study over the real `NnTrainingBackend`, benchmarked at
+//! `trial_workers` ∈ {1, 4} and `study_shards` ∈ {1, 4}.
+//!
+//! The backend's virtual clock keeps the *reported* numbers pinned —
+//! before timing anything the harness asserts every variant serialises
+//! to the single-threaded baseline's exact bytes — so the only thing
+//! these benchmarks may show shrinking is host wall time. Compare the
+//! `shard_scaling/*` groups in Criterion's output to see the speed-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgetune::backend::NnTrainingBackend;
+use edgetune::prelude::*;
+use edgetune_util::rng::SeedStream;
+use std::hint::black_box;
+
+fn study_config() -> EdgeTuneConfig {
+    EdgeTuneConfig::for_workload(WorkloadId::Ic) // workload id ignored by a custom backend
+        .with_scheduler(SchedulerConfig::new(6, 2.0, 4))
+        .without_hyperband()
+        .with_seed(7)
+}
+
+fn backend() -> NnTrainingBackend {
+    NnTrainingBackend::new(SeedStream::new(7))
+}
+
+fn run(config: EdgeTuneConfig) -> TuningReport {
+    EdgeTune::new(config)
+        .run_with_backend(&mut backend())
+        .expect("study completes")
+}
+
+/// Every parallel variant must reproduce the sequential report byte for
+/// byte; a benchmark that silently changed the artefact would be
+/// measuring a different study.
+fn assert_reports_pinned() {
+    let baseline = run(study_config()).to_json().expect("serialises");
+    for workers in [2, 4] {
+        let threaded = run(study_config().with_trial_workers(workers))
+            .to_json()
+            .expect("serialises");
+        assert_eq!(
+            baseline, threaded,
+            "{workers} trial workers moved the report"
+        );
+    }
+    for shards in [2, 4] {
+        let sharded = run(study_config().with_study_shards(shards))
+            .to_json()
+            .expect("serialises");
+        assert_eq!(baseline, sharded, "{shards} study shards moved the report");
+    }
+}
+
+fn bench_trial_workers(c: &mut Criterion) {
+    assert_reports_pinned();
+    let mut group = c.benchmark_group("shard_scaling/trial_workers");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run(study_config().with_trial_workers(w))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_study_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling/study_shards");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| black_box(run(study_config().with_study_shards(s))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trial_workers, bench_study_shards
+}
+criterion_main!(benches);

@@ -7,6 +7,12 @@
 //! This module provides that middleware plumbing: a dedicated worker
 //! thread owning the [`InferenceTuningServer`] and the
 //! [`HistoricalCache`], fed through crossbeam channels.
+//!
+//! Under a sharded study (`study_shards > 1`) this server is the one
+//! cross-shard channel: every engine shard measures its rung slice in
+//! isolation, but all of them submit their inference requests here, so
+//! Algorithm 1's memoisation — one sweep per architecture, ever —
+//! survives sharding intact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -8,6 +8,9 @@
 //! edgetune --workload ic --json report.json    # dump the full report as JSON
 //! edgetune --workload ic --trial-workers 4     # real measurement threads
 //! edgetune --workload ic --trial-slots 4       # simulated parallel trial slots
+//! edgetune --workload ic --study-shards 4      # shard the study across engine
+//!                                              # instances; report bytes are
+//!                                              # unchanged
 //! edgetune --workload ic --scenario multistream:10
 //!                                              # add a scenario-aware batching
 //!                                              # recommendation (§3.4); also
@@ -48,6 +51,7 @@ struct Args {
     max_iteration: u32,
     trial_workers: usize,
     trial_slots: usize,
+    study_shards: usize,
     cache: Option<String>,
     json: Option<String>,
     pipelining: bool,
@@ -139,6 +143,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         max_iteration: 10,
         trial_workers: 1,
         trial_slots: 1,
+        study_shards: 1,
         cache: None,
         json: None,
         pipelining: true,
@@ -198,6 +203,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad slot count: {e}"))?;
             }
+            "--study-shards" => {
+                args.study_shards = value(&mut argv, "--study-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+            }
             "--cache" => args.cache = Some(value(&mut argv, "--cache")?),
             "--json" => args.json = Some(value(&mut argv, "--json")?),
             "--no-pipelining" => args.pipelining = false,
@@ -210,7 +220,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
                      [--trials N] [--max-iter N] [--trial-workers N] [--trial-slots N] \
-                     [--cache FILE] \
+                     [--study-shards N] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
                      [--checkpoint FILE] [--resume] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
@@ -588,6 +598,7 @@ fn main() -> ExitCode {
         .with_scheduler(SchedulerConfig::new(args.initial, 2.0, args.max_iteration))
         .with_trial_workers(args.trial_workers)
         .with_trial_slots(args.trial_slots)
+        .with_study_shards(args.study_shards)
         .with_seed(args.seed);
     if let Some(name) = &args.device {
         match DeviceSpec::by_name(name) {

@@ -141,6 +141,15 @@ impl HistoricalCache {
         self.stats
     }
 
+    /// Reinstates hit/miss counters saved out-of-band. The counters are
+    /// `#[serde(skip)]` — per-process observability — so a resumed study
+    /// that wants its final statistics to match the uninterrupted run's
+    /// must carry them separately (the shard manifest does) and put them
+    /// back before handing the cache to the inference server.
+    pub fn restore_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
+
     /// Entries skipped as unparseable by the last [`HistoricalCache::load`]
     /// (a whole-file tear counts as one).
     #[must_use]

@@ -80,6 +80,16 @@ pub struct EdgeTuneConfig {
     /// this knob *changes* the reported makespan — it models a bigger
     /// tuning cluster, not a faster simulation.
     pub trial_slots: usize,
+    /// Engine shards the study's rungs are partitioned across. Each
+    /// shard measures its contiguous slice of every rung on its own
+    /// backend snapshot and forked clock
+    /// ([`StudyCoordinator`](crate::engine::StudyCoordinator)), and the
+    /// per-shard histories are merged back deterministically — like
+    /// [`trial_workers`](EdgeTuneConfig::trial_workers) this is pure
+    /// wall-clock engineering and never changes a reported byte. With
+    /// checkpointing enabled, each shard also persists its own
+    /// checkpoint shard file under a shard manifest.
+    pub study_shards: usize,
     /// Root randomness seed.
     pub seed: u64,
     /// Fault-injection plan for chaos runs. [`FaultPlan::none`] (the
@@ -129,6 +139,7 @@ impl EdgeTuneConfig {
             inference_workers: 1,
             trial_workers: 1,
             trial_slots: 1,
+            study_shards: 1,
             seed: SeedStream::default().seed(),
             fault_plan: FaultPlan::none(),
             supervisor: Supervisor::default(),
@@ -255,6 +266,25 @@ impl EdgeTuneConfig {
         self
     }
 
+    /// Sets the number of engine shards the study is partitioned
+    /// across. Shard-level and work-stealing measurement
+    /// ([`with_trial_workers`](EdgeTuneConfig::with_trial_workers)) are
+    /// mutually exclusive real-parallelism strategies: the engine
+    /// rejects a configuration that enables both. Like `trial_workers`,
+    /// sharding never changes a reported byte; unlike
+    /// [`with_trial_slots`](EdgeTuneConfig::with_trial_slots) it does
+    /// not model a wider cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_study_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one study shard");
+        self.study_shards = shards;
+        self
+    }
+
     /// Sets the root seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -335,7 +365,26 @@ mod tests {
         assert!(config.historical_cache);
         assert_eq!(config.trial_workers, 1);
         assert_eq!(config.trial_slots, 1);
+        assert_eq!(config.study_shards, 1);
         assert_eq!(config.inference_workers, 1);
+    }
+
+    #[test]
+    fn study_shards_are_a_third_independent_knob() {
+        let config = EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_study_shards(4)
+            .with_trial_slots(2);
+        assert_eq!(config.study_shards, 4);
+        assert_eq!(config.trial_slots, 2);
+        // Sharding is measurement-side engineering; it leaves the
+        // inference pool alone.
+        assert_eq!(config.inference_workers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one study shard")]
+    fn zero_study_shards_are_rejected() {
+        let _ = EdgeTuneConfig::for_workload(WorkloadId::Ic).with_study_shards(0);
     }
 
     #[test]

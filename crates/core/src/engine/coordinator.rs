@@ -1,0 +1,359 @@
+//! The coordinator/shard split of a sharded study.
+//!
+//! [`StudyCoordinator`] converts the engine's last single-instance
+//! assumption into an explicit plan/execute/merge pipeline. Every rung
+//! of every bracket is partitioned into contiguous [`ShardPlan`]s; each
+//! plan is executed by an [`EngineShard`] — a narrowed engine instance
+//! owning its own backend snapshot and a clock forked from the study
+//! clock — on its own scoped thread
+//! ([`parallel_map_ordered`](edgetune_runtime::parallel_map_ordered)).
+//! The measurements flow back in plan order and are replayed through
+//! the *same* sequential accounting path an unsharded run uses, so the
+//! report is byte-identical for any shard count; the per-shard
+//! histories are stitched back together with
+//! [`HistoryMerge`](edgetune_tuner::merge::HistoryMerge)'s
+//! `(simulated start, bracket, trial id)` key.
+//!
+//! The shared `HistoricalCache` inside the
+//! [`AsyncInferenceServer`](crate::async_server::AsyncInferenceServer)
+//! is deliberately *not* sharded: it is the one cross-shard channel, so
+//! an architecture tuned by any shard is never re-tuned by another —
+//! Algorithm 1's memoisation survives sharding untouched.
+
+use edgetune_runtime::{parallel_map_ordered, SharedClock, SimClock};
+use edgetune_tuner::budget::TrialBudget;
+use edgetune_tuner::merge::{ShardHistory, StampedTrial};
+use edgetune_tuner::space::Config;
+use edgetune_tuner::History;
+use edgetune_util::units::Seconds;
+
+use crate::backend::{TrainingBackend, TrialMeasurement};
+
+/// The provenance a sharded study records for every trial: where (in
+/// simulated time) and under which bracket it ran. Together with the
+/// trial id this is the merge key that restores global order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStamp {
+    /// Simulated timestamp at which the trial started.
+    pub start: Seconds,
+    /// Index (execution order) of the bracket that ran it.
+    pub bracket: u32,
+}
+
+/// One shard's contiguous slice of a rung (or of a whole history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shard's index in the partition.
+    pub shard: usize,
+    /// First item of the slice.
+    pub start: usize,
+    /// Number of items in the slice.
+    pub len: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `len` items into at most `shards` contiguous,
+    /// maximally balanced plans (slice lengths differ by at most one).
+    /// Always yields at least one plan, and never an empty plan unless
+    /// `len` itself is zero — extra shards simply go unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn partition(len: usize, shards: usize) -> Vec<ShardPlan> {
+        assert!(shards >= 1, "need at least one shard");
+        let effective = shards.min(len).max(1);
+        let base = len / effective;
+        let extra = len % effective;
+        let mut plans = Vec::with_capacity(effective);
+        let mut start = 0;
+        for shard in 0..effective {
+            let slice_len = base + usize::from(shard < extra);
+            plans.push(ShardPlan {
+                shard,
+                start,
+                len: slice_len,
+            });
+            start += slice_len;
+        }
+        plans
+    }
+
+    /// The plan's slice of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is shorter than the partitioned length.
+    #[must_use]
+    pub fn slice<'t, T>(&self, items: &'t [T]) -> &'t [T] {
+        &items[self.start..self.start + self.len]
+    }
+}
+
+/// A narrowed engine instance: measures an assigned slice of a rung on
+/// its own backend snapshot, advancing a clock forked from the study
+/// clock so the shard keeps a local simulated timeline.
+pub struct EngineShard {
+    plan: ShardPlan,
+    backend: Box<dyn TrainingBackend + Send>,
+    clock: SharedClock,
+}
+
+impl std::fmt::Debug for EngineShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineShard")
+            .field("plan", &self.plan)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineShard {
+    /// Creates a shard from its plan, a backend snapshot, and a clock
+    /// forked from the study clock.
+    #[must_use]
+    pub fn new(
+        plan: ShardPlan,
+        backend: Box<dyn TrainingBackend + Send>,
+        clock: SharedClock,
+    ) -> Self {
+        EngineShard {
+            plan,
+            backend,
+            clock,
+        }
+    }
+
+    /// The shard's assignment.
+    #[must_use]
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Measures a slice of trials in order on the shard's snapshot,
+    /// advancing the shard-local clock past each measurement. By the
+    /// snapshot contract
+    /// ([`TrainingBackend::parallel_snapshot`]) every measurement is
+    /// exactly what the primary backend would have produced.
+    pub fn measure(&mut self, trials: &[(u64, Config, TrialBudget)]) -> Vec<TrialMeasurement> {
+        trials
+            .iter()
+            .map(|(_, config, budget)| {
+                let measurement = self.backend.run_trial(config, *budget);
+                self.clock.advance(measurement.runtime);
+                measurement
+            })
+            .collect()
+    }
+
+    /// Simulated time the shard's local clock has reached.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        self.clock.now()
+    }
+}
+
+/// Partitions a study across engine shards and stitches the results
+/// back together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyCoordinator {
+    shards: usize,
+}
+
+impl StudyCoordinator {
+    /// Creates a coordinator for `shards` engine shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        StudyCoordinator { shards }
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Measures one rung across the shards: partitions the trials into
+    /// [`ShardPlan`]s, builds one [`EngineShard`] per plan (snapshot +
+    /// forked clock at `now`), and runs them on scoped threads.
+    /// Measurements return in input order, ready to be replayed through
+    /// the canonical sequential accounting path.
+    ///
+    /// Returns `None` when the backend cannot snapshot itself (e.g.
+    /// under fault injection, where the injector's draw cursor must
+    /// stay strictly sequential) — the caller falls back to sequential
+    /// measurement, keeping chaos runs shard-count-invariant.
+    #[must_use]
+    pub fn measure_rung(
+        &self,
+        backend: &dyn TrainingBackend,
+        now: Seconds,
+        trials: &[(u64, Config, TrialBudget)],
+    ) -> Option<Vec<TrialMeasurement>> {
+        let plans = ShardPlan::partition(trials.len(), self.shards);
+        let mut shards = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            shards.push(EngineShard::new(
+                *plan,
+                backend.parallel_snapshot()?,
+                SharedClock::from_clock(SimClock::at(now)),
+            ));
+        }
+        let slices: Vec<&[(u64, Config, TrialBudget)]> =
+            plans.iter().map(|plan| plan.slice(trials)).collect();
+        let measured =
+            parallel_map_ordered(&slices, shards, |shard, _index, slice| shard.measure(slice));
+        Some(measured.into_iter().flatten().collect())
+    }
+
+    /// Splits a stamped history into per-shard histories along the same
+    /// contiguous partition the shards execute — the inverse of
+    /// [`HistoryMerge::merge`](edgetune_tuner::merge::HistoryMerge::merge),
+    /// used to assemble the merged report and to write per-shard
+    /// checkpoint files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stamp ledger does not cover the history.
+    #[must_use]
+    pub fn shard_histories(&self, history: &History, stamps: &[TrialStamp]) -> Vec<ShardHistory> {
+        let records = history.records();
+        assert_eq!(
+            records.len(),
+            stamps.len(),
+            "every recorded trial needs a provenance stamp"
+        );
+        ShardPlan::partition(records.len(), self.shards)
+            .iter()
+            .map(|plan| ShardHistory {
+                shard: plan.shard,
+                trials: plan
+                    .slice(records)
+                    .iter()
+                    .zip(plan.slice(stamps))
+                    .map(|(record, stamp)| StampedTrial {
+                        record: record.clone(),
+                        start: stamp.start,
+                        bracket: stamp.bracket,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimTrainingBackend;
+    use edgetune_tuner::merge::HistoryMerge;
+    use edgetune_tuner::trial::{TrialOutcome, TrialRecord};
+    use edgetune_util::rng::SeedStream;
+    use edgetune_util::units::Joules;
+    use edgetune_workloads::catalog::{Workload, WorkloadId};
+
+    #[test]
+    fn partition_is_contiguous_balanced_and_complete() {
+        for (len, shards) in [(10, 4), (8, 2), (3, 5), (7, 1), (1, 3)] {
+            let plans = ShardPlan::partition(len, shards);
+            assert!(plans.len() <= shards);
+            let mut covered = 0;
+            for (i, plan) in plans.iter().enumerate() {
+                assert_eq!(plan.shard, i);
+                assert_eq!(plan.start, covered, "plans are contiguous");
+                assert!(plan.len >= 1, "no empty plan for non-empty input");
+                covered += plan.len;
+            }
+            assert_eq!(covered, len, "partition covers every item");
+            let min = plans.iter().map(|p| p.len).min().unwrap();
+            let max = plans.iter().map(|p| p.len).max().unwrap();
+            assert!(max - min <= 1, "maximally balanced");
+        }
+    }
+
+    #[test]
+    fn partition_of_nothing_is_one_empty_plan() {
+        let plans = ShardPlan::partition(0, 4);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].len, 0);
+    }
+
+    #[test]
+    fn sharded_measurement_matches_the_sequential_backend() {
+        let backend =
+            || SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(5));
+        let space = backend().search_space();
+        let sampler_seed = SeedStream::new(6);
+        let trials: Vec<(u64, Config, TrialBudget)> = (0..7)
+            .map(|id| {
+                (
+                    id,
+                    space.sample(&mut sampler_seed.rng(&format!("trial-{id}"))),
+                    TrialBudget::new(2.0, 1.0),
+                )
+            })
+            .collect();
+
+        let mut sequential = backend();
+        let expected: Vec<TrialMeasurement> = trials
+            .iter()
+            .map(|(_, config, budget)| sequential.run_trial(config, *budget))
+            .collect();
+
+        for shards in [1, 2, 3, 7] {
+            let primary = backend();
+            let measured = StudyCoordinator::new(shards)
+                .measure_rung(&primary, Seconds::ZERO, &trials)
+                .expect("fault-free sim backend snapshots");
+            assert_eq!(measured, expected, "shards={shards} changed a measurement");
+        }
+    }
+
+    #[test]
+    fn shard_clocks_fork_from_the_study_clock() {
+        let plan = ShardPlan {
+            shard: 0,
+            start: 0,
+            len: 1,
+        };
+        let backend = SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(5));
+        let snapshot = backend.parallel_snapshot().unwrap();
+        let shard = EngineShard::new(
+            plan,
+            snapshot,
+            SharedClock::from_clock(SimClock::at(Seconds::new(100.0))),
+        );
+        assert_eq!(shard.plan(), plan);
+        assert_eq!(shard.elapsed(), Seconds::new(100.0));
+    }
+
+    #[test]
+    fn shard_histories_round_trip_through_the_merge() {
+        let mut history = History::new();
+        let mut stamps = Vec::new();
+        for id in 0..9 {
+            history.push(TrialRecord {
+                id,
+                config: Config::new().with("x", id as f64),
+                budget: TrialBudget::new(1.0, 1.0),
+                outcome: TrialOutcome::new(id as f64, 0.5, Seconds::new(20.0), Joules::new(1.0)),
+            });
+            stamps.push(TrialStamp {
+                start: Seconds::new(id as f64 * 20.0),
+                bracket: u32::try_from(id / 4).unwrap(),
+            });
+        }
+        for shards in [1, 2, 4] {
+            let split = StudyCoordinator::new(shards).shard_histories(&history, &stamps);
+            assert_eq!(split.len(), shards.min(9));
+            let merged = HistoryMerge::merge(split);
+            assert_eq!(merged, history, "shards={shards} perturbed the history");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The onefold evaluator: one training trial coupled to its pipelined
 //! inference request, plus all time accounting.
 //!
-//! Two orthogonal kinds of parallelism meet here:
+//! Three orthogonal kinds of parallelism meet here:
 //!
 //! * **Simulated trial slots** (`trial_slots`) model a tuning cluster:
 //!   a rung's trials are list-scheduled onto `n` slots and the virtual
@@ -14,12 +14,20 @@
 //!   path in input order. Cache hits, request sequence numbers, timeline
 //!   entries and every clock reading are byte-identical to a
 //!   single-threaded run, so reports never depend on the thread count.
+//! * **Engine shards** (`study_shards`) replace the work-stealing pool
+//!   with the [`StudyCoordinator`]'s plan/execute/merge pipeline: each
+//!   shard measures a contiguous slice of the rung on its own snapshot
+//!   and forked clock. Like `trial_workers` this only changes wall
+//!   clock, never a reported byte — phase B below is the same either
+//!   way — but it additionally stamps every trial with its simulated
+//!   start and bracket and persists per-shard checkpoint files.
 //!
-//! All simulated time lives on an [`edgetune_runtime::SimClock`]; clock
-//! advances replicate the original accumulation order exactly (two
-//! separate advances for `train + stall`, one advance by the rung
-//! makespan) so the floating-point trajectory is bit-stable across the
-//! refactor.
+//! All simulated time lives on an [`edgetune_runtime::SimClock`]; every
+//! sequential trial advances the clock once, by the exact
+//! `outcome.runtime` sum the trial records (and a replayed checkpoint
+//! record advances by), while simulated-slot rungs advance once by the
+//! rung makespan — so the floating-point trajectory is bit-stable
+//! across threads, shards, and checkpoint resume alike.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -41,7 +49,8 @@ use edgetune_util::units::{Joules, Seconds};
 use crate::async_server::{AsyncInferenceServer, InferenceReply};
 use crate::backend::{TrainingBackend, TrialMeasurement};
 use crate::cache::CacheKey;
-use crate::checkpoint::StudyCheckpoint;
+use crate::checkpoint::{ShardManifest, StudyCheckpoint, StudyGlobals};
+use crate::engine::coordinator::{StudyCoordinator, TrialStamp};
 use crate::inference::fallback_recommendation;
 use crate::timeline::{Lane, Timeline};
 
@@ -58,6 +67,9 @@ pub(crate) struct OnefoldEvaluator<'a> {
     pub(crate) trial_workers: usize,
     /// Simulated concurrent trial slots (changes the reported makespan).
     pub(crate) trial_slots: usize,
+    /// Engine shards rungs are partitioned across (wall-clock only;
+    /// mutually exclusive with `trial_workers > 1`).
+    pub(crate) study_shards: usize,
     /// The study's virtual clock; its final reading is the makespan.
     pub(crate) clock: SimClock,
     pub(crate) stall: Seconds,
@@ -83,6 +95,18 @@ pub(crate) struct OnefoldEvaluator<'a> {
     /// Trials restored from a checkpoint, replayed front-to-back instead
     /// of re-executed. Empty on a fresh run.
     pub(crate) replay: VecDeque<TrialRecord>,
+    /// Whether replayed trials should synthesise timeline spans. Plain
+    /// single-shard checkpoints do not persist the timeline, so replay
+    /// reconstructs approximate model-server spans; a shard manifest
+    /// carries the exact recorded spans, in which case the orchestrator
+    /// restores them wholesale and replay must not add duplicates.
+    pub(crate) replay_records_timeline: bool,
+    /// Bracket currently executing, set by the scheduler through
+    /// [`Evaluate::on_bracket_start`]; part of every trial's stamp.
+    pub(crate) current_bracket: u32,
+    /// Provenance ledger, one [`TrialStamp`] per history record in push
+    /// order — what sharded checkpoints and the merged report key on.
+    pub(crate) stamps: Vec<TrialStamp>,
 }
 
 /// Everything one trial produced, before timeline/clock accounting.
@@ -174,6 +198,15 @@ impl OnefoldEvaluator<'_> {
         let mut attempt: u32 = 1;
         let mut paid_runtime = Seconds::ZERO;
         let mut paid_energy = Joules::ZERO;
+        // Clock-domain deadline: the trial forks a clock from the study
+        // clock and pays every crashed attempt's runtime and backoff
+        // into it, so injected hangs advance simulated time and the
+        // deadline is a point on that shared timeline instead of a
+        // privately accumulated elapsed counter. Inside a shard the
+        // fork starts at the shard's local time, so deadlines stay
+        // consistent with the shard's view of the study.
+        let trial_clock = SimClock::at(self.clock.now());
+        let trial_start = trial_clock.now();
         loop {
             let trial = match precomputed.take() {
                 Some(measurement) => measurement,
@@ -184,7 +217,11 @@ impl OnefoldEvaluator<'_> {
                     self.stats.trial_crashes += 1;
                     paid_runtime += trial.runtime;
                     paid_energy += trial.energy;
-                    if self.supervisor.deadline_exceeded(paid_runtime) {
+                    trial_clock.advance(trial.runtime);
+                    if self
+                        .supervisor
+                        .deadline_exceeded_since(&trial_clock, trial_start)
+                    {
                         self.stats.trial_timeouts += 1;
                         return Err((TrialFailure::Timeout, paid_runtime, paid_energy));
                     }
@@ -192,7 +229,9 @@ impl OnefoldEvaluator<'_> {
                         self.stats.trials_skipped += 1;
                         return Err((TrialFailure::Crash, paid_runtime, paid_energy));
                     }
-                    paid_runtime += self.next_backoff(attempt);
+                    let backoff = self.next_backoff(attempt);
+                    paid_runtime += backoff;
+                    trial_clock.advance(backoff);
                     self.stats.trial_retries += 1;
                     attempt += 1;
                 }
@@ -346,6 +385,10 @@ impl OnefoldEvaluator<'_> {
         }
         self.stall += run.stall;
         self.inference_energy += run.sweep_energy;
+        self.stamps.push(TrialStamp {
+            start,
+            bracket: self.current_bracket,
+        });
     }
 
     /// Phase A of rung execution: measure the rung's trials on real
@@ -359,7 +402,22 @@ impl OnefoldEvaluator<'_> {
         &self,
         trials: &[(u64, Config, TrialBudget)],
     ) -> Option<Vec<Option<TrialMeasurement>>> {
-        if self.trial_workers <= 1 || trials.len() <= 1 || self.faults_enabled {
+        if trials.len() <= 1 || self.faults_enabled {
+            return None;
+        }
+        if self.study_shards > 1 {
+            // Shard-level phase A: the coordinator partitions the rung
+            // into contiguous plans and runs one `EngineShard` (backend
+            // snapshot + forked clock) per plan on its own scoped
+            // thread. Same contract as the work-stealing pool below:
+            // measurements come back in input order and feed the
+            // unchanged phase B.
+            let coordinator = StudyCoordinator::new(self.study_shards);
+            return coordinator
+                .measure_rung(&*self.backend, self.clock.now(), trials)
+                .map(|measured| measured.into_iter().map(Some).collect());
+        }
+        if self.trial_workers <= 1 {
             return None;
         }
         let workers = self.trial_workers.min(trials.len());
@@ -385,12 +443,20 @@ impl Evaluate for OnefoldEvaluator<'_> {
             if front.id == id && front.config == *config {
                 let record = self.replay.pop_front().expect("front exists");
                 let start = self.clock.now();
-                self.timeline.record(
-                    Lane::ModelServer,
-                    format!("trial-{id}"),
+                if self.replay_records_timeline {
+                    self.timeline.record(
+                        Lane::ModelServer,
+                        format!("trial-{id}"),
+                        start,
+                        start + record.outcome.runtime,
+                    );
+                }
+                // Replayed trials reproduce the original clock
+                // trajectory, so their stamps match the original run's.
+                self.stamps.push(TrialStamp {
                     start,
-                    start + record.outcome.runtime,
-                );
+                    bracket: self.current_bracket,
+                });
                 self.clock.advance(record.outcome.runtime);
                 return record.outcome;
             }
@@ -399,9 +465,11 @@ impl Evaluate for OnefoldEvaluator<'_> {
         let run = self.run_one(config, budget, None);
         let start = self.clock.now();
         self.record(id, &run, start);
-        // Two separate advances, replicating `(start + train) + stall`.
-        self.clock.advance(run.train_runtime);
-        self.clock.advance(run.stall);
+        // One advance by the recorded runtime — the same sum a replayed
+        // checkpoint record advances by (`outcome.runtime` is computed as
+        // `train + stall` on every path), so a resumed clock retraces the
+        // original trajectory bit for bit.
+        self.clock.advance(run.outcome.runtime);
         run.outcome
     }
 
@@ -429,8 +497,7 @@ impl Evaluate for OnefoldEvaluator<'_> {
                     let run = self.run_one(&config, budget, precomputed(&mut measured, index));
                     let start = self.clock.now();
                     self.record(id, &run, start);
-                    self.clock.advance(run.train_runtime);
-                    self.clock.advance(run.stall);
+                    self.clock.advance(run.outcome.runtime);
                     run.outcome
                 })
                 .collect();
@@ -465,19 +532,47 @@ impl Evaluate for OnefoldEvaluator<'_> {
         outcomes
     }
 
+    fn on_bracket_start(&mut self, bracket: u32) {
+        self.current_bracket = bracket;
+    }
+
     fn on_rung_complete(&mut self, history: &History) {
         self.rungs_completed += 1;
         if let Some(path) = self.checkpoint_path {
-            let checkpoint = StudyCheckpoint::new(
-                self.root_seed,
-                history,
-                self.inference.cache_snapshot(),
-                self.backend.fault_cursor(),
-                self.inference.submitted(),
-            );
             // A failed checkpoint write must never kill the study: the
             // run is still correct, only resumability is lost.
-            let _ = checkpoint.save(path);
+            if self.study_shards > 1 && self.stamps.len() == history.len() {
+                // Sharded layout: one stamped trial file per shard plus
+                // the manifest carrying the study-global state.
+                let coordinator = StudyCoordinator::new(self.study_shards);
+                let cache = self.inference.cache_snapshot();
+                let globals = StudyGlobals {
+                    cache_stats: cache.stats(),
+                    cache,
+                    timeline: self.timeline.clone(),
+                    stall: self.stall,
+                    inference_energy: self.inference_energy,
+                    degradation: self.stats,
+                    backoff_draws: self.backoff_draws,
+                    fault_cursor: self.backend.fault_cursor(),
+                    inference_cursor: self.inference.submitted(),
+                };
+                let _ = ShardManifest::save_sharded(
+                    path,
+                    self.root_seed,
+                    &coordinator.shard_histories(history, &self.stamps),
+                    globals,
+                );
+            } else {
+                let checkpoint = StudyCheckpoint::new(
+                    self.root_seed,
+                    history,
+                    self.inference.cache_snapshot(),
+                    self.backend.fault_cursor(),
+                    self.inference.submitted(),
+                );
+                let _ = checkpoint.save(path);
+            }
         }
     }
 
@@ -575,6 +670,59 @@ mod parallel_tests {
             unthreaded.to_json().unwrap(),
             threaded.to_json().unwrap(),
             "threads must not disturb the slot scheduler"
+        );
+    }
+
+    #[test]
+    fn study_shards_change_no_reported_numbers() {
+        // Sharded measurement feeds the same phase-B accounting path;
+        // the full JSON artefact must be byte-identical for any count.
+        let unsharded = EdgeTune::new(base()).run().unwrap();
+        for shards in [2, 4] {
+            let sharded = EdgeTune::new(base().with_study_shards(shards))
+                .run()
+                .unwrap();
+            assert_eq!(
+                unsharded.to_json().unwrap(),
+                sharded.to_json().unwrap(),
+                "study_shards={shards} must be invisible in the report"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_layer_under_simulated_slots() {
+        // Shards and slots compose the same way threads and slots do.
+        let unsharded = EdgeTune::new(base().with_trial_slots(4)).run().unwrap();
+        let sharded = EdgeTune::new(base().with_trial_slots(4).with_study_shards(2))
+            .run()
+            .unwrap();
+        assert_eq!(
+            unsharded.to_json().unwrap(),
+            sharded.to_json().unwrap(),
+            "shards must not disturb the slot scheduler"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_fall_back_to_sequential_measurement_under_sharding() {
+        // With a fault plan the backend declines snapshots, so sharded
+        // measurement degrades to the sequential path and chaos runs
+        // stay shard-count-invariant.
+        use edgetune_faults::FaultPlan;
+        let chaos = |shards: usize| {
+            EdgeTune::new(
+                base()
+                    .with_fault_plan(FaultPlan::uniform(0.3))
+                    .with_study_shards(shards),
+            )
+            .run()
+            .unwrap()
+        };
+        assert_eq!(
+            chaos(1).to_json().unwrap(),
+            chaos(4).to_json().unwrap(),
+            "fault-plan runs must stay deterministic across shard counts"
         );
     }
 

@@ -6,6 +6,10 @@
 //! * [`orchestrator`] — [`Engine`] builds the study (backend, inference
 //!   server, sampler, scheduler, checkpoint/resume wiring), runs it, and
 //!   assembles the final [`TuningReport`].
+//! * [`coordinator`] — the two-tier study layer: [`StudyCoordinator`]
+//!   partitions rungs into [`ShardPlan`]s executed by [`EngineShard`]s
+//!   on scoped threads, and splits/merges stamped histories so sharded
+//!   runs stay byte-identical.
 //! * [`evaluator`] — the onefold evaluator couples each training trial
 //!   to its pipelined inference request, owns the simulated clock and
 //!   rung accounting, and layers real worker threads *under* the
@@ -13,9 +17,11 @@
 //! * [`report`] — the user-facing result types ([`TuningReport`],
 //!   [`FaultReport`]) with their serialisation contract.
 
+pub mod coordinator;
 pub(crate) mod evaluator;
 pub mod orchestrator;
 pub mod report;
 
+pub use coordinator::{EngineShard, ShardPlan, StudyCoordinator, TrialStamp};
 pub use orchestrator::Engine;
 pub use report::{FaultReport, TuningReport};

@@ -5,8 +5,10 @@
 //! pipelining timeline, cache statistics, and the simulated cost totals.
 //! Its JSON form ([`TuningReport::to_json`]) is a stability contract —
 //! byte-identical for a fixed seed and configuration regardless of how
-//! many real worker threads measured the trials — so snapshot tests can
-//! compare runs across refactors and machines.
+//! many real worker threads measured the trials or how many engine
+//! shards the study was split across (a sharded run's history is merged
+//! back into execution order before the report is assembled) — so
+//! snapshot tests can compare runs across refactors and machines.
 
 use edgetune_faults::{DegradationStats, FaultPlan};
 use edgetune_tuner::space::Config;

@@ -6,7 +6,9 @@
 //! context (a backend snapshot, a seeded RNG stream, …), and the results
 //! merge back **in input order**. Which thread computed which item is
 //! unobservable in the output, so callers get wall-clock scaling without
-//! giving up bit-identical results.
+//! giving up bit-identical results. The same primitive drives sharded
+//! study execution: the study coordinator hands each engine shard's rung
+//! slice to this pool, one shard per context.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

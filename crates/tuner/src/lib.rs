@@ -13,6 +13,7 @@
 //! training, and the plain synthetic functions used in unit tests.
 
 pub mod budget;
+pub mod merge;
 pub mod objective;
 pub mod sampler;
 pub mod scheduler;
@@ -20,8 +21,11 @@ pub mod space;
 pub mod trial;
 
 pub use budget::{BudgetPolicy, TrialBudget};
+pub use merge::{HistoryMerge, ShardHistory, StampedTrial};
 pub use objective::{InferenceObjective, Metric, TrainObjective};
 pub use sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
-pub use scheduler::{FixedBudgetSearch, HyperBand, SchedulerConfig, SuccessiveHalving};
+pub use scheduler::{
+    BracketSpec, FixedBudgetSearch, HyperBand, SchedulerConfig, SuccessiveHalving,
+};
 pub use space::{Config, Domain, SearchSpace};
 pub use trial::{History, TrialFailure, TrialOutcome, TrialRecord};

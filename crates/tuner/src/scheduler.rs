@@ -37,6 +37,12 @@ pub trait Evaluate {
             .collect()
     }
 
+    /// Called when a scheduler opens a new bracket, before its first
+    /// rung, with the bracket's index in execution order. Evaluators
+    /// that attribute work to brackets (timeline stamps, shard
+    /// checkpoints, merge keys) hook in here. The default does nothing.
+    fn on_bracket_start(&mut self, _bracket: u32) {}
+
     /// Called after a rung's outcomes were appended to `history` — a
     /// natural checkpoint boundary. The default does nothing.
     fn on_rung_complete(&mut self, _history: &History) {}
@@ -207,6 +213,7 @@ impl SuccessiveHalving {
         evaluator: &mut dyn Evaluate,
     ) -> History {
         let mut history = History::new();
+        evaluator.on_bracket_start(0);
         self.run_bracket(
             sampler,
             space,
@@ -218,6 +225,19 @@ impl SuccessiveHalving {
         );
         history
     }
+}
+
+/// One HyperBand bracket's shape: how many configurations it starts and
+/// at which budget level — the unit of work a study coordinator can
+/// assign, and the evidence behind per-bracket provenance stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BracketSpec {
+    /// The bracket's index in execution order (0 = most exploratory).
+    pub index: u32,
+    /// Configurations sampled into the bracket's first rung.
+    pub initial: usize,
+    /// 1-based budget level the bracket starts at.
+    pub start_iteration: u32,
 }
 
 /// Fixed-budget search: every sampled configuration is evaluated once at
@@ -293,6 +313,34 @@ impl HyperBand {
         (f64::from(self.config.max_iteration).ln() / self.config.eta.ln()).floor() as u32 + 1
     }
 
+    /// The brackets this configuration runs, in execution order — the
+    /// study-level work breakdown a coordinator assigns from.
+    #[must_use]
+    pub fn bracket_specs(&self) -> Vec<BracketSpec> {
+        let s_max = self.brackets() - 1;
+        (0..=s_max)
+            .rev()
+            .map(|s| {
+                // Aggressive brackets start many configs at a low budget;
+                // later brackets start fewer configs higher up the ladder.
+                let initial = ((self.config.initial_configs as f64
+                    * self.config.eta.powi(s as i32))
+                    / f64::from(s_max + 1))
+                .ceil()
+                .max(1.0) as usize;
+                let start_iteration = (f64::from(self.config.max_iteration)
+                    / self.config.eta.powi(s as i32))
+                .floor()
+                .max(1.0) as u32;
+                BracketSpec {
+                    index: s_max - s,
+                    initial,
+                    start_iteration,
+                }
+            })
+            .collect()
+    }
+
     /// Runs all brackets and returns the combined history.
     pub fn run(
         &self,
@@ -303,18 +351,17 @@ impl HyperBand {
     ) -> History {
         let mut history = History::new();
         let sha = SuccessiveHalving::new(self.config);
-        let s_max = self.brackets() - 1;
-        for s in (0..=s_max).rev() {
-            // Aggressive brackets start many configs at a low budget;
-            // later brackets start fewer configs higher up the ladder.
-            let n = ((self.config.initial_configs as f64 * self.config.eta.powi(s as i32))
-                / f64::from(s_max + 1))
-            .ceil()
-            .max(1.0) as usize;
-            let start = (f64::from(self.config.max_iteration) / self.config.eta.powi(s as i32))
-                .floor()
-                .max(1.0) as u32;
-            sha.run_bracket(sampler, space, policy, evaluator, &mut history, n, start);
+        for spec in self.bracket_specs() {
+            evaluator.on_bracket_start(spec.index);
+            sha.run_bracket(
+                sampler,
+                space,
+                policy,
+                evaluator,
+                &mut history,
+                spec.initial,
+                spec.start_iteration,
+            );
             if evaluator.should_halt() {
                 break;
             }
@@ -582,6 +629,65 @@ mod tests {
             &mut eval,
         );
         assert_eq!(history.len(), 8, "only the first rung ran");
+    }
+
+    #[test]
+    fn bracket_specs_describe_the_run_in_execution_order() {
+        let hb = HyperBand::new(SchedulerConfig::new(8, 2.0, 8));
+        let specs = hb.bracket_specs();
+        assert_eq!(specs.len() as u32, hb.brackets());
+        let indices: Vec<u32> = specs.iter().map(|s| s.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        // The first bracket is the most exploratory; budgets climb and
+        // cohorts shrink with the index.
+        assert_eq!(specs[0].start_iteration, 1);
+        for pair in specs.windows(2) {
+            assert!(pair[0].initial >= pair[1].initial);
+            assert!(pair[0].start_iteration <= pair[1].start_iteration);
+        }
+        assert_eq!(specs.last().unwrap().start_iteration, 8);
+    }
+
+    #[test]
+    fn on_bracket_start_fires_once_per_bracket_with_its_index() {
+        struct BracketCounter {
+            seen: Vec<u32>,
+        }
+        impl Evaluate for BracketCounter {
+            fn evaluate(
+                &mut self,
+                _id: u64,
+                config: &Config,
+                _budget: TrialBudget,
+            ) -> TrialOutcome {
+                let truth = (config.get("x").unwrap() - 0.42).abs();
+                TrialOutcome::new(truth, 1.0 - truth, Seconds::new(1.0), Joules::new(1.0))
+            }
+            fn on_bracket_start(&mut self, bracket: u32) {
+                self.seen.push(bracket);
+            }
+        }
+        let hb = HyperBand::new(SchedulerConfig::new(8, 2.0, 8));
+        let mut sampler = RandomSampler::new(SeedStream::new(23));
+        let mut eval = BracketCounter { seen: Vec::new() };
+        let _ = hb.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::epoch_default(),
+            &mut eval,
+        );
+        assert_eq!(eval.seen, vec![0, 1, 2, 3]);
+
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(8, 2.0, 8));
+        let mut sampler = RandomSampler::new(SeedStream::new(24));
+        let mut eval = BracketCounter { seen: Vec::new() };
+        let _ = sha.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::epoch_default(),
+            &mut eval,
+        );
+        assert_eq!(eval.seen, vec![0], "a lone SHA bracket is bracket 0");
     }
 
     #[test]

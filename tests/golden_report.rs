@@ -1,16 +1,35 @@
 //! Golden-report snapshot tests: the `TuningReport` JSON artefact is a
 //! stability contract. For a fixed seed and configuration it must be
 //! byte-identical across repeated runs, across real measurement-thread
-//! counts (`trial_workers`), and across the façade's public paths —
-//! the determinism floor every engine refactor has to clear.
+//! counts (`trial_workers`), across study shard counts (`study_shards`),
+//! and across the façade's public paths — the determinism floor every
+//! engine refactor has to clear.
+//!
+//! CI runs this file under a matrix of `EDGETUNE_STUDY_SHARDS` and
+//! `EDGETUNE_GOLDEN_SEED` values, so the byte-identity claims are
+//! checked for more than one lucky seed.
 
 use edgetune::prelude::*;
+
+fn golden_seed() -> u64 {
+    std::env::var("EDGETUNE_GOLDEN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1234)
+}
+
+fn matrix_shards() -> usize {
+    std::env::var("EDGETUNE_STUDY_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
 
 fn golden_config() -> EdgeTuneConfig {
     EdgeTuneConfig::for_workload(WorkloadId::Ic)
         .with_scheduler(SchedulerConfig::new(6, 2.0, 6))
         .without_hyperband()
-        .with_seed(1234)
+        .with_seed(golden_seed())
 }
 
 fn json_of(config: EdgeTuneConfig) -> String {
@@ -52,6 +71,72 @@ fn threads_layer_under_simulated_slots_without_changing_json() {
         sequential, slots_only,
         "4 simulated slots must shrink the reported makespan"
     );
+}
+
+#[test]
+fn report_json_is_byte_identical_across_study_shard_counts() {
+    // `study_shards` partitions each rung across engine shards on real
+    // threads; the merged report must be indistinguishable from the
+    // single-shard run for every shard count.
+    let baseline = json_of(golden_config().with_study_shards(1));
+    for shards in [2, 4] {
+        let sharded = json_of(golden_config().with_study_shards(shards));
+        assert_eq!(
+            baseline, sharded,
+            "{shards} study shards changed the report artefact"
+        );
+    }
+}
+
+#[test]
+fn matrix_shard_count_reproduces_the_single_shard_bytes() {
+    // The CI matrix entry point: whatever EDGETUNE_STUDY_SHARDS and
+    // EDGETUNE_GOLDEN_SEED say, the artefact must match shards = 1.
+    let baseline = json_of(golden_config());
+    let sharded = json_of(golden_config().with_study_shards(matrix_shards()));
+    assert_eq!(baseline, sharded);
+}
+
+#[test]
+fn shards_layer_under_simulated_slots_without_changing_json() {
+    // Slots change the makespan by design; sharding the measurement
+    // underneath must not perturb it by a byte.
+    let slots_only = json_of(golden_config().with_trial_slots(4));
+    let slots_and_shards = json_of(golden_config().with_trial_slots(4).with_study_shards(2));
+    assert_eq!(slots_only, slots_and_shards);
+}
+
+#[test]
+fn resume_from_shard_checkpoints_is_byte_identical() {
+    // Halt a sharded study mid-flight, then resume it from the shard
+    // manifest: the final artefact must equal the uninterrupted bytes.
+    let dir = std::env::temp_dir().join(format!("edgetune-golden-shard-resume-{}", golden_seed()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("study.ckpt.json");
+    std::fs::remove_file(&path).ok();
+
+    let full = json_of(golden_config().with_study_shards(4));
+    let _halted = json_of(
+        golden_config()
+            .with_study_shards(4)
+            .with_checkpoint_path(&path)
+            .with_halt_after_rungs(2),
+    );
+    assert!(path.exists(), "the halted run left a shard manifest");
+    let resumed = json_of(
+        golden_config()
+            .with_study_shards(4)
+            .with_checkpoint_path(&path)
+            .resuming(),
+    );
+    assert_eq!(
+        full, resumed,
+        "resume from per-shard checkpoints diverged from the uninterrupted run"
+    );
+    for shard in 0..4 {
+        std::fs::remove_file(dir.join(format!("study.ckpt.json.shard{shard}"))).ok();
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

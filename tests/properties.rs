@@ -6,8 +6,10 @@ use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
 use edgetune_device::profile::{Phase, WorkProfile};
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::RetryPolicy;
-use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
+use edgetune_tuner::merge::{HistoryMerge, ShardHistory, StampedTrial};
 use edgetune_tuner::space::{Config, Domain, SearchSpace};
+use edgetune_tuner::trial::{TrialOutcome, TrialRecord};
 use edgetune_util::rng::SeedStream;
 use edgetune_util::stats::{percentile, BoxPlot};
 use edgetune_workloads::catalog::Workload;
@@ -249,6 +251,68 @@ proptest! {
             // Deterministic per (seed, draw, attempt).
             prop_assert_eq!(delay, policy.delay(attempt, stream, draw));
         }
+    }
+
+    // --- shard history merge ---
+
+    #[test]
+    fn merging_any_shard_assignment_and_order_restores_execution_order(
+        n in 1usize..40,
+        shards in 1usize..6,
+        assignment_seed in 0u64..10_000,
+        shuffle_seed in 0u64..10_000,
+        brackets in prop::collection::vec(0u32..4, 40),
+    ) {
+        // Build a global execution order: strictly increasing start times,
+        // ids in completion order — exactly what the evaluator stamps.
+        let trials: Vec<StampedTrial> = (0..n)
+            .map(|i| StampedTrial {
+                record: TrialRecord {
+                    id: i as u64,
+                    config: Config::new().with("x", i as f64),
+                    budget: TrialBudget::new(1.0, 1.0),
+                    outcome: TrialOutcome::new(
+                        i as f64,
+                        0.5,
+                        edgetune_util::units::Seconds::new(1.0),
+                        edgetune_util::units::Joules::new(1.0),
+                    ),
+                },
+                start: edgetune_util::units::Seconds::new(10.0 * i as f64),
+                bracket: brackets[i],
+            })
+            .collect();
+
+        // Deal the trials to shards by an arbitrary assignment, then
+        // shuffle the shard list itself: the merge must not care how the
+        // work was split or in which order shard histories arrive.
+        let mut lcg = assignment_seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            lcg >> 33
+        };
+        let mut shard_histories: Vec<ShardHistory> = (0..shards)
+            .map(|shard| ShardHistory { shard, trials: Vec::new() })
+            .collect();
+        for trial in trials.iter().cloned() {
+            let shard = (next() as usize) % shards;
+            shard_histories[shard].trials.push(trial);
+        }
+        let mut lcg2 = shuffle_seed.wrapping_mul(2).wrapping_add(1);
+        let mut next2 = move || {
+            lcg2 = lcg2.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            lcg2 >> 33
+        };
+        // Fisher–Yates over the shard order.
+        for i in (1..shard_histories.len()).rev() {
+            let j = (next2() as usize) % (i + 1);
+            shard_histories.swap(i, j);
+        }
+
+        let merged = HistoryMerge::merge(shard_histories);
+        let ids: Vec<u64> = merged.records().iter().map(|r| r.id).collect();
+        let expected: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(ids, expected, "merge must restore the global execution order");
     }
 
     // --- statistics ---

@@ -179,3 +179,61 @@ fn checkpoint_resume_reproduces_the_uninterrupted_history() {
     assert_eq!(resumed.best_config(), full.best_config());
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn torn_shard_checkpoints_degrade_instead_of_panicking() {
+    // A power cut mid-write can leave a truncated manifest or rip away a
+    // shard file. With the degradation ladder armed (the default), resume
+    // must fall back — torn manifest restarts fresh, a missing shard file
+    // likewise — and the deterministic engine still reproduces the exact
+    // uninterrupted artefact. It must never panic or error out.
+    let seed = chaos_seed();
+    let dir = std::env::temp_dir().join(format!("edgetune-torn-shard-{seed}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("study.ckpt.json");
+    let config = || {
+        chaos_config(seed, 0.0)
+            .with_study_shards(4)
+            .with_checkpoint_path(&path)
+    };
+    let cleanup = |dir: &std::path::Path, path: &std::path::Path| {
+        for shard in 0..4 {
+            std::fs::remove_file(dir.join(format!("study.ckpt.json.shard{shard}"))).ok();
+        }
+        std::fs::remove_file(path).ok();
+    };
+    cleanup(&dir, &path);
+
+    let full = EdgeTune::new(chaos_config(seed, 0.0).with_study_shards(4))
+        .run()
+        .expect("uninterrupted run")
+        .to_json()
+        .unwrap();
+
+    // Torn manifest: truncate it mid-JSON.
+    let _ = EdgeTune::new(config().with_halt_after_rungs(2))
+        .run()
+        .expect("halted run");
+    let manifest = std::fs::read_to_string(&path).expect("manifest written");
+    std::fs::write(&path, &manifest.as_bytes()[..manifest.len() / 2]).expect("tear the manifest");
+    let resumed = EdgeTune::new(config().resuming())
+        .run()
+        .expect("a torn manifest must degrade to a fresh run, not panic");
+    assert_eq!(
+        resumed.to_json().unwrap(),
+        full,
+        "seed {seed}: the degraded restart must still reproduce the artefact"
+    );
+    cleanup(&dir, &path);
+
+    // Missing shard file: the manifest is intact but one shard is gone.
+    let _ = EdgeTune::new(config().with_halt_after_rungs(2))
+        .run()
+        .expect("halted run");
+    std::fs::remove_file(dir.join("study.ckpt.json.shard1")).expect("rip out a shard");
+    let resumed = EdgeTune::new(config().resuming())
+        .run()
+        .expect("a missing shard file must degrade, not panic");
+    assert_eq!(resumed.to_json().unwrap(), full, "seed {seed}");
+    cleanup(&dir, &path);
+}
