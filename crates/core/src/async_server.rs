@@ -328,6 +328,14 @@ impl AsyncInferenceServer {
         self.cache.lock().clone()
     }
 
+    /// The cache's current hit/miss counters, read without cloning the
+    /// entry table. This is the single tally both trace counter events
+    /// and checkpoint manifests read, so the numbers can never diverge.
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().stats()
+    }
+
     /// Reads a cache entry without touching statistics — the stale-cache
     /// rung of the degradation ladder.
     #[must_use]
@@ -565,6 +573,17 @@ mod tests {
         assert!(hit.cache_hit);
         assert_eq!(hit.runtime, Seconds::ZERO);
         assert_eq!(server.injected_outages(), 1);
+    }
+
+    #[test]
+    fn cache_stats_accessor_matches_the_snapshot_tally() {
+        let server = start();
+        server.submit(key("a"), profile()).wait().unwrap();
+        server.submit(key("a"), profile()).wait().unwrap();
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(server.cache_snapshot().stats(), stats);
     }
 
     #[test]

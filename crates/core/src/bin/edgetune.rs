@@ -15,10 +15,14 @@
 //!                                              # add a scenario-aware batching
 //!                                              # recommendation (§3.4); also
 //!                                              # accepts server:<n>:<period>
-//! edgetune serve --workload ic --trace burst --seed 42
+//! edgetune serve --workload ic --traffic burst --seed 42
 //!                                              # deploy the tuned configuration
 //!                                              # into the serving runtime and
 //!                                              # print the JSON serving report
+//! edgetune --workload ic --trace study.trace.json
+//!                                              # also export a Chrome trace of
+//!                                              # every span on the simulated
+//!                                              # clock (chrome://tracing)
 //! edgetune chaos --workload ic --rate 0.1 --seed 7
 //!                                              # tune under deterministic fault
 //!                                              # injection and print how the
@@ -37,6 +41,7 @@ use edgetune::scenario::{tune_for_scenario, Scenario};
 use edgetune::serve::ScenarioRetuner;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_serving::{RuntimeOptions, ServingRuntime, SloPolicy, TrafficProfile};
+use edgetune_trace::{ChromeTrace, Tracer};
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::Seconds;
 use edgetune_workloads::catalog::Workload;
@@ -59,6 +64,7 @@ struct Args {
     scenario: Option<Scenario>,
     checkpoint: Option<String>,
     resume: bool,
+    trace: Option<String>,
 }
 
 struct ChaosArgs {
@@ -72,12 +78,13 @@ struct ChaosArgs {
     resume: bool,
     halt_after_rungs: Option<u32>,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 struct ServeArgs {
     workload: WorkloadId,
     device: Option<String>,
-    trace: String,
+    traffic: String,
     rate: f64,
     horizon: f64,
     slo: f64,
@@ -86,6 +93,7 @@ struct ServeArgs {
     static_serving: bool,
     shed: bool,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_workload(value: &str) -> Result<WorkloadId, String> {
@@ -151,6 +159,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         scenario: None,
         checkpoint: None,
         resume: false,
+        trace: None,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -215,6 +224,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--scenario" => args.scenario = Some(parse_scenario(&value(&mut argv, "--scenario")?)?),
             "--checkpoint" => args.checkpoint = Some(value(&mut argv, "--checkpoint")?),
             "--resume" => args.resume = true,
+            "--trace" => args.trace = Some(value(&mut argv, "--trace")?),
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
@@ -222,16 +232,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      [--trials N] [--max-iter N] [--trial-workers N] [--trial-slots N] \
                      [--study-shards N] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
-                     [--checkpoint FILE] [--resume] \
+                     [--checkpoint FILE] [--resume] [--trace FILE] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
                      \n\
                      subcommands:\n  \
                      edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
-                     [--trace poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
-                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]\n  \
+                     [--traffic poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
+                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE] \
+                     [--trace FILE]\n  \
                      edgetune chaos [--workload ic|sr|nlp|od] [--metric runtime|energy] \
                      [--rate P] [--seed N] [--trials N] [--max-iter N] [--checkpoint FILE] \
-                     [--resume] [--halt-after-rungs N] [--json FILE]"
+                     [--resume] [--halt-after-rungs N] [--json FILE] [--trace FILE]"
                 );
                 std::process::exit(0);
             }
@@ -245,7 +256,7 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
     let mut args = ServeArgs {
         workload: WorkloadId::Ic,
         device: None,
-        trace: "poisson".to_string(),
+        traffic: "poisson".to_string(),
         rate: 10.0,
         horizon: 120.0,
         slo: 2.0,
@@ -254,6 +265,7 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
         static_serving: false,
         shed: true,
         json: None,
+        trace: None,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -266,13 +278,13 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
                 args.workload = parse_workload(&value(&mut argv, "--workload")?)?
             }
             "--device" | "-d" => args.device = Some(value(&mut argv, "--device")?),
-            "--trace" | "-t" => {
-                let trace = value(&mut argv, "--trace")?.to_lowercase();
-                match trace.as_str() {
-                    "poisson" | "server" | "burst" | "diurnal" | "shift" => args.trace = trace,
+            "--traffic" | "-t" => {
+                let traffic = value(&mut argv, "--traffic")?.to_lowercase();
+                match traffic.as_str() {
+                    "poisson" | "server" | "burst" | "diurnal" | "shift" => args.traffic = traffic,
                     other => {
                         return Err(format!(
-                            "unknown trace '{other}' (poisson|server|burst|diurnal|shift)"
+                            "unknown traffic '{other}' (poisson|server|burst|diurnal|shift)"
                         ))
                     }
                 }
@@ -317,11 +329,13 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
             "--static" => args.static_serving = true,
             "--no-shed" => args.shed = false,
             "--json" => args.json = Some(value(&mut argv, "--json")?),
+            "--trace" => args.trace = Some(value(&mut argv, "--trace")?),
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
-                     [--trace poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
-                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE]"
+                     [--traffic poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
+                     [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE] \
+                     [--trace FILE]"
                 );
                 std::process::exit(0);
             }
@@ -343,6 +357,7 @@ fn parse_chaos_args(argv: impl Iterator<Item = String>) -> Result<ChaosArgs, Str
         resume: false,
         halt_after_rungs: None,
         json: None,
+        trace: None,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -394,11 +409,12 @@ fn parse_chaos_args(argv: impl Iterator<Item = String>) -> Result<ChaosArgs, Str
                 );
             }
             "--json" => args.json = Some(value(&mut argv, "--json")?),
+            "--trace" => args.trace = Some(value(&mut argv, "--trace")?),
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune chaos [--workload ic|sr|nlp|od] [--metric runtime|energy] \
                      [--rate P] [--seed N] [--trials N] [--max-iter N] [--checkpoint FILE] \
-                     [--resume] [--halt-after-rungs N] [--json FILE]"
+                     [--resume] [--halt-after-rungs N] [--json FILE] [--trace FILE]"
                 );
                 std::process::exit(0);
             }
@@ -422,6 +438,9 @@ fn run_chaos(args: &ChaosArgs) -> Result<(), String> {
     }
     if let Some(rungs) = args.halt_after_rungs {
         config = config.with_halt_after_rungs(rungs);
+    }
+    if let Some(path) = &args.trace {
+        config = config.with_trace_path(path);
     }
 
     eprintln!(
@@ -457,6 +476,9 @@ fn run_chaos(args: &ChaosArgs) -> Result<(), String> {
         let json = report.to_json().map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("chaos report written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        eprintln!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
     }
     Ok(())
 }
@@ -501,7 +523,7 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     let space = InferenceSpace::for_device(&device);
     let retuner = ScenarioRetuner::new(device.clone(), space, profile);
 
-    let traffic = traffic_for(&args.trace, args.rate, args.horizon);
+    let traffic = traffic_for(&args.traffic, args.rate, args.horizon);
     let seed = SeedStream::new(args.seed);
     eprintln!(
         "tuning the initial configuration for {} at {:.1} items/s...",
@@ -533,9 +555,22 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     let runtime =
         ServingRuntime::new(device, profile, config, options).map_err(|e| e.to_string())?;
     let tuner = (!args.static_serving).then_some(&retuner as &dyn edgetune_serving::OnlineTuner);
+    let tracer = args.trace.as_ref().map(|_| Tracer::new());
     let report = runtime
-        .serve(&traffic, Seconds::new(args.horizon), tuner, seed)
+        .serve_traced(
+            &traffic,
+            Seconds::new(args.horizon),
+            tuner,
+            seed,
+            tracer.as_ref(),
+        )
         .map_err(|e| e.to_string())?;
+    if let (Some(path), Some(tracer)) = (&args.trace, &tracer) {
+        ChromeTrace::from_tracer(tracer)
+            .write(path)
+            .map_err(|e| e.to_string())?;
+        eprintln!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
 
     eprintln!("{}", report.summary());
     let json = report.to_json().map_err(|e| e.to_string())?;
@@ -627,6 +662,9 @@ fn main() -> ExitCode {
     if !args.historical_cache {
         config = config.without_historical_cache();
     }
+    if let Some(path) = &args.trace {
+        config = config.with_trace_path(path);
+    }
 
     let edge_device = config.edge_device.clone();
     eprintln!(
@@ -644,6 +682,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.trace {
+        eprintln!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
 
     println!("== winning trial ==");
     println!("configuration : {}", report.best_config());

@@ -61,6 +61,16 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counters as stable (name, value) pairs — the shape trace
+    /// counter events consume.
+    #[must_use]
+    pub fn as_counters(&self) -> Vec<(String, f64)> {
+        vec![
+            ("hits".to_string(), self.hits as f64),
+            ("misses".to_string(), self.misses as f64),
+        ]
+    }
 }
 
 /// The historical results store.

@@ -331,7 +331,10 @@ pub struct ShardManifest {
 pub struct StudyGlobals {
     /// Shared historical cache (the one cross-shard channel).
     pub cache: HistoricalCache,
-    /// The cache's in-memory hit/miss counters.
+    /// The cache's in-memory hit/miss counters, read from
+    /// [`AsyncInferenceServer::cache_stats`](crate::async_server::AsyncInferenceServer::cache_stats)
+    /// — the same single tally the trace's cache counter events sample,
+    /// so checkpoints and traces can never disagree about them.
     pub cache_stats: CacheStats,
     /// All timeline spans recorded so far.
     pub timeline: Timeline,

@@ -115,6 +115,11 @@ pub struct EdgeTuneConfig {
     /// Stop tuning after this many completed rungs, if set — the
     /// controlled "interruption" used to exercise checkpoint/resume.
     pub halt_after_rungs: Option<u32>,
+    /// Write the study's Chrome trace-event JSON here after the run, if
+    /// set. The trace is a reported artifact: byte-identical for a
+    /// fixed seed whatever the `trial_workers` / `study_shards` counts,
+    /// and recording it never changes a report byte.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl EdgeTuneConfig {
@@ -148,6 +153,7 @@ impl EdgeTuneConfig {
             checkpoint_path: None,
             resume: false,
             halt_after_rungs: None,
+            trace_path: None,
         }
     }
 
@@ -339,6 +345,14 @@ impl EdgeTuneConfig {
     #[must_use]
     pub fn with_halt_after_rungs(mut self, rungs: u32) -> Self {
         self.halt_after_rungs = Some(rungs);
+        self
+    }
+
+    /// Writes the study's Chrome trace-event JSON to `path` after the
+    /// run (open it in `chrome://tracing` or Perfetto).
+    #[must_use]
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
         self
     }
 

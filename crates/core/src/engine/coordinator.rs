@@ -19,6 +19,13 @@
 //! is deliberately *not* sharded: it is the one cross-shard channel, so
 //! an architecture tuned by any shard is never re-tuned by another —
 //! Algorithm 1's memoisation survives sharding untouched.
+//!
+//! Shard execution (phase A) is deliberately *untraced*: shards only
+//! precompute raw measurements on wall-clock threads, and every trace
+//! event is emitted from the sequential phase-B accounting path that
+//! replays them. Tracing here would key tracks to real threads and
+//! break the trace's byte-identity across shard counts — the same law
+//! `tests/golden_trace.rs` pins for the report.
 
 use edgetune_runtime::{parallel_map_ordered, SharedClock, SimClock};
 use edgetune_tuner::budget::TrialBudget;

@@ -37,6 +37,7 @@ use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::{DegradationLadder, DegradationStats, Fallback, Supervisor, TrialFault};
 use edgetune_runtime::{parallel_map_ordered, SimClock};
+use edgetune_trace::{Tracer, TrackId};
 use edgetune_tuner::budget::TrialBudget;
 use edgetune_tuner::objective::{TrainMeasurement, TrainObjective};
 use edgetune_tuner::scheduler::Evaluate;
@@ -52,7 +53,10 @@ use crate::cache::CacheKey;
 use crate::checkpoint::{ShardManifest, StudyCheckpoint, StudyGlobals};
 use crate::engine::coordinator::{StudyCoordinator, TrialStamp};
 use crate::inference::fallback_recommendation;
-use crate::timeline::{Lane, Timeline};
+use crate::trace::{
+    timeline_from_trace, CAT_BRACKET, CAT_CACHE, CAT_FAULT, CAT_INFERENCE, CAT_MODEL, CAT_RUNG,
+    PROCESS_FAULTS, PROCESS_INFERENCE, PROCESS_MODEL, PROCESS_SCHEDULER,
+};
 
 /// Evaluator wiring one training trial to its pipelined inference request.
 pub(crate) struct OnefoldEvaluator<'a> {
@@ -61,7 +65,10 @@ pub(crate) struct OnefoldEvaluator<'a> {
     pub(crate) device: &'a DeviceSpec,
     pub(crate) inference_metric: Metric,
     pub(crate) objective: TrainObjective,
-    pub(crate) timeline: &'a mut Timeline,
+    /// Every piece of time accounting is emitted here as trace events;
+    /// the report's `Timeline` is derived from the trace at the end
+    /// (`crate::trace::timeline_from_trace`), never recorded separately.
+    pub(crate) tracer: &'a Tracer,
     pub(crate) pipelining: bool,
     /// Real measurement threads (wall-clock only; see the module docs).
     pub(crate) trial_workers: usize,
@@ -107,6 +114,12 @@ pub(crate) struct OnefoldEvaluator<'a> {
     /// Provenance ledger, one [`TrialStamp`] per history record in push
     /// order — what sharded checkpoints and the merged report key on.
     pub(crate) stamps: Vec<TrialStamp>,
+    /// Rungs traced so far — names the scheduler's rung spans.
+    pub(crate) rungs_traced: u32,
+    /// The currently open bracket span (bracket number, start time); the
+    /// next [`Evaluate::on_bracket_start`] or the orchestrator's final
+    /// [`OnefoldEvaluator::finish_trace`] closes it.
+    pub(crate) bracket_open: Option<(u32, Seconds)>,
 }
 
 /// Everything one trial produced, before timeline/clock accounting.
@@ -127,6 +140,61 @@ impl OnefoldEvaluator<'_> {
         self.supervisor.backoff(attempt, self.supervisor_seed, draw)
     }
 
+    /// The model-server track of one simulated trial slot. Tracks are
+    /// keyed to *simulated* structure, never to real threads or shards,
+    /// so the trace stays byte-identical across `trial_workers` and
+    /// `study_shards` (the same law the report obeys).
+    fn model_track(&self, slot: usize) -> TrackId {
+        self.tracer
+            .track(PROCESS_MODEL, &format!("trial-slot-{slot}"))
+    }
+
+    /// The inference-server track of one simulated trial slot.
+    fn sweep_track(&self, slot: usize) -> TrackId {
+        self.tracer
+            .track(PROCESS_INFERENCE, &format!("sweep-slot-{slot}"))
+    }
+
+    /// Emits a fault-injection / degradation instant on the shared
+    /// faults track. Ladder instants reuse [`Fallback::trace_label`] so
+    /// their names match the plan's serde spelling.
+    fn fault_instant(&self, name: &str, ts: Seconds) {
+        let track = self.tracer.track(PROCESS_FAULTS, "events");
+        self.tracer.instant(track, name, CAT_FAULT, ts);
+    }
+
+    /// Closes the currently open bracket span, if any.
+    fn close_bracket_span(&mut self) {
+        if let Some((bracket, start)) = self.bracket_open.take() {
+            let track = self.tracer.track(PROCESS_SCHEDULER, "brackets");
+            self.tracer.span(
+                track,
+                format!("bracket-{bracket}"),
+                CAT_BRACKET,
+                start,
+                self.clock.now(),
+            );
+        }
+    }
+
+    /// Final trace bookkeeping once the scheduler returns: closes the
+    /// last bracket span and, when any fault fired, samples the
+    /// degradation counters one last time. The orchestrator calls this
+    /// before deriving the report's timeline from the trace.
+    pub(crate) fn finish_trace(&mut self) {
+        self.close_bracket_span();
+        if !self.stats.is_empty() {
+            let track = self.tracer.track(PROCESS_FAULTS, "events");
+            self.tracer.counter(
+                track,
+                "degradation",
+                CAT_FAULT,
+                self.clock.now(),
+                self.stats.as_counters(),
+            );
+        }
+    }
+
     /// Walks the degradation ladder after an inference reply was lost.
     /// Returns the salvaged reply (if any rung produced one) and the
     /// extra stall time the recovery cost.
@@ -143,6 +211,7 @@ impl OnefoldEvaluator<'_> {
                     while !self.supervisor.give_up(attempt) {
                         extra += self.next_backoff(attempt);
                         self.stats.inference_retries += 1;
+                        self.fault_instant(Fallback::Retry.trace_label(), self.clock.now());
                         let Some(pending) = self.inference.try_submit(key.clone(), profile) else {
                             break;
                         };
@@ -150,6 +219,7 @@ impl OnefoldEvaluator<'_> {
                             Ok(reply) => return (Some(reply), extra),
                             Err(_) => {
                                 self.stats.worker_losses += 1;
+                                self.fault_instant("worker-loss", self.clock.now());
                                 attempt += 1;
                             }
                         }
@@ -158,6 +228,7 @@ impl OnefoldEvaluator<'_> {
                 Fallback::StaleCache => {
                     if let Some(recommendation) = self.inference.peek(key) {
                         self.stats.stale_cache_served += 1;
+                        self.fault_instant(Fallback::StaleCache.trace_label(), self.clock.now());
                         let reply = InferenceReply {
                             recommendation,
                             runtime: Seconds::ZERO,
@@ -169,6 +240,7 @@ impl OnefoldEvaluator<'_> {
                 }
                 Fallback::DeviceDefault => {
                     self.stats.default_recommendations += 1;
+                    self.fault_instant(Fallback::DeviceDefault.trace_label(), self.clock.now());
                     let reply = InferenceReply {
                         recommendation: fallback_recommendation(self.device, &profile),
                         runtime: Seconds::ZERO,
@@ -218,25 +290,30 @@ impl OnefoldEvaluator<'_> {
                     paid_runtime += trial.runtime;
                     paid_energy += trial.energy;
                     trial_clock.advance(trial.runtime);
+                    self.fault_instant("trial-crash", trial_clock.now());
                     if self
                         .supervisor
                         .deadline_exceeded_since(&trial_clock, trial_start)
                     {
                         self.stats.trial_timeouts += 1;
+                        self.fault_instant("trial-timeout", trial_clock.now());
                         return Err((TrialFailure::Timeout, paid_runtime, paid_energy));
                     }
                     if self.supervisor.give_up(attempt) {
                         self.stats.trials_skipped += 1;
+                        self.fault_instant("trial-skipped", trial_clock.now());
                         return Err((TrialFailure::Crash, paid_runtime, paid_energy));
                     }
                     let backoff = self.next_backoff(attempt);
                     paid_runtime += backoff;
                     trial_clock.advance(backoff);
                     self.stats.trial_retries += 1;
+                    self.fault_instant("trial-retry", trial_clock.now());
                     attempt += 1;
                 }
                 Some(TrialFault::Straggle { .. }) => {
                     self.stats.trial_stragglers += 1;
+                    self.fault_instant("trial-straggle", trial_clock.now());
                     return Ok((
                         paid_runtime + trial.runtime,
                         paid_energy + trial.energy,
@@ -306,6 +383,7 @@ impl OnefoldEvaluator<'_> {
             Ok(reply) => (Some(reply), Seconds::ZERO),
             Err(_) if self.faults_enabled => {
                 self.stats.worker_losses += 1;
+                self.fault_instant("worker-loss", self.clock.now());
                 self.degrade(&key, profile)
             }
             Err(_) => (None, Seconds::ZERO),
@@ -316,6 +394,7 @@ impl OnefoldEvaluator<'_> {
             // Chaos: the ladder ran dry — skip with a penalty score.
             let outcome = if self.faults_enabled {
                 self.stats.trials_skipped += 1;
+                self.fault_instant(Fallback::SkipWithPenalty.trace_label(), self.clock.now());
                 TrialOutcome::failed(
                     TrialFailure::InferenceLoss,
                     train_runtime + extra_stall,
@@ -369,20 +448,45 @@ impl OnefoldEvaluator<'_> {
         }
     }
 
-    /// Timeline/clock accounting for one trial placed at `start`.
-    fn record(&mut self, id: u64, run: &TrialRun, start: Seconds) {
+    /// Trace/clock accounting for one trial placed at `start` on a
+    /// simulated `slot`. Emission order is part of the report contract:
+    /// the trial span leads and its sweep span follows immediately —
+    /// even though a non-pipelined sweep *starts* later —
+    /// because [`timeline_from_trace`] walks emission order to keep the
+    /// report's timeline JSON byte-identical to the pre-trace recorder.
+    fn record(&mut self, id: u64, run: &TrialRun, start: Seconds, slot: usize) {
         let busy_end = start + run.train_runtime;
-        self.timeline
-            .record(Lane::ModelServer, format!("trial-{id}"), start, busy_end);
+        let model = self.model_track(slot);
+        self.tracer
+            .span(model, format!("trial-{id}"), CAT_MODEL, start, busy_end);
         if !run.cache_hit && run.sweep_runtime.value() > 0.0 {
             let sweep_start = if self.pipelining { start } else { busy_end };
-            self.timeline.record(
-                Lane::InferenceServer,
+            let sweep = self.sweep_track(slot);
+            self.tracer.span(
+                sweep,
                 run.arch.clone(),
+                CAT_INFERENCE,
                 sweep_start,
                 sweep_start + run.sweep_runtime,
             );
         }
+        // Cache telemetry rides on its own track: a hit/miss instant per
+        // trial plus a counter sample read from the server's single
+        // tally (the same numbers checkpoints persist).
+        let cache_track = self.tracer.track(PROCESS_INFERENCE, "historical-cache");
+        let verdict = if run.cache_hit {
+            "cache-hit"
+        } else {
+            "cache-miss"
+        };
+        self.tracer.instant(cache_track, verdict, CAT_CACHE, start);
+        self.tracer.counter(
+            cache_track,
+            "historical-cache",
+            CAT_CACHE,
+            start,
+            self.inference.cache_stats().as_counters(),
+        );
         self.stall += run.stall;
         self.inference_energy += run.sweep_energy;
         self.stamps.push(TrialStamp {
@@ -444,9 +548,11 @@ impl Evaluate for OnefoldEvaluator<'_> {
                 let record = self.replay.pop_front().expect("front exists");
                 let start = self.clock.now();
                 if self.replay_records_timeline {
-                    self.timeline.record(
-                        Lane::ModelServer,
+                    let track = self.model_track(0);
+                    self.tracer.span(
+                        track,
                         format!("trial-{id}"),
+                        CAT_MODEL,
                         start,
                         start + record.outcome.runtime,
                     );
@@ -464,7 +570,7 @@ impl Evaluate for OnefoldEvaluator<'_> {
         }
         let run = self.run_one(config, budget, None);
         let start = self.clock.now();
-        self.record(id, &run, start);
+        self.record(id, &run, start, 0);
         // One advance by the recorded runtime — the same sum a replayed
         // checkpoint record advances by (`outcome.runtime` is computed as
         // `train + stall` on every path), so a resumed clock retraces the
@@ -474,82 +580,57 @@ impl Evaluate for OnefoldEvaluator<'_> {
     }
 
     fn evaluate_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
-        // Replayed trials must go through `evaluate`'s front-of-queue
-        // matching one at a time.
-        if !self.replay.is_empty() {
-            return trials
-                .into_iter()
-                .map(|(id, config, budget)| self.evaluate(id, &config, budget))
-                .collect();
-        }
-        // Phase A: real threads precompute the measurements when that is
-        // provably invisible in the results.
-        let mut measured = self.measure_rung(&trials);
-        let precomputed = |measured: &mut Option<Vec<Option<TrialMeasurement>>>, index: usize| {
-            measured.as_mut().and_then(|m| m[index].take())
-        };
-        if self.trial_slots <= 1 || trials.len() <= 1 {
-            // Phase B, one slot: the exact sequential accounting path.
-            return trials
-                .into_iter()
-                .enumerate()
-                .map(|(index, (id, config, budget))| {
-                    let run = self.run_one(&config, budget, precomputed(&mut measured, index));
-                    let start = self.clock.now();
-                    self.record(id, &run, start);
-                    self.clock.advance(run.outcome.runtime);
-                    run.outcome
-                })
-                .collect();
-        }
-        // Phase B, simulated parallel slots: the rung's trials are
-        // list-scheduled onto `trial_slots` slots; the rung advances
-        // the clock by its makespan, not by the sum of trial durations.
-        let runs: Vec<(u64, TrialRun)> = trials
-            .into_iter()
-            .enumerate()
-            .map(|(index, (id, config, budget))| {
-                let run = self.run_one(&config, budget, precomputed(&mut measured, index));
-                (id, run)
-            })
-            .collect();
+        // Wrap the whole rung — replayed, sequential, or slot-scheduled
+        // — in a scheduler-track span so the trace shows the rung
+        // structure the multi-fidelity budget imposes.
+        let rung_index = self.rungs_traced;
+        self.rungs_traced += 1;
+        let trial_count = trials.len();
         let rung_start = self.clock.now();
-        let mut loads = vec![Seconds::ZERO; self.trial_slots];
-        let mut outcomes = Vec::with_capacity(runs.len());
-        for (id, run) in runs {
-            let (slot, _) = loads
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite loads"))
-                .expect("at least one worker");
-            let start = rung_start + loads[slot];
-            self.record(id, &run, start);
-            loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
-            outcomes.push(run.outcome);
-        }
-        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
-        self.clock.advance(makespan);
+        let outcomes = self.run_rung(trials);
+        let rung_track = self.tracer.track(PROCESS_SCHEDULER, "rungs");
+        self.tracer.span_with_args(
+            rung_track,
+            format!("rung-{rung_index}"),
+            CAT_RUNG,
+            rung_start,
+            self.clock.now(),
+            vec![("trials".to_string(), trial_count.to_string())],
+        );
         outcomes
     }
 
     fn on_bracket_start(&mut self, bracket: u32) {
+        self.close_bracket_span();
+        self.bracket_open = Some((bracket, self.clock.now()));
         self.current_bracket = bracket;
     }
 
     fn on_rung_complete(&mut self, history: &History) {
         self.rungs_completed += 1;
+        if self.faults_enabled && !self.stats.is_empty() {
+            let track = self.tracer.track(PROCESS_FAULTS, "events");
+            self.tracer.counter(
+                track,
+                "degradation",
+                CAT_FAULT,
+                self.clock.now(),
+                self.stats.as_counters(),
+            );
+        }
         if let Some(path) = self.checkpoint_path {
             // A failed checkpoint write must never kill the study: the
             // run is still correct, only resumability is lost.
             if self.study_shards > 1 && self.stamps.len() == history.len() {
                 // Sharded layout: one stamped trial file per shard plus
-                // the manifest carrying the study-global state.
+                // the manifest carrying the study-global state. Cache
+                // counters and the timeline both come from their single
+                // sources of truth — the server's tally and the trace.
                 let coordinator = StudyCoordinator::new(self.study_shards);
-                let cache = self.inference.cache_snapshot();
                 let globals = StudyGlobals {
-                    cache_stats: cache.stats(),
-                    cache,
-                    timeline: self.timeline.clone(),
+                    cache_stats: self.inference.cache_stats(),
+                    cache: self.inference.cache_snapshot(),
+                    timeline: timeline_from_trace(self.tracer),
                     stall: self.stall,
                     inference_energy: self.inference_energy,
                     degradation: self.stats,
@@ -579,6 +660,68 @@ impl Evaluate for OnefoldEvaluator<'_> {
     fn should_halt(&self) -> bool {
         self.halt_after_rungs
             .is_some_and(|rungs| self.rungs_completed >= rungs)
+    }
+}
+
+impl OnefoldEvaluator<'_> {
+    /// Executes one rung — replay, sequential, or simulated slots.
+    fn run_rung(&mut self, trials: Vec<(u64, Config, TrialBudget)>) -> Vec<TrialOutcome> {
+        // Replayed trials must go through `evaluate`'s front-of-queue
+        // matching one at a time.
+        if !self.replay.is_empty() {
+            return trials
+                .into_iter()
+                .map(|(id, config, budget)| self.evaluate(id, &config, budget))
+                .collect();
+        }
+        // Phase A: real threads precompute the measurements when that is
+        // provably invisible in the results.
+        let mut measured = self.measure_rung(&trials);
+        let precomputed = |measured: &mut Option<Vec<Option<TrialMeasurement>>>, index: usize| {
+            measured.as_mut().and_then(|m| m[index].take())
+        };
+        if self.trial_slots <= 1 || trials.len() <= 1 {
+            // Phase B, one slot: the exact sequential accounting path.
+            return trials
+                .into_iter()
+                .enumerate()
+                .map(|(index, (id, config, budget))| {
+                    let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                    let start = self.clock.now();
+                    self.record(id, &run, start, 0);
+                    self.clock.advance(run.outcome.runtime);
+                    run.outcome
+                })
+                .collect();
+        }
+        // Phase B, simulated parallel slots: the rung's trials are
+        // list-scheduled onto `trial_slots` slots; the rung advances
+        // the clock by its makespan, not by the sum of trial durations.
+        let runs: Vec<(u64, TrialRun)> = trials
+            .into_iter()
+            .enumerate()
+            .map(|(index, (id, config, budget))| {
+                let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                (id, run)
+            })
+            .collect();
+        let rung_start = self.clock.now();
+        let mut loads = vec![Seconds::ZERO; self.trial_slots];
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for (id, run) in runs {
+            let (slot, _) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite loads"))
+                .expect("at least one worker");
+            let start = rung_start + loads[slot];
+            self.record(id, &run, start, slot);
+            loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
+            outcomes.push(run.outcome);
+        }
+        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
+        self.clock.advance(makespan);
+        outcomes
     }
 }
 

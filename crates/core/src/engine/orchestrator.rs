@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use edgetune_faults::{DegradationStats, FaultInjector};
 use edgetune_runtime::SimClock;
+use edgetune_trace::{ChromeTrace, Tracer};
 use edgetune_tuner::merge::HistoryMerge;
 use edgetune_tuner::objective::{InferenceObjective, TrainObjective};
 use edgetune_tuner::scheduler::{HyperBand, SuccessiveHalving};
@@ -31,6 +32,7 @@ use crate::engine::evaluator::OnefoldEvaluator;
 use crate::engine::report::{FaultReport, TuningReport};
 use crate::inference::{InferenceSpace, InferenceTuningServer};
 use crate::timeline::Timeline;
+use crate::trace::{seed_tracer_from_timeline, timeline_from_trace};
 
 /// The tuning engine: runs one study described by a borrowed
 /// configuration and assembles its [`TuningReport`].
@@ -46,14 +48,8 @@ impl<'a> Engine<'a> {
         Engine { config }
     }
 
-    /// Runs the study with the default simulated backend for the
-    /// configured workload.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration and storage errors; see
-    /// [`Engine::run_with_backend`].
-    pub fn run(&self) -> Result<TuningReport> {
+    /// The default simulated backend for the configured workload.
+    fn default_backend(&self) -> SimTrainingBackend {
         let workload = Workload::by_id(self.config.workload);
         let mut backend =
             SimTrainingBackend::new(workload, SeedStream::new(self.config.seed).child("trials"));
@@ -63,6 +59,18 @@ impl<'a> Engine<'a> {
                 SeedStream::new(self.config.seed).child("trial-faults"),
             ));
         }
+        backend
+    }
+
+    /// Runs the study with the default simulated backend for the
+    /// configured workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and storage errors; see
+    /// [`Engine::run_with_backend`].
+    pub fn run(&self) -> Result<TuningReport> {
+        let mut backend = self.default_backend();
         self.run_with_backend(&mut backend)
     }
 
@@ -75,6 +83,53 @@ impl<'a> Engine<'a> {
     /// [`Error::Storage`] if the historical cache cannot be written, and
     /// [`Error::Channel`] if the inference server fails irrecoverably.
     pub fn run_with_backend(&self, backend: &mut dyn TrainingBackend) -> Result<TuningReport> {
+        let tracer = Tracer::new();
+        let report = self.run_inner(backend, &tracer)?;
+        if let Some(path) = &self.config.trace_path {
+            ChromeTrace::from_tracer(&tracer).write(path)?;
+        }
+        Ok(report)
+    }
+
+    /// Runs the study with the default backend and returns the report
+    /// together with the Chrome trace of everything that happened on
+    /// the simulated clock.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_traced(&self) -> Result<(TuningReport, ChromeTrace)> {
+        let mut backend = self.default_backend();
+        self.run_traced_with_backend(&mut backend)
+    }
+
+    /// Runs the study against any training backend, returning the
+    /// report and the Chrome trace.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run_with_backend`].
+    pub fn run_traced_with_backend(
+        &self,
+        backend: &mut dyn TrainingBackend,
+    ) -> Result<(TuningReport, ChromeTrace)> {
+        let tracer = Tracer::new();
+        let report = self.run_inner(backend, &tracer)?;
+        let trace = ChromeTrace::from_tracer(&tracer);
+        if let Some(path) = &self.config.trace_path {
+            trace.write(path)?;
+        }
+        Ok((report, trace))
+    }
+
+    /// The study proper: everything between a validated configuration
+    /// and an assembled report, emitting every piece of time accounting
+    /// into `tracer` along the way.
+    fn run_inner(
+        &self,
+        backend: &mut dyn TrainingBackend,
+        tracer: &Tracer,
+    ) -> Result<TuningReport> {
         let space = backend.search_space();
         if space.is_empty() {
             return Err(Error::invalid_config("backend search space is empty"));
@@ -189,7 +244,10 @@ impl<'a> Engine<'a> {
             objective = objective.with_accuracy_floor(floor);
         }
 
-        let mut timeline = resumed_timeline;
+        // A shard manifest restores the exact recorded spans; seed them
+        // into the tracer *before* any live trial so the derived
+        // timeline reproduces the uninterrupted run's span sequence.
+        seed_tracer_from_timeline(tracer, &resumed_timeline);
         let mut sampler = self.config.build_sampler();
         let device_name = self.config.edge_device.name.clone();
 
@@ -200,7 +258,7 @@ impl<'a> Engine<'a> {
                 device: &self.config.edge_device,
                 inference_metric: self.config.inference_metric,
                 objective,
-                timeline: &mut timeline,
+                tracer,
                 pipelining: self.config.pipelining,
                 trial_workers: self.config.trial_workers,
                 trial_slots: self.config.trial_slots,
@@ -223,6 +281,8 @@ impl<'a> Engine<'a> {
                 replay_records_timeline,
                 current_bracket: 0,
                 stamps: Vec::new(),
+                rungs_traced: 0,
+                bracket_open: None,
             };
             let history = if self.config.hyperband {
                 HyperBand::new(self.config.scheduler).run(
@@ -239,6 +299,7 @@ impl<'a> Engine<'a> {
                     &mut evaluator,
                 )
             };
+            evaluator.finish_trace();
             let stamps = std::mem::take(&mut evaluator.stamps);
             (
                 history,
@@ -249,6 +310,9 @@ impl<'a> Engine<'a> {
                 evaluator.stats,
             )
         };
+        // The report's timeline is a view over the trace — derived, not
+        // separately recorded, so the two can never disagree.
+        let timeline = timeline_from_trace(tracer);
 
         // Sharded studies hand the report a *merged* history: split the
         // stamped trial log by the coordinator's plan and interleave it
@@ -398,6 +462,51 @@ mod tests {
             "inference must hide behind training"
         );
         assert!((report.timeline().overlap_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracing_changes_no_report_bytes() {
+        let plain = EdgeTune::new(quick_config()).run().unwrap();
+        let (traced, trace) = EdgeTune::new(quick_config()).run_traced().unwrap();
+        assert_eq!(
+            plain.to_json().unwrap(),
+            traced.to_json().unwrap(),
+            "collecting a trace must be invisible in the report"
+        );
+        trace.validate().expect("exported trace validates");
+        assert!(!trace.trace_events.is_empty());
+    }
+
+    #[test]
+    fn the_trace_shows_inference_sweeps_pipelined_into_trials() {
+        // The paper's Fig. 6 claim, read off the trace itself: at least
+        // one inference-sweep span strictly overlaps a training-trial
+        // span on the simulated clock.
+        let config = quick_config();
+        let engine = Engine::new(&config);
+        let mut backend = engine.default_backend();
+        let tracer = Tracer::new();
+        let report = engine.run_inner(&mut backend, &tracer).unwrap();
+        assert!(
+            crate::trace::has_pipelined_overlap(&tracer.snapshot()),
+            "a pipelined study must overlap sweeps with trials"
+        );
+        assert!((report.timeline().overlap_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_trace_path_writes_the_chrome_file() {
+        let dir = std::env::temp_dir().join("edgetune-trace-path-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.trace.json");
+        std::fs::remove_file(&path).ok();
+        let _ = EdgeTune::new(quick_config().with_trace_path(&path))
+            .run()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = ChromeTrace::from_json(&text).unwrap();
+        trace.validate().expect("written trace validates");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

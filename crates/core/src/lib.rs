@@ -59,6 +59,7 @@ pub mod scenario;
 pub mod serve;
 pub mod server;
 pub mod timeline;
+pub mod trace;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {

@@ -79,6 +79,17 @@ impl EdgeTune {
     pub fn run_with_backend(&self, backend: &mut dyn TrainingBackend) -> Result<TuningReport> {
         Engine::new(&self.config).run_with_backend(backend)
     }
+
+    /// Runs the job and additionally returns the Chrome trace of every
+    /// span and event the study emitted on the simulated clock — open it
+    /// in `chrome://tracing` or Perfetto to see the Fig. 6 pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`EdgeTune::run`].
+    pub fn run_traced(&self) -> Result<(TuningReport, edgetune_trace::ChromeTrace)> {
+        Engine::new(&self.config).run_traced()
+    }
 }
 
 #[cfg(test)]

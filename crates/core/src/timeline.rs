@@ -4,6 +4,13 @@
 //! inference-tuning job started and ended, so the overlap between the
 //! Model and Inference servers can be inspected and rendered — the
 //! paper's Fig. 6 illustration of the onefold pipeline.
+//!
+//! Since the tracing layer landed, the timeline is a thin *view*: the
+//! engine emits trial/sweep spans to an `edgetune-trace` tracer, and
+//! the report's timeline is derived from that event stream by
+//! `crate::trace::timeline_from_trace` (in emission order, preserving
+//! this type's long-standing byte-stable JSON contract). The type
+//! itself is unchanged so serialized reports stay identical.
 
 use edgetune_util::units::Seconds;
 use serde::{Deserialize, Serialize};

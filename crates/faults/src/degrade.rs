@@ -18,6 +18,20 @@ pub enum Fallback {
     SkipWithPenalty,
 }
 
+impl Fallback {
+    /// Stable snake_case label for this rung, used as the event name
+    /// when degradation steps are recorded on a trace.
+    #[must_use]
+    pub fn trace_label(self) -> &'static str {
+        match self {
+            Fallback::Retry => "retry",
+            Fallback::StaleCache => "stale_cache",
+            Fallback::DeviceDefault => "device_default",
+            Fallback::SkipWithPenalty => "skip_with_penalty",
+        }
+    }
+}
+
 /// The ordered fallbacks tried when a dependency stops answering.
 ///
 /// The default ladder is retry → stale cache entry → device-model default
@@ -88,6 +102,32 @@ impl DegradationStats {
     pub fn is_empty(&self) -> bool {
         *self == DegradationStats::default()
     }
+
+    /// The counters as stable (name, value) pairs, in field order —
+    /// the shape trace counter events and report tooling consume.
+    #[must_use]
+    pub fn as_counters(&self) -> Vec<(String, f64)> {
+        vec![
+            ("trial_crashes".to_string(), self.trial_crashes as f64),
+            ("trial_stragglers".to_string(), self.trial_stragglers as f64),
+            ("trial_timeouts".to_string(), self.trial_timeouts as f64),
+            ("trial_retries".to_string(), self.trial_retries as f64),
+            ("trials_skipped".to_string(), self.trials_skipped as f64),
+            ("worker_losses".to_string(), self.worker_losses as f64),
+            (
+                "inference_retries".to_string(),
+                self.inference_retries as f64,
+            ),
+            (
+                "stale_cache_served".to_string(),
+                self.stale_cache_served as f64,
+            ),
+            (
+                "default_recommendations".to_string(),
+                self.default_recommendations as f64,
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +154,40 @@ mod tests {
         assert!(stats.is_empty());
         stats.stale_cache_served += 1;
         assert!(!stats.is_empty());
+    }
+
+    #[test]
+    fn trace_labels_match_the_serde_names() {
+        for rung in [
+            Fallback::Retry,
+            Fallback::StaleCache,
+            Fallback::DeviceDefault,
+            Fallback::SkipWithPenalty,
+        ] {
+            let json = serde_json::to_string(&rung).unwrap();
+            assert_eq!(json, format!("\"{}\"", rung.trace_label()));
+        }
+    }
+
+    #[test]
+    fn counters_cover_every_field() {
+        let stats = DegradationStats {
+            trial_crashes: 1,
+            trial_stragglers: 2,
+            trial_timeouts: 3,
+            trial_retries: 4,
+            trials_skipped: 5,
+            worker_losses: 6,
+            inference_retries: 7,
+            stale_cache_served: 8,
+            default_recommendations: 9,
+        };
+        let counters = stats.as_counters();
+        assert_eq!(counters.len(), 9);
+        let total: f64 = counters.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 45.0);
+        assert_eq!(counters[0], ("trial_crashes".to_string(), 1.0));
+        assert_eq!(counters[8].0, "default_recommendations");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::{FaultInjector, FaultPlan};
 use edgetune_runtime::SimClock;
+use edgetune_trace::Tracer;
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Hertz, ItemsPerSecond, Joules, JoulesPerItem, Seconds};
 use edgetune_util::{Error, Result};
@@ -32,6 +33,13 @@ use crate::drift::{DriftConfig, DriftDetector};
 use crate::metrics::{response_percentiles, ConfigSwitch, ServingFaultSummary, ServingReport};
 use crate::queue::{AdaptiveBatcher, BatchPolicy, SloPolicy};
 use crate::traffic::TrafficProfile;
+
+/// Category stamped on every serving trace event (matches the core
+/// crate's `CAT_SERVING`; spelled out here because the dependency runs
+/// the other way).
+const TRACE_CATEGORY: &str = "serving";
+/// Process grouping of all serving tracks in exported traces.
+const TRACE_PROCESS: &str = "serving-runtime";
 
 /// A deployable serving configuration — the runtime-facing face of a
 /// tuning recommendation.
@@ -244,8 +252,26 @@ impl ServingRuntime {
         tuner: Option<&dyn OnlineTuner>,
         seed: SeedStream,
     ) -> Result<ServingReport> {
+        self.serve_traced(traffic, horizon, tuner, seed, None)
+    }
+
+    /// Like [`ServingRuntime::serve`], additionally emitting per-worker
+    /// batch spans and shed/outage/re-tune events into `tracer` (pass
+    /// `None` to trace nothing). Tracing never changes the report.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ServingRuntime::serve`].
+    pub fn serve_traced(
+        &self,
+        traffic: &TrafficProfile,
+        horizon: Seconds,
+        tuner: Option<&dyn OnlineTuner>,
+        seed: SeedStream,
+        tracer: Option<&Tracer>,
+    ) -> Result<ServingReport> {
         let arrivals = traffic.generate(horizon, seed);
-        self.serve_trace(&arrivals, traffic.name(), tuner, seed)
+        self.serve_trace_traced(&arrivals, traffic.name(), tuner, seed, tracer)
     }
 
     /// Serves a pre-generated trace of sorted arrival times.
@@ -260,6 +286,22 @@ impl ServingRuntime {
         trace_label: &str,
         tuner: Option<&dyn OnlineTuner>,
         seed: SeedStream,
+    ) -> Result<ServingReport> {
+        self.serve_trace_traced(arrivals, trace_label, tuner, seed, None)
+    }
+
+    /// Like [`ServingRuntime::serve_trace`], with optional tracing.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ServingRuntime::serve_trace`].
+    pub fn serve_trace_traced(
+        &self,
+        arrivals: &[f64],
+        trace_label: &str,
+        tuner: Option<&dyn OnlineTuner>,
+        seed: SeedStream,
+        tracer: Option<&Tracer>,
     ) -> Result<ServingReport> {
         if arrivals.is_empty() {
             return Err(Error::invalid_config("cannot serve an empty trace"));
@@ -321,6 +363,16 @@ impl ServingRuntime {
             // batch waits it out (and may shed its expired head below).
             if let Some(inj) = injector.as_ref() {
                 if let Some(down) = inj.device_outage(batches) {
+                    if let Some(tracer) = tracer {
+                        let track = tracer.track(TRACE_PROCESS, &format!("worker-{wi}"));
+                        tracer.instant_with_args(
+                            track,
+                            "device-outage",
+                            TRACE_CATEGORY,
+                            workers[wi],
+                            vec![("downtime_s".to_string(), down.value().to_string())],
+                        );
+                    }
                     workers[wi] += down;
                     outages += 1;
                     outage_downtime += down.value();
@@ -350,6 +402,10 @@ impl ServingRuntime {
                     if start - anchor > slack {
                         // Cannot meet the SLO even served alone right now.
                         shed += 1;
+                        if let Some(tracer) = tracer {
+                            let track = tracer.track(TRACE_PROCESS, "admission");
+                            tracer.instant(track, "shed", TRACE_CATEGORY, Seconds::new(anchor));
+                        }
                         if let Some(det) = detector.as_mut() {
                             if let Some(est) = det.observe(anchor) {
                                 pending_drift = Some(est);
@@ -379,6 +435,17 @@ impl ServingRuntime {
 
             let (latency, batch_energy) = self.service(&alloc, size, &mut cache);
             let completion = start + latency;
+            if let Some(tracer) = tracer {
+                let track = tracer.track(TRACE_PROCESS, &format!("worker-{wi}"));
+                tracer.span_with_args(
+                    track,
+                    format!("batch-{batches}"),
+                    TRACE_CATEGORY,
+                    Seconds::new(start),
+                    Seconds::new(completion),
+                    vec![("size".to_string(), size.to_string())],
+                );
+            }
             workers[wi] = Seconds::new(completion);
             clock.advance_to(Seconds::new(completion));
             energy += batch_energy;
@@ -411,6 +478,16 @@ impl ServingRuntime {
                         // shedding) on the current configuration, re-arm
                         // on the estimate to avoid a re-tune storm.
                         retune_failures += 1;
+                        if let Some(tracer) = tracer {
+                            let track = tracer.track(TRACE_PROCESS, "retune");
+                            tracer.instant_with_args(
+                                track,
+                                "retune-failure",
+                                TRACE_CATEGORY,
+                                Seconds::new(completion),
+                                vec![("estimated_rate".to_string(), est.to_string())],
+                            );
+                        }
                         det.rearm(est, completion);
                         continue;
                     }
@@ -420,6 +497,22 @@ impl ServingRuntime {
                             if let Ok(new_alloc) =
                                 CpuAllocation::new(&self.device, new_config.cores, new_config.freq)
                             {
+                                if let Some(tracer) = tracer {
+                                    let track = tracer.track(TRACE_PROCESS, "retune");
+                                    tracer.instant_with_args(
+                                        track,
+                                        "config-switch",
+                                        TRACE_CATEGORY,
+                                        Seconds::new(completion),
+                                        vec![
+                                            ("estimated_rate".to_string(), est.to_string()),
+                                            (
+                                                "to_batch".to_string(),
+                                                new_config.batch_cap.to_string(),
+                                            ),
+                                        ],
+                                    );
+                                }
                                 switches.push(ConfigSwitch {
                                     at: Seconds::new(completion),
                                     estimated_rate: est,
@@ -761,6 +854,37 @@ mod tests {
             RuntimeOptions::new(SloPolicy::new(Seconds::new(1.0)))
         )
         .is_err());
+    }
+
+    #[test]
+    fn traced_serving_changes_no_report_and_emits_worker_spans() {
+        let rt = runtime(RuntimeOptions::new(SloPolicy::new(Seconds::new(2.0))).with_workers(2));
+        let traffic = TrafficProfile::Poisson { rate: 8.0 };
+        let plain = rt
+            .serve(&traffic, Seconds::new(60.0), None, SeedStream::new(42))
+            .unwrap();
+        let tracer = Tracer::new();
+        let traced = rt
+            .serve_traced(
+                &traffic,
+                Seconds::new(60.0),
+                None,
+                SeedStream::new(42),
+                Some(&tracer),
+            )
+            .unwrap();
+        assert_eq!(plain, traced, "tracing must be invisible in the report");
+        let events = tracer.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|event| matches!(event.kind, edgetune_trace::EventKind::Span { .. }))
+                .count() as u64,
+            traced.batches,
+            "one span per executed batch"
+        );
+        edgetune_trace::well_nested(&events).expect("per-worker batch spans are disjoint");
+        edgetune_trace::monotone_per_track(&events).expect("each worker's spans are ordered");
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Structured tracing for the EdgeTune workspace.
+//!
+//! EdgeTune's central claim is *pipelined* architecture — training trials
+//! overlap with asynchronous inference sweeps (Algorithm 1, Fig. 6) — and
+//! this crate makes that overlap observable instead of merely asserted.
+//! A [`Tracer`] collects spans, instant events and counter samples, every
+//! one stamped on the workspace's unified [`Clock`](edgetune_runtime::Clock)
+//! domain: a simulated study traces in simulated seconds, a
+//! `WallClock`-driven run traces in host seconds, through the same API.
+//!
+//! Determinism is the design constraint. Trace bytes must be identical
+//! for a fixed seed regardless of how many real measurement threads or
+//! engine shards the run used, so:
+//!
+//! * events carry a global sequence number assigned at emission, and the
+//!   exporter's only reordering is a *stable* sort by timestamp — ties
+//!   keep emission order;
+//! * spans store their **end time**, not a duration, so downstream views
+//!   (the core crate's `Timeline`) reconstruct the exact `Seconds` values
+//!   the simulation produced with no float round-trip;
+//! * threads that cannot share the tracer's lock cheaply record into a
+//!   local [`TraceSheet`] and merge through [`Tracer::absorb`], which
+//!   orders by (timestamp, sheet rank, local index) — the same
+//!   ordered-merge discipline as the tuner's `HistoryMerge`.
+//!
+//! [`ChromeTrace`] exports the collected events as Chrome
+//! `chrome://tracing` / Perfetto trace-event JSON plus a compact
+//! self-describing summary in `otherData`.
+
+pub mod event;
+pub mod export;
+pub mod tracer;
+
+pub use event::{monotone_per_track, well_nested, EventKind, TraceEvent, TrackId};
+pub use export::{ChromeEvent, ChromeTrace};
+pub use tracer::{SpanGuard, TraceSheet, Tracer, Track};

@@ -1,17 +1,21 @@
 //! Property-based tests (proptest) over the core invariants of the
 //! substrate crates, exercised through their public APIs.
 
+use edgetune::prelude::{EdgeTune, EdgeTuneConfig, SchedulerConfig};
 use edgetune_device::latency::{simulate_inference, CpuAllocation};
 use edgetune_device::multi_gpu::{simulate_gpu_epoch, GpuAllocation};
 use edgetune_device::profile::{Phase, WorkProfile};
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::RetryPolicy;
+use edgetune_serving::{RuntimeOptions, ServingConfig, ServingRuntime, SloPolicy, TrafficProfile};
+use edgetune_trace::{monotone_per_track, well_nested, Tracer};
 use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
 use edgetune_tuner::merge::{HistoryMerge, ShardHistory, StampedTrial};
 use edgetune_tuner::space::{Config, Domain, SearchSpace};
 use edgetune_tuner::trial::{TrialOutcome, TrialRecord};
 use edgetune_util::rng::SeedStream;
 use edgetune_util::stats::{percentile, BoxPlot};
+use edgetune_util::units::Seconds;
 use edgetune_workloads::catalog::Workload;
 use edgetune_workloads::curve::TrainingQuality;
 use edgetune_workloads::WorkloadId;
@@ -226,7 +230,6 @@ proptest! {
         cap in 0.01f64..60.0,
         jitter in 0.0f64..=1.0,
     ) {
-        use edgetune_util::units::Seconds;
         let policy = RetryPolicy {
             max_attempts,
             base_delay: Seconds::new(base),
@@ -348,5 +351,61 @@ proptest! {
         let p_lo = percentile(&samples, lo).expect("non-empty");
         let p_hi = percentile(&samples, hi).expect("non-empty");
         prop_assert!(p_lo <= p_hi);
+    }
+}
+
+// --- tracing ---
+//
+// A smaller case count: each case runs a full (if tiny) discrete-event
+// simulation rather than a single function.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn serving_traces_are_well_nested_monotone_and_invisible_in_the_report(
+        seed in 0u64..10_000,
+        rate in 1.0f64..20.0,
+        workers in 1u32..=4,
+        batch in 1u32..=32,
+    ) {
+        let device = DeviceSpec::raspberry_pi_3b();
+        let profile = WorkProfile::new(0.56e9, 3.0e6, 44.8e6);
+        let config =
+            ServingConfig::new(batch, device.cores, device.max_freq).with_tuned_rate(rate);
+        let options = RuntimeOptions::new(SloPolicy::new(Seconds::new(2.0))).with_workers(workers);
+        let runtime = ServingRuntime::new(device, profile, config, options).expect("valid runtime");
+        let traffic = TrafficProfile::Poisson { rate };
+
+        let plain = runtime
+            .serve(&traffic, Seconds::new(30.0), None, SeedStream::new(seed))
+            .expect("serving completes");
+        let tracer = Tracer::new();
+        let traced = runtime
+            .serve_traced(&traffic, Seconds::new(30.0), None, SeedStream::new(seed), Some(&tracer))
+            .expect("serving completes");
+        prop_assert_eq!(plain, traced, "tracing changed the serving report");
+
+        let events = tracer.snapshot();
+        prop_assert!(well_nested(&events).is_ok(), "{:?}", well_nested(&events));
+        prop_assert!(
+            monotone_per_track(&events).is_ok(),
+            "{:?}",
+            monotone_per_track(&events)
+        );
+    }
+
+    #[test]
+    fn study_traces_are_valid_chrome_json_for_any_seed(
+        seed in 0u64..10_000,
+        slots in 1usize..=2,
+    ) {
+        let config = EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(3, 2.0, 3))
+            .without_hyperband()
+            .with_trial_slots(slots)
+            .with_seed(seed);
+        let (_report, trace) = EdgeTune::new(config).run_traced().expect("study completes");
+        prop_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+        prop_assert!(!trace.trace_events.is_empty());
     }
 }
