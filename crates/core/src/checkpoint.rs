@@ -107,18 +107,49 @@ pub struct StudyCheckpoint {
     /// Inference-server request sequence: how many requests have been
     /// submitted (each one's fate is keyed by its sequence number).
     pub inference_cursor: u64,
+    /// The cache's hit/miss counters, carried separately because they
+    /// are `#[serde(skip)]` inside [`HistoricalCache`].
+    #[serde(default)]
+    pub cache_stats: CacheStats,
+    /// Every timeline span recorded so far. Replayed trials skip
+    /// inference sweeps entirely, so the sweep spans of the completed
+    /// prefix can only come from here. Checkpoints written before this
+    /// field existed deserialise with an empty timeline; the
+    /// orchestrator falls back to approximate replay-recorded spans
+    /// for those.
+    #[serde(default)]
+    pub timeline: Timeline,
+    /// Accumulated model-server stall time at checkpoint.
+    #[serde(default)]
+    pub stall: Seconds,
+    /// Accumulated inference-sweep energy at checkpoint.
+    #[serde(default)]
+    pub inference_energy: Joules,
+    /// Degradation-ladder counters at checkpoint (all zero without an
+    /// active fault plan).
+    #[serde(default)]
+    pub degradation: DegradationStats,
+    /// Supervisor backoff-jitter draws consumed so far, so retried
+    /// operations after a resume never reuse a jitter value the
+    /// interrupted run already spent.
+    #[serde(default)]
+    pub backoff_draws: u64,
+    /// Inference requests dropped by injected worker deaths so far.
+    /// Replayed trials never resubmit their requests, so the prefix's
+    /// injected-fault tallies can only come from here.
+    #[serde(default)]
+    pub injected_losses: u64,
+    /// Inference sweeps delayed by injected device outages so far.
+    #[serde(default)]
+    pub injected_outages: u64,
 }
 
 impl StudyCheckpoint {
-    /// Snapshots a study in progress.
+    /// Snapshots a study in progress: the trial log plus the
+    /// study-global accounting ([`StudyGlobals`]) that replay alone
+    /// cannot reconstruct.
     #[must_use]
-    pub fn new(
-        seed: u64,
-        history: &History,
-        cache: HistoricalCache,
-        fault_cursor: u64,
-        inference_cursor: u64,
-    ) -> Self {
+    pub fn new(seed: u64, history: &History, globals: StudyGlobals) -> Self {
         StudyCheckpoint {
             seed,
             trials: history
@@ -126,9 +157,17 @@ impl StudyCheckpoint {
                 .iter()
                 .map(CheckpointTrial::from)
                 .collect(),
-            cache,
-            fault_cursor,
-            inference_cursor,
+            cache: globals.cache,
+            fault_cursor: globals.fault_cursor,
+            inference_cursor: globals.inference_cursor,
+            cache_stats: globals.cache_stats,
+            timeline: globals.timeline,
+            stall: globals.stall,
+            inference_energy: globals.inference_energy,
+            degradation: globals.degradation,
+            backoff_draws: globals.backoff_draws,
+            injected_losses: globals.injected_losses,
+            injected_outages: globals.injected_outages,
         }
     }
 
@@ -321,6 +360,14 @@ pub struct ShardManifest {
     pub fault_cursor: u64,
     /// Inference-server request sequence.
     pub inference_cursor: u64,
+    /// Inference requests dropped by injected worker deaths so far.
+    /// Replayed trials never resubmit their requests, so the prefix's
+    /// injected-fault tallies can only come from here.
+    #[serde(default)]
+    pub injected_losses: u64,
+    /// Inference sweeps delayed by injected device outages so far.
+    #[serde(default)]
+    pub injected_outages: u64,
 }
 
 /// The study-global state a [`ShardManifest`] carries beyond the shard
@@ -350,6 +397,10 @@ pub struct StudyGlobals {
     pub fault_cursor: u64,
     /// Inference-server request sequence.
     pub inference_cursor: u64,
+    /// Inference requests dropped by injected worker deaths.
+    pub injected_losses: u64,
+    /// Inference sweeps delayed by injected device outages.
+    pub injected_outages: u64,
 }
 
 impl ShardManifest {
@@ -395,6 +446,8 @@ impl ShardManifest {
             backoff_draws: globals.backoff_draws,
             fault_cursor: globals.fault_cursor,
             inference_cursor: globals.inference_cursor,
+            injected_losses: globals.injected_losses,
+            injected_outages: globals.injected_outages,
         };
         let json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| Error::storage(format!("serialising shard manifest: {e}")))?;
@@ -437,6 +490,9 @@ impl ShardManifest {
 }
 
 /// What a resume found at the checkpoint path.
+// One resume value exists per study start, so the size skew between
+// `Fresh` and the checkpoint-carrying variants costs nothing in practice.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum StudyResume {
     /// Nothing salvageable: degraded recovery re-runs the study from
@@ -532,13 +588,33 @@ mod tests {
         cache
     }
 
+    fn globals_with(
+        cache: HistoricalCache,
+        fault_cursor: u64,
+        inference_cursor: u64,
+    ) -> StudyGlobals {
+        StudyGlobals {
+            cache,
+            cache_stats: CacheStats::default(),
+            timeline: Timeline::new(),
+            stall: Seconds::ZERO,
+            inference_energy: Joules::ZERO,
+            degradation: DegradationStats::default(),
+            backoff_draws: 0,
+            fault_cursor,
+            inference_cursor,
+            injected_losses: 0,
+            injected_outages: 0,
+        }
+    }
+
     #[test]
     fn history_round_trips_through_json_including_infinite_scores() {
         let mut history = History::new();
         history.push(record(0, 1.25));
         history.push(failed_record(1));
         history.push(record(2, 0.75));
-        let ckpt = StudyCheckpoint::new(42, &history, sample_cache(), 7, 11);
+        let ckpt = StudyCheckpoint::new(42, &history, globals_with(sample_cache(), 7, 11));
         let json = serde_json::to_string(&ckpt).unwrap();
         let back: StudyCheckpoint = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seed, 42);
@@ -550,10 +626,39 @@ mod tests {
     }
 
     #[test]
+    fn legacy_checkpoints_without_study_globals_still_load() {
+        // Checkpoints written before the study-global fields existed
+        // must deserialise with zeroed accounting, not fail.
+        let mut history = History::new();
+        history.push(record(0, 1.0));
+        let ckpt = StudyCheckpoint::new(3, &history, globals_with(HistoricalCache::new(), 2, 4));
+        let mut value = serde_json::to_value(&ckpt).unwrap();
+        let obj = value.as_object_mut().unwrap();
+        for field in [
+            "cache_stats",
+            "timeline",
+            "stall",
+            "inference_energy",
+            "degradation",
+            "backoff_draws",
+            "injected_losses",
+            "injected_outages",
+        ] {
+            obj.remove(field);
+        }
+        let back: StudyCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+        assert_eq!(back.history(), history);
+        assert_eq!(back.backoff_draws, 0);
+        assert_eq!(back.stall, Seconds::ZERO);
+        assert!(back.timeline.spans().is_empty());
+    }
+
+    #[test]
     fn save_load_round_trip_is_atomic() {
         let mut history = History::new();
         history.push(record(0, 2.0));
-        let ckpt = StudyCheckpoint::new(9, &history, HistoricalCache::new(), 1, 1);
+        let ckpt = StudyCheckpoint::new(9, &history, globals_with(HistoricalCache::new(), 1, 1));
         let dir = std::env::temp_dir().join("edgetune-checkpoint-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("study.ckpt.json");
@@ -606,6 +711,8 @@ mod tests {
             backoff_draws: 0,
             fault_cursor: 3,
             inference_cursor: 9,
+            injected_losses: 0,
+            injected_outages: 0,
         };
         ShardManifest::save_sharded(&path, 42, &shards, globals).unwrap();
         path
@@ -642,7 +749,7 @@ mod tests {
         let path = dir.join("study.ckpt.json");
         let mut history = History::new();
         history.push(record(0, 1.5));
-        StudyCheckpoint::new(7, &history, HistoricalCache::new(), 1, 2)
+        StudyCheckpoint::new(7, &history, globals_with(HistoricalCache::new(), 1, 2))
             .save(&path)
             .unwrap();
         match load_resume_state(&path, false).unwrap() {

@@ -93,6 +93,12 @@ pub(crate) struct OnefoldEvaluator<'a> {
     pub(crate) supervisor_seed: SeedStream,
     pub(crate) backoff_draws: u64,
     pub(crate) stats: DegradationStats,
+    /// Injected-fault tallies the resumed prefix already accumulated.
+    /// The live server only counts post-resume injections (replayed
+    /// trials never resubmit requests), so checkpoints written by a
+    /// resumed run add these baselines back in.
+    pub(crate) resumed_injected_losses: u64,
+    pub(crate) resumed_injected_outages: u64,
     /// Checkpointing: where to write, under which root seed, and how many
     /// rungs have completed (the halt criterion).
     pub(crate) checkpoint_path: Option<&'a PathBuf>,
@@ -460,14 +466,23 @@ impl OnefoldEvaluator<'_> {
         self.tracer
             .span(model, format!("trial-{id}"), CAT_MODEL, start, busy_end);
         if !run.cache_hit && run.sweep_runtime.value() > 0.0 {
-            let sweep_start = if self.pipelining { start } else { busy_end };
+            // Summation order matters for the serialised end: the clock
+            // advances by one `train + stall` sum, so a non-pipelined
+            // sweep must end at `start + (train + sweep)` — computing
+            // `(start + train) + sweep` instead can land one ulp past
+            // the next trial's start and fake an overlap.
+            let (sweep_start, sweep_end) = if self.pipelining {
+                (start, start + run.sweep_runtime)
+            } else {
+                (busy_end, start + (run.train_runtime + run.sweep_runtime))
+            };
             let sweep = self.sweep_track(slot);
             self.tracer.span(
                 sweep,
                 run.arch.clone(),
                 CAT_INFERENCE,
                 sweep_start,
-                sweep_start + run.sweep_runtime,
+                sweep_end,
             );
         }
         // Cache telemetry rides on its own track: a hit/miss instant per
@@ -620,24 +635,27 @@ impl Evaluate for OnefoldEvaluator<'_> {
         }
         if let Some(path) = self.checkpoint_path {
             // A failed checkpoint write must never kill the study: the
-            // run is still correct, only resumability is lost.
+            // run is still correct, only resumability is lost. Both
+            // layouts carry the same study-global state; cache counters
+            // and the timeline come from their single sources of truth
+            // — the server's tally and the trace.
+            let globals = StudyGlobals {
+                cache_stats: self.inference.cache_stats(),
+                cache: self.inference.cache_snapshot(),
+                timeline: timeline_from_trace(self.tracer),
+                stall: self.stall,
+                inference_energy: self.inference_energy,
+                degradation: self.stats,
+                backoff_draws: self.backoff_draws,
+                fault_cursor: self.backend.fault_cursor(),
+                inference_cursor: self.inference.submitted(),
+                injected_losses: self.resumed_injected_losses + self.inference.injected_losses(),
+                injected_outages: self.resumed_injected_outages + self.inference.injected_outages(),
+            };
             if self.study_shards > 1 && self.stamps.len() == history.len() {
                 // Sharded layout: one stamped trial file per shard plus
-                // the manifest carrying the study-global state. Cache
-                // counters and the timeline both come from their single
-                // sources of truth — the server's tally and the trace.
+                // the manifest carrying the study-global state.
                 let coordinator = StudyCoordinator::new(self.study_shards);
-                let globals = StudyGlobals {
-                    cache_stats: self.inference.cache_stats(),
-                    cache: self.inference.cache_snapshot(),
-                    timeline: timeline_from_trace(self.tracer),
-                    stall: self.stall,
-                    inference_energy: self.inference_energy,
-                    degradation: self.stats,
-                    backoff_draws: self.backoff_draws,
-                    fault_cursor: self.backend.fault_cursor(),
-                    inference_cursor: self.inference.submitted(),
-                };
                 let _ = ShardManifest::save_sharded(
                     path,
                     self.root_seed,
@@ -645,14 +663,7 @@ impl Evaluate for OnefoldEvaluator<'_> {
                     globals,
                 );
             } else {
-                let checkpoint = StudyCheckpoint::new(
-                    self.root_seed,
-                    history,
-                    self.inference.cache_snapshot(),
-                    self.backend.fault_cursor(),
-                    self.inference.submitted(),
-                );
-                let _ = checkpoint.save(path);
+                let _ = StudyCheckpoint::new(self.root_seed, history, globals).save(path);
             }
         }
     }

@@ -151,17 +151,21 @@ impl<'a> Engine<'a> {
         let mut replay: VecDeque<TrialRecord> = VecDeque::new();
         let mut first_seq: u64 = 0;
         let mut resumed_cache: Option<HistoricalCache> = None;
-        // Study-global accounting restored from a shard manifest: the
+        // Study-global accounting restored from the checkpoint: the
         // exact timeline spans, accumulated stall/energy, degradation
-        // counters, and cache statistics of the completed prefix — the
-        // state replaying the trial log alone cannot reproduce. Plain
-        // checkpoints predate these fields and keep the legacy
-        // approximate-replay behaviour.
+        // counters, backoff draws, and cache statistics of the
+        // completed prefix — the state replaying the trial log alone
+        // cannot reproduce. Both layouts carry these fields now; plain
+        // checkpoints written before they existed deserialise with an
+        // empty timeline and fall back to approximate replay-recorded
+        // spans.
         let mut resumed_timeline = Timeline::new();
         let mut resumed_stall = Seconds::ZERO;
         let mut resumed_inference_energy = Joules::ZERO;
         let mut resumed_degradation = DegradationStats::default();
         let mut resumed_backoff_draws: u64 = 0;
+        let mut resumed_injected_losses: u64 = 0;
+        let mut resumed_injected_outages: u64 = 0;
         let mut replay_records_timeline = true;
         if self.config.resume {
             if let Some(path) = &self.config.checkpoint_path {
@@ -185,7 +189,22 @@ impl<'a> Engine<'a> {
                             backend.set_fault_cursor(checkpoint.fault_cursor);
                             first_seq = checkpoint.inference_cursor;
                             replay = checkpoint.history().records().to_vec().into();
-                            resumed_cache = Some(checkpoint.cache);
+                            let mut cache = checkpoint.cache;
+                            cache.restore_stats(checkpoint.cache_stats);
+                            resumed_cache = Some(cache);
+                            resumed_stall = checkpoint.stall;
+                            resumed_inference_energy = checkpoint.inference_energy;
+                            resumed_degradation = checkpoint.degradation;
+                            resumed_backoff_draws = checkpoint.backoff_draws;
+                            resumed_injected_losses = checkpoint.injected_losses;
+                            resumed_injected_outages = checkpoint.injected_outages;
+                            // A legacy checkpoint (no recorded spans
+                            // despite completed trials) keeps the
+                            // approximate replay-recorded timeline.
+                            if !checkpoint.timeline.spans().is_empty() || replay.is_empty() {
+                                resumed_timeline = checkpoint.timeline;
+                                replay_records_timeline = false;
+                            }
                         }
                         StudyResume::Sharded { manifest, history } => {
                             seed_guard(manifest.seed)?;
@@ -200,6 +219,8 @@ impl<'a> Engine<'a> {
                             resumed_inference_energy = manifest.inference_energy;
                             resumed_degradation = manifest.degradation;
                             resumed_backoff_draws = manifest.backoff_draws;
+                            resumed_injected_losses = manifest.injected_losses;
+                            resumed_injected_outages = manifest.injected_outages;
                             replay_records_timeline = false;
                         }
                     }
@@ -273,6 +294,8 @@ impl<'a> Engine<'a> {
                 supervisor_seed: SeedStream::new(self.config.seed).child("supervisor"),
                 backoff_draws: resumed_backoff_draws,
                 stats: resumed_degradation,
+                resumed_injected_losses,
+                resumed_injected_outages,
                 checkpoint_path: self.config.checkpoint_path.as_ref(),
                 root_seed: self.config.seed,
                 halt_after_rungs: self.config.halt_after_rungs,
@@ -327,9 +350,12 @@ impl<'a> Engine<'a> {
         };
 
         // Harvest the inference server's fault counters before shutdown.
+        // The live counters only cover post-resume requests — replayed
+        // trials never resubmit — so the checkpointed prefix's tallies
+        // are added back in.
         let worker_panics = async_server.worker_panics();
-        let injected_losses = async_server.injected_losses();
-        let injected_outages = async_server.injected_outages();
+        let injected_losses = resumed_injected_losses + async_server.injected_losses();
+        let injected_outages = resumed_injected_outages + async_server.injected_outages();
 
         // The tuning job's output is the final-rung winner: raw ratio
         // scores are only comparable within one budget level.

@@ -308,8 +308,9 @@ mod tests {
         let a = bursty.generate(Seconds::new(horizon), SeedStream::new(4));
         assert!(is_sorted(&a));
         let mut counts = vec![0.0f64; horizon as usize];
+        let last = counts.len() - 1;
         for &t in &a {
-            counts[(t as usize).min(counts.len() - 1)] += 1.0;
+            counts[(t as usize).min(last)] += 1.0;
         }
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
         let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;

@@ -78,7 +78,8 @@ impl TraceEvent {
 /// Nesting is checked per track — overlap *across* tracks is the whole
 /// point of the pipelined architecture and is perfectly legal.
 pub fn well_nested(events: &[TraceEvent]) -> Result<(), String> {
-    let mut by_track: Vec<(TrackId, Vec<(Seconds, Seconds, &str)>)> = Vec::new();
+    type TrackSpans<'a> = Vec<(Seconds, Seconds, &'a str)>;
+    let mut by_track: Vec<(TrackId, TrackSpans)> = Vec::new();
     for event in events {
         if let EventKind::Span { end } = event.kind {
             match by_track.iter_mut().find(|(track, _)| *track == event.track) {

@@ -279,7 +279,7 @@ impl ChromeTrace {
                     }
                 }
                 "C" => {
-                    if event.args.as_ref().map_or(true, BTreeMap::is_empty) {
+                    if event.args.as_ref().is_none_or(BTreeMap::is_empty) {
                         return fail("counter event without values");
                     }
                 }

@@ -557,10 +557,12 @@ mod tests {
         let sha = SuccessiveHalving::new(SchedulerConfig::new(16, 2.0, 4));
         let mut sampler = RandomSampler::new(SeedStream::new(21));
         let policy = BudgetPolicy::epoch_default();
+        // `epoch_default` runs 2 epochs per iteration, so rung 0 sits
+        // at 2 effective epochs and the ladder climbs 2 -> 4 -> 8.
         let mut crashed: Vec<f64> = Vec::new();
         let mut eval = |_id: u64, config: &Config, budget: TrialBudget| {
             let x = config.get("x").unwrap();
-            if budget.effective_epochs() <= 1.0 && x < 0.5 {
+            if budget.effective_epochs() <= 2.0 && x < 0.5 {
                 crashed.push(x);
                 return TrialOutcome::failed(
                     TrialFailure::Crash,
@@ -581,12 +583,12 @@ mod tests {
                 .filter(|r| (r.budget.effective_epochs() - epochs).abs() < 1e-9)
                 .count()
         };
-        assert_eq!(at_level(1.0), 16);
-        assert_eq!(at_level(2.0), 8);
-        assert_eq!(at_level(4.0), 4);
+        assert_eq!(at_level(2.0), 16);
+        assert_eq!(at_level(4.0), 8);
+        assert_eq!(at_level(8.0), 4);
         // No failed configuration ever reached a later rung.
         for r in history.records() {
-            if r.budget.effective_epochs() > 1.0 {
+            if r.budget.effective_epochs() > 2.0 {
                 assert!(
                     !r.outcome.is_failed(),
                     "failed trials only exist on rung 0 in this pattern"

@@ -105,10 +105,17 @@ fn golden_trace_validates_and_round_trips() {
 }
 
 /// Half-open interval overlap on the viewer's microsecond timeline.
+///
+/// Reconstructing a span's end as `ts + dur` after the export converted
+/// both to microseconds reintroduces float rounding: two spans that
+/// touch exactly on the simulated clock can disagree by an ulp here.
+/// Overlaps smaller than a few ulps are serialisation dust, not
+/// simulation facts, so they do not count.
 fn overlaps(a: &ChromeEvent, b: &ChromeEvent) -> bool {
     let (a0, a1) = (a.ts, a.ts + a.dur.unwrap_or(0.0));
     let (b0, b1) = (b.ts, b.ts + b.dur.unwrap_or(0.0));
-    a0 < b1 && b0 < a1
+    let eps = 4.0 * f64::EPSILON * a1.abs().max(b1.abs()).max(1.0);
+    a0 + eps < b1 && b0 + eps < a1
 }
 
 #[test]

@@ -132,8 +132,9 @@ proptest! {
         let seed = SeedStream::new(1);
         let a1 = w.simulated_accuracy(hp, &quality, epochs, frac, seed);
         let a2 = w.simulated_accuracy(hp, &quality, epochs * 2.0, frac, seed);
-        // Noise σ = 1%; allow 4σ slack.
-        prop_assert!(a2 >= a1 - 0.04, "acc fell: {a1} -> {a2}");
+        // Each call draws independent N(0, 1%) noise, so the
+        // difference has σ√2 ≈ 1.41%; allow 4σ of the difference.
+        prop_assert!(a2 >= a1 - 0.06, "acc fell: {a1} -> {a2}");
         prop_assert!((0.0..=1.0).contains(&a1));
     }
 

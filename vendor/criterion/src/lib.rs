@@ -1,0 +1,300 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `BatchSize`, `black_box`, and
+//! `Bencher::iter`/`iter_batched` — with a simple wall-clock measurement
+//! loop instead of criterion's statistical machinery. Each benchmark runs
+//! a short warm-up, then a fixed measurement batch, and prints
+//! `name ... median <time>` so `cargo bench` produces comparable numbers
+//! run-over-run. When the harness binary is invoked by `cargo test`
+//! (`--test` flag), benchmarks are skipped entirely.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported hint preventing the optimiser from deleting benched code.
+pub use std::hint::black_box;
+
+/// Number of timed iterations per sample (fixed; no adaptive targeting).
+const SAMPLES: usize = 15;
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free argument (not a flag) is a name filter, like criterion.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && *a != "--bench")
+            .cloned();
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a benchmark closure against a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.skip(&id.name) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&id.name, &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if self.skip(&id.name) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&id.name, &bencher.samples);
+        self
+    }
+
+    /// Group API compatibility: returns a proxy with the same methods.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Compatibility no-op (sample count is fixed in the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        if self.test_mode {
+            return true;
+        }
+        match &self.filter {
+            Some(f) => !name.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+/// Benchmark group proxy (names are prefixed with the group name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = BenchmarkId::new(format!("{}/{}", self.name, id.name), "");
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Runs a benchmark with an input inside the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = BenchmarkId::new(format!("{}/{}", self.name, id.name), "");
+        self.criterion.bench_with_input(full, input, f);
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark, optionally parameterised.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let name = name.into();
+        let param = parameter.to_string();
+        Self {
+            name: if param.is_empty() {
+                name
+            } else {
+                format!("{name}/{param}")
+            },
+        }
+    }
+
+    /// Creates an id from just a parameter (criterion compatibility).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// How per-iteration setup state is batched (compatibility enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// `iter_batched` variant taking the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..3 {
+            let mut input = setup();
+            black_box(routine(&mut input));
+        }
+        for _ in 0..SAMPLES {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name} ... no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    println!("{name} ... median {median:?} over {} samples", sorted.len());
+}
+
+/// Declares a benchmark group (criterion-compatible signature).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides the `channel` module subset the workspace uses: unbounded
+//! multi-producer **multi-consumer** channels with `send`, `recv`,
+//! `recv_timeout`, `try_recv`, and disconnect-on-drop semantics for both
+//! sides. Implemented over `Mutex<VecDeque>` + `Condvar` — adequate for
+//! the workspace's worker pools, which exchange coarse-grained requests.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

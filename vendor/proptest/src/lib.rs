@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Randomised property testing without shrinking: each `proptest!` test
+//! runs its body over `ProptestConfig::cases` deterministically seeded
+//! random inputs (seed = FNV(test name) ⊕ case index, so failures
+//! reproduce exactly run-over-run). On failure the offending inputs are
+//! printed via the panic message; there is no shrinking phase and
+//! `.proptest-regressions` files are ignored.
+//!
+//! Supported surface (what the EdgeTune workspace uses): `proptest!` with
+//! `#![proptest_config(...)]`, integer/float range strategies,
+//! `Just`, tuple strategies, `.prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop_assert!`, and `prop_assert_eq!`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG: same test name + case index ⇒ same inputs.
+#[must_use]
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Defines property tests over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursive expander for [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strategies;
+                    ($($crate::Strategy::sample($arg, &mut __rng),)+)
+                };
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case when an assumption fails. Without shrinking or
+/// rejection accounting, this simply `continue`s to the next case — usable
+/// only directly inside the `proptest!` case loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn test_rng_is_deterministic_per_case() {
+        use rand::Rng;
+        let a: u64 = crate::test_rng("t", 3).gen();
+        let b: u64 = crate::test_rng("t", 3).gen();
+        let c: u64 = crate::test_rng("t", 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in -5i64..=5, z in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            pair in (1usize..4, 10u64..20).prop_map(|(a, b)| (a, b + 1)),
+        ) {
+            prop_assert!(pair.0 < 4 && (11..21).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            items in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..6),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 6);
+            prop_assert!(items.iter().all(|i| *i == 1 || *i == 2));
+        }
+    }
+}

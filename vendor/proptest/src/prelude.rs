@@ -1,0 +1,8 @@
+//! Common imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Alias letting tests write `prop::collection::vec(...)`.
+pub use crate as prop;

@@ -1,0 +1,345 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to the crates.io
+//! registry, so the workspace vendors a minimal, API-compatible subset of
+//! `rand 0.8` sufficient for every call site in the EdgeTune codebase:
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//! (`seed_from_u64`, `from_seed`), [`rngs::StdRng`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through a
+//! SplitMix64 expansion — deterministic across platforms and runs, which is
+//! the property the workspace actually relies on (all golden/byte-identity
+//! tests compare runs of *this* generator against each other, never against
+//! externally produced artefacts). It is **not** bit-compatible with the
+//! upstream `StdRng` (ChaCha12); swapping the real crate back in changes
+//! sampled streams but no API.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator seedable from a fixed-size state.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (32 bytes for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed, expanding it to full state
+    /// with SplitMix64 (the same construction upstream `rand` documents).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value of type `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleUniformBits,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleRange,
+        R: RangeBounds<T>,
+    {
+        let (lo, hi, inclusive) = range.clamp_bounds();
+        T::sample_between(self, lo, hi, inclusive)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // NB: must go through the trait explicitly — a bare
+        // `f64::from_bits` resolves to std's inherent
+        // bit-reinterpretation, not the unit-interval sampler.
+        <f64 as SampleUniformBits>::from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Conversion from 64 uniform bits to a uniformly distributed value.
+pub trait SampleUniformBits {
+    /// Maps 64 uniform bits onto the value domain.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl SampleUniformBits for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl SampleUniformBits for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl SampleUniformBits for u16 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 48) as u16
+    }
+}
+
+impl SampleUniformBits for u8 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+
+impl SampleUniformBits for usize {
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl SampleUniformBits for i64 {
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl SampleUniformBits for i32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as i32
+    }
+}
+
+impl SampleUniformBits for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl SampleUniformBits for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniformBits for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Bound extraction shared by `Range` and `RangeInclusive`.
+pub trait RangeBounds<T> {
+    /// Returns `(low, high, inclusive)`.
+    fn clamp_bounds(&self) -> (T, T, bool);
+}
+
+impl<T: Copy> RangeBounds<T> for core::ops::Range<T> {
+    fn clamp_bounds(&self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: Copy> RangeBounds<T> for core::ops::RangeInclusive<T> {
+    fn clamp_bounds(&self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Samples uniformly between `lo` and `hi`.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                assert!(span > 0, "gen_range: empty range {lo}..{hi}");
+                let span = span as u128;
+                // Widening-multiply rejection-free mapping (Lemire): fine for
+                // simulation purposes, bias < 2^-64.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo_w + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi || (_inclusive && lo == hi),
+                    "gen_range: empty float range {lo}..{hi}");
+                let unit = <$t as SampleUniformBits>::from_bits(rng.next_u64());
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: u64 = StdRng::seed_from_u64(1).gen();
+        let b: u64 = StdRng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1u32..=4);
+            assert!((1..=4).contains(&y));
+            let z = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_probability_plausible() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut v2: Vec<u32> = (0..20).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([7u8].choose(&mut rng) == Some(&7));
+    }
+}

@@ -1,0 +1,424 @@
+//! The JSON data model shared by the vendored `serde` and `serde_json`.
+
+/// A JSON number: unsigned, signed, or floating point.
+///
+/// The three-way split preserves 64-bit integer precision through
+/// round-trips (like upstream `serde_json`'s `Number`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps an unsigned integer.
+    #[must_use]
+    pub fn from_u64(n: u64) -> Self {
+        Number::U64(n)
+    }
+
+    /// Wraps a signed integer, normalising non-negative values to `U64`.
+    #[must_use]
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::U64(n as u64)
+        } else {
+            Number::I64(n)
+        }
+    }
+
+    /// Wraps a float.
+    #[must_use]
+    pub fn from_f64(n: f64) -> Self {
+        Number::F64(n)
+    }
+
+    /// The value as `u64`, if representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::U64(n) => i64::try_from(*n).ok(),
+            Number::I64(n) => Some(*n),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::U64(n) => Some(*n as f64),
+            Number::I64(n) => Some(*n as f64),
+            Number::F64(n) => Some(*n),
+        }
+    }
+}
+
+/// An order-preserving JSON object.
+///
+/// Derived struct serialization inserts fields in declaration order and this
+/// map keeps them that way, so emitted JSON reads like the Rust definition.
+/// Lookup is linear — objects in this workspace are small.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Whether the key exists.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Reference to the entry for `key`, inserting `Value::Null` if absent.
+    pub fn entry_or_null(&mut self, key: &str) -> &mut Value {
+        if !self.contains_key(key) {
+            self.entries.push((key.to_owned(), Value::Null));
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::vec::IntoIter<(&'a String, &'a Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k, v))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable kind name, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable object, if it is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable array, if it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Non-panicking indexing: `value.get("key")` like upstream.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Panics with a `Null` sentinel semantics like upstream: indexing a
+    /// missing key returns `Value::Null` (a shared static).
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_object().and_then(|m| m.get(key)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifies: indexing `Null` turns it into an object, and missing
+    /// keys are inserted as `Null` (upstream `serde_json` behaviour).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(map) => map.entry_or_null(key),
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|a| a.get(idx))
+            .unwrap_or_else(|| panic!("array index {idx} out of bounds"))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(Number::from_f64(n))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(Number::from_u64(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(Number::from_i64(n))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(Number::from_u64(u64::from(n)))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Number(Number::from_i64(i64::from(n)))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(Number::from_u64(n as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z", Value::Null);
+        m.insert("a", Value::Bool(true));
+        let keys: Vec<&str> = m.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("k", Value::from(1u64));
+        let old = m.insert("k", Value::from(2u64));
+        assert_eq!(old, Some(Value::from(1u64)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn index_mut_autovivifies() {
+        let mut v = Value::Null;
+        v["a"]["b"] = Value::from("x");
+        assert_eq!(v["a"]["b"].as_str(), Some("x"));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn number_normalises_non_negative() {
+        assert_eq!(Number::from_i64(5).as_u64(), Some(5));
+        assert_eq!(Number::from_i64(-5).as_i64(), Some(-5));
+        assert_eq!(Number::from_i64(-5).as_u64(), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s `Value`-tree model, with the attribute subset the
+//! EdgeTune workspace uses: container `rename_all = "snake_case"` and
+//! `transparent`; field/variant `rename`, `default`, `skip`,
+//! `skip_serializing_if = "path"`, and `flatten`.
+//!
+//! Written against raw `proc_macro` token trees (no `syn`/`quote` — the
+//! build environment cannot fetch them). The parser walks the token stream
+//! once into a small ad-hoc AST; code generation is string-based and parsed
+//! back into a `TokenStream` at the end.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Fields, Input, Shape};
+
+/// Derives `serde::Serialize` (vendored `Value`-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ast = parse::parse(input);
+    gen_serialize(&ast)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored `Value`-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ast = parse::parse(input);
+    gen_deserialize(&ast)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn impl_header(ast: &Input, trait_path: &str) -> (String, String) {
+    if ast.type_params.is_empty() {
+        (String::new(), ast.name.clone())
+    } else {
+        let bounded: Vec<String> = ast
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Serialize + ::serde::Deserialize"))
+            .collect();
+        let _ = trait_path;
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", ast.name, ast.type_params.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(ast: &Input) -> String {
+    let (generics, ty) = impl_header(ast, "Serialize");
+    let body = match &ast.shape {
+        Shape::Struct(fields) => ser_fields_expr(fields, "self.", ast),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = v.wire_name(ast);
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{}::{} => ::serde::Value::String({tag:?}.to_string()),\n",
+                            ast.name, v.name
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{}::{}(__f0) => {{\n\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert({tag:?}, ::serde::Serialize::to_json_value(__f0));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            ast.name, v.name
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pushes: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("__a.push(::serde::Serialize::to_json_value({b}));"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{}::{}({}) => {{\n\
+                             let mut __a = ::std::vec::Vec::new();\n{}\n\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert({tag:?}, ::serde::Value::Array(__a));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            ast.name,
+                            v.name,
+                            binds.join(", "),
+                            pushes.join("\n")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_fields_expr(fields, "", ast);
+                        arms.push_str(&format!(
+                            "{}::{} {{ {} }} => {{\n\
+                             let __inner = {inner};\n\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert({tag:?}, __inner);\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            ast.name,
+                            v.name,
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+        Shape::TupleStruct(1) | Shape::Unit if ast.transparent => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let pushes: Vec<String> = (0..*n)
+                .map(|i| format!("__a.push(::serde::Serialize::to_json_value(&self.{i}));"))
+                .collect();
+            format!(
+                "{{ let mut __a = ::std::vec::Vec::new();\n{}\n::serde::Value::Array(__a) }}",
+                pushes.join("\n")
+            )
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Expression serializing a field list into a `Value`. `prefix` is either
+/// `self.` (structs) or `` (enum struct variants, bound by pattern).
+fn ser_fields_expr(fields: &[parse::Field], prefix: &str, ast: &Input) -> String {
+    if ast.transparent {
+        if let Some(f) = fields.first() {
+            return format!("::serde::Serialize::to_json_value(&{prefix}{})", f.name);
+        }
+    }
+    let mut out = String::from("{\nlet mut __map = ::serde::value::Map::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = if prefix.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{prefix}{}", f.name)
+        };
+        let wire = f.wire_name(ast);
+        let insert = if f.flatten {
+            format!(
+                "match ::serde::Serialize::to_json_value(&{access}) {{\n\
+                 ::serde::Value::Object(__inner) => {{\n\
+                 for (__k, __v) in __inner.iter() {{ __map.insert(__k.clone(), __v.clone()); }}\n\
+                 }}\n\
+                 ::serde::Value::Null => {{}}\n\
+                 __other => {{ __map.insert({wire:?}, __other); }}\n\
+                 }}"
+            )
+        } else {
+            format!("__map.insert({wire:?}, ::serde::Serialize::to_json_value(&{access}));")
+        };
+        if let Some(pred) = &f.skip_serializing_if {
+            out.push_str(&format!("if !{pred}(&{access}) {{\n{insert}\n}}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out.push_str("::serde::Value::Object(__map)\n}");
+    out
+}
+
+fn gen_deserialize(ast: &Input) -> String {
+    let (generics, ty) = impl_header(ast, "Deserialize");
+    let body = match &ast.shape {
+        Shape::Struct(fields) => {
+            let ctor = de_fields_ctor(fields, ast);
+            if ast.transparent {
+                ctor
+            } else {
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", __v))?;\n{ctor}"
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut names: Vec<String> = Vec::new();
+            for v in variants {
+                let tag = v.wire_name(ast);
+                names.push(tag.clone());
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({}::{}),\n",
+                            ast.name, v.name
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({}::{}(\
+                             ::serde::Deserialize::from_json_value(__payload)\
+                             .map_err(|e| e.in_field({tag:?}))?)),\n",
+                            ast.name, v.name
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(&__items[{i}])\
+                                     .map_err(|e| e.in_field({tag:?}))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", __payload))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"expected {n} elements for variant {tag}\")));\n}}\n\
+                             ::std::result::Result::Ok({}::{}({}))\n}}\n",
+                            ast.name,
+                            v.name,
+                            gets.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor =
+                            de_variant_ctor(&format!("{}::{}", ast.name, v.name), fields, ast);
+                        data_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", __payload))?;\n\
+                             {ctor}\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let expected = names.join(", ");
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}`, expected one of: {expected}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = __m.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}`, expected one of: {expected}\"))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"string or single-key object\", __other)),\n}}"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_json_value(__v)?))",
+            ast.name
+        ),
+        Shape::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", __v))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"expected {n} elements\")));\n}}\n\
+                 ::std::result::Result::Ok({}({}))",
+                ast.name,
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({})", ast.name),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn de_fields_ctor(fields: &[parse::Field], ast: &Input) -> String {
+    if ast.transparent {
+        if let Some(f) = fields.first() {
+            return format!(
+                "::std::result::Result::Ok({} {{ {}: ::serde::Deserialize::from_json_value(__v)? }})",
+                ast.name, f.name
+            );
+        }
+    }
+    // Container-level `#[serde(default)]`: missing fields come from the
+    // struct's own `Default` value (partial moves out of `__dflt`), the
+    // same semantics upstream serde documents.
+    if ast.default {
+        let args = if ast.type_params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", ast.type_params.join(", "))
+        };
+        return format!(
+            "let __dflt: {}{args} = ::std::default::Default::default();\n{}",
+            ast.name,
+            de_variant_ctor_with(&ast.name, fields, ast, true)
+        );
+    }
+    de_variant_ctor(&ast.name, fields, ast)
+}
+
+/// Build-the-struct expression from `__obj` (and `__v` for flatten).
+fn de_variant_ctor(path: &str, fields: &[parse::Field], ast: &Input) -> String {
+    de_variant_ctor_with(path, fields, ast, false)
+}
+
+fn de_variant_ctor_with(
+    path: &str,
+    fields: &[parse::Field],
+    ast: &Input,
+    container_default: bool,
+) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let wire = f.wire_name(ast);
+        let init = if f.skip {
+            "::std::default::Default::default()".to_string()
+        } else if f.flatten {
+            format!("::serde::Deserialize::from_json_value(__v).map_err(|e| e.in_field({wire:?}))?")
+        } else if container_default {
+            format!(
+                "match __obj.get({wire:?}) {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x).map_err(|e| e.in_field({wire:?}))?,\n\
+                 ::std::option::Option::None => __dflt.{},\n}}",
+                f.name
+            )
+        } else if f.default {
+            format!(
+                "match __obj.get({wire:?}) {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x).map_err(|e| e.in_field({wire:?}))?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}}"
+            )
+        } else {
+            format!(
+                "match __obj.get({wire:?}) {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x).map_err(|e| e.in_field({wire:?}))?,\n\
+                 ::std::option::Option::None => \
+                 ::serde::Deserialize::from_json_value(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::DeError::missing_field({wire:?}))?,\n}}"
+            )
+        };
+        inits.push_str(&format!("{}: {init},\n", f.name));
+    }
+    format!("::std::result::Result::Ok({path} {{\n{inits}}})")
+}
+
+/// Re-exported for tests in the parse module.
+#[allow(dead_code)]
+fn _touch(_: Delimiter, _: TokenTree) {}

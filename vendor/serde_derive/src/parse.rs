@@ -1,0 +1,443 @@
+//! Token-tree parser for `#[derive(Serialize, Deserialize)]` inputs.
+//!
+//! Handles `struct` (named, tuple, unit) and `enum` (unit, tuple, struct
+//! variants) definitions with the serde attribute subset used in this
+//! workspace. Anything outside that subset panics with a pointed message
+//! rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field (named fields only; tuple fields carry no metadata).
+pub struct Field {
+    pub name: String,
+    pub rename: Option<String>,
+    pub default: bool,
+    pub skip: bool,
+    pub flatten: bool,
+    pub skip_serializing_if: Option<String>,
+}
+
+impl Field {
+    /// The JSON object key for this field.
+    pub fn wire_name(&self, input: &Input) -> String {
+        match &self.rename {
+            Some(r) => r.clone(),
+            None => apply_rename_all(&self.name, input.rename_all.as_deref()),
+        }
+    }
+}
+
+/// Payload shape of an enum variant.
+pub enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// One parsed enum variant.
+pub struct Variant {
+    pub name: String,
+    pub rename: Option<String>,
+    pub fields: Fields,
+}
+
+impl Variant {
+    /// The JSON tag for this variant.
+    pub fn wire_name(&self, input: &Input) -> String {
+        match &self.rename {
+            Some(r) => r.clone(),
+            None => apply_rename_all(&self.name, input.rename_all.as_deref()),
+        }
+    }
+}
+
+/// Container shape.
+pub enum Shape {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+/// Parsed derive input.
+pub struct Input {
+    pub name: String,
+    pub type_params: Vec<String>,
+    pub rename_all: Option<String>,
+    pub transparent: bool,
+    /// Container-level `#[serde(default)]`: missing fields come from
+    /// the struct's own `Default` value.
+    pub default: bool,
+    pub shape: Shape,
+}
+
+/// Serde attributes collected from one `#[serde(...)]` list.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    transparent: bool,
+    default: bool,
+    skip: bool,
+    flatten: bool,
+    skip_serializing_if: Option<String>,
+}
+
+pub fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container_attrs = take_attrs(&tokens, &mut pos);
+
+    // Skip visibility.
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    pos += 1;
+
+    let type_params = take_generics(&tokens, &mut pos);
+
+    // Skip a `where` clause if present (up to the body group).
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => pos += 1,
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        }
+    } else if kind == "enum" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("derive(Serialize/Deserialize) supports only structs and enums, found `{kind}`");
+    };
+
+    Input {
+        name,
+        type_params,
+        rename_all: container_attrs.rename_all,
+        transparent: container_attrs.transparent,
+        default: container_attrs.default,
+        shape,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning merged serde attrs.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut merged = SerdeAttrs::default();
+    while *pos + 1 < tokens.len() {
+        let is_attr = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_attr {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_attr_group(g.stream(), &mut merged);
+        *pos += 2;
+    }
+    merged
+}
+
+/// Parses one `[...]` attribute body; merges `serde(...)` contents.
+fn parse_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let Some(TokenTree::Ident(head)) = tokens.first() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return; // doc comments, cfg, derive, etc.
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let TokenTree::Ident(key) = &items[i] else {
+            panic!("unsupported serde attribute syntax at `{}`", items[i]);
+        };
+        let key = key.to_string();
+        let value = match items.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let v = match items.get(i + 2) {
+                    Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+                    other => panic!("expected string literal after `{key} =`, found {other:?}"),
+                };
+                i += 3;
+                Some(v)
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        // Skip separating comma.
+        if matches!(items.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => out.rename = Some(v),
+            ("rename_all", Some(v)) => out.rename_all = Some(v),
+            ("transparent", None) => out.transparent = true,
+            ("default", None) => out.default = true,
+            ("default", Some(_)) => out.default = true,
+            ("skip", None) => out.skip = true,
+            ("skip_serializing", None) => out.skip = true,
+            ("skip_deserializing", None) => out.skip = true,
+            ("flatten", None) => out.flatten = true,
+            ("skip_serializing_if", Some(v)) => out.skip_serializing_if = Some(v),
+            ("deny_unknown_fields", None) => {} // advisory only in this stub
+            (k, v) => panic!("unsupported serde attribute `{k}` (value {v:?})"),
+        }
+    }
+}
+
+/// Strips the quotes from a string literal's token text.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("expected string literal, found `{s}`"));
+    inner.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1; // pub(crate) etc.
+            }
+        }
+    }
+}
+
+/// Consumes `<...>` generics, returning the type parameter idents.
+fn take_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let starts = matches!(&tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !starts {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while *pos < tokens.len() && depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime: consume the following ident, not a type param.
+                *pos += 1;
+                expecting_param = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("const generics are not supported by the vendored serde_derive");
+                }
+                params.push(s);
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Parses `{ field: Ty, ... }` bodies.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found `{other}`"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found `{other}`"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            rename: attrs.rename,
+            default: attrs.default,
+            skip: attrs.skip,
+            flatten: attrs.flatten,
+            skip_serializing_if: attrs.skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Skips a type expression up to (and over) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts fields of a tuple struct / tuple variant payload.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variant lists.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip explicit discriminant (`= expr`) and the trailing comma.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant {
+            name,
+            rename: attrs.rename,
+            fields,
+        });
+    }
+    variants
+}
+
+/// Applies a container-level `rename_all` rule to an identifier.
+fn apply_rename_all(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("snake_case") => {
+            let mut out = String::with_capacity(name.len() + 4);
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("camelCase") => {
+            let snake = apply_rename_all(name, Some("snake_case"));
+            let mut out = String::new();
+            let mut upper_next = false;
+            for c in snake.chars() {
+                if c == '_' {
+                    upper_next = true;
+                } else if upper_next {
+                    out.push(c.to_ascii_uppercase());
+                    upper_next = false;
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+    }
+}

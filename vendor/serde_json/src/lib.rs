@@ -1,0 +1,183 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! JSON text encoding/decoding over the vendored `serde`'s [`Value`] tree.
+//! Covers the API surface the EdgeTune workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`from_value`], [`to_value`],
+//! [`Value`], and the [`json!`] macro.
+//!
+//! Formatting matches upstream `serde_json` conventions: compact output
+//! with `","`/`":"` separators, pretty output with two-space indentation,
+//! floats printed in shortest round-trip form with a forced `.0` for
+//! integral values, and non-finite floats serialized as `null`.
+
+#![forbid(unsafe_code)]
+
+mod de;
+mod ser;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error raised by JSON encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(ser::write_compact(&value.to_json_value()))
+}
+
+/// Serializes a value to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(ser::write_pretty(&value.to_json_value()))
+}
+
+/// Serializes a value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type (including
+/// [`Value`] itself).
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = de::parse(text)?;
+    T::from_json_value(&value).map_err(Error::from)
+}
+
+/// Lifts a [`Value`] tree into a typed structure.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports literals, arrays, objects with string keys, and interpolation
+/// of any `serde::Serialize` expression in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key, $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        serde::Serialize::to_json_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let text = r#"{"a":1,"b":[true,null,-2.5],"c":"x\"y"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_format_shape() {
+        let v: Value = from_str(r#"{"a":[1,2]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn integral_floats_keep_point_zero() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&-3.0f64).unwrap(), "-3.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn float_text_roundtrips() {
+        for x in [0.1, 1.0 / 3.0, 1e300, -2.5e-10, f64::MAX, f64::MIN_POSITIVE] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""é\n\tA""#).unwrap();
+        assert_eq!(v.as_str(), Some("é\n\tA"));
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        let v: Value = from_str(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn control_chars_escape_on_write() {
+        let s = "line1\nline2\u{1}";
+        let text = to_string(&String::from(s)).unwrap();
+        assert_eq!(text, r#""line1\nline2\u0001""#);
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"batch": "oops", "n": 3, "list": [1, 2]});
+        assert_eq!(v["batch"].as_str(), Some("oops"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["list"][1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn large_u64_roundtrips_exactly() {
+        let n = u64::MAX;
+        let text = to_string(&n).unwrap();
+        assert_eq!(text, "18446744073709551615");
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, n);
+    }
+}
