@@ -1,0 +1,182 @@
+//! `perf_baseline` — the repo's wall-clock trajectory anchor.
+//!
+//! Measures the three service-path hot spots and writes them as a
+//! `BENCH_*.json` snapshot:
+//!
+//! - `scheduler_step_ns`: one `FairScheduler::grant` over a populated
+//!   multi-tenant queue (the service's inner-loop decision).
+//! - `cache_lookup_ns`: one `HistoricalCache::lookup` hit in a
+//!   1000-entry cache (every trial's fast path).
+//! - `cold_study_ms` / `warm_study_ms`: wall time of a full study,
+//!   cold vs seeded with a finished twin's top-3 configurations via
+//!   the transfer machinery — the end-to-end warm-start payoff.
+//!
+//! Usage: `perf_baseline [--out FILE]` (default `BENCH_service.json`).
+//! Numbers are host-dependent; the committed baseline anchors the
+//! trend, it is not a cross-machine contract.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use edgetune::cache::{CacheKey, HistoricalCache};
+use edgetune::inference::InferenceRecommendation;
+use edgetune::prelude::*;
+use edgetune_service::FairScheduler;
+use edgetune_util::units::{Hertz, ItemsPerSecond, JoulesPerItem, Seconds};
+
+/// Median of `n` timed runs of `f`, in nanoseconds.
+fn median_ns(n: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_scheduler_step() -> u128 {
+    let mut scheduler = FairScheduler::new();
+    for (tenant, weight) in [("alpha", 3u32), ("beta", 1), ("gamma", 2), ("delta", 1)] {
+        scheduler.add_tenant(tenant, weight);
+    }
+    for study in 0..16 {
+        let tenant = ["alpha", "beta", "gamma", "delta"][study % 4];
+        scheduler.enqueue(tenant, study, 4 + study as u64);
+    }
+    // `grant` only picks (removal happens at completion), so repeated
+    // grants over a static queue measure the steady-state step.
+    median_ns(10_000, || {
+        black_box(scheduler.grant());
+    })
+}
+
+fn bench_cache_lookup() -> u128 {
+    let mut cache = HistoricalCache::new();
+    for i in 0..1000u32 {
+        let key = CacheKey::new(
+            "Raspberry Pi 3B+",
+            format!("ResNet/layers={i}"),
+            Metric::Runtime,
+        );
+        cache.store(
+            &key,
+            InferenceRecommendation {
+                device: "Raspberry Pi 3B+".to_string(),
+                batch: 8,
+                cores: 2,
+                freq: Hertz::from_ghz(1.4),
+                latency_per_item: Seconds::new(0.05),
+                energy_per_item: JoulesPerItem::new(0.3),
+                throughput: ItemsPerSecond::new(20.0),
+            },
+        );
+    }
+    let key = CacheKey::new("Raspberry Pi 3B+", "ResNet/layers=500", Metric::Runtime);
+    median_ns(10_000, || {
+        black_box(cache.lookup(&key));
+    })
+}
+
+fn study_config(seed: u64) -> EdgeTuneConfig {
+    EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_metric(Metric::Runtime)
+        .with_scheduler(SchedulerConfig::new(8, 2.0, 8))
+        .with_seed(seed)
+}
+
+fn bench_warm_vs_cold() -> Result<(f64, f64, u64, u64), String> {
+    // The donor run doubles as the cold measurement.
+    let start = Instant::now();
+    let cold = EdgeTune::new(study_config(42))
+        .run()
+        .map_err(|e| e.to_string())?;
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Seed the twin with the donor's three best distinct configurations
+    // and give back the saved cohort slots, as the service does.
+    let mut records: Vec<_> = cold.history().records().iter().collect();
+    records.sort_by(|a, b| {
+        a.outcome
+            .score
+            .total_cmp(&b.outcome.score)
+            .then(a.id.cmp(&b.id))
+    });
+    let mut seen = std::collections::HashSet::new();
+    let seeds: Vec<_> = records
+        .iter()
+        .filter(|r| seen.insert(r.config.key()))
+        .take(3)
+        .map(|r| r.config.clone())
+        .collect();
+    let warm_initial = 8 - seeds.len().min(4);
+    let start = Instant::now();
+    let warm = EdgeTune::new(
+        study_config(43)
+            .with_scheduler(SchedulerConfig::new(warm_initial, 2.0, 8))
+            .with_warm_start(seeds),
+    )
+    .run()
+    .map_err(|e| e.to_string())?;
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((
+        cold_ms,
+        warm_ms,
+        cold.history().len() as u64,
+        warm.history().len() as u64,
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_service.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: perf_baseline [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring scheduler step...");
+    let scheduler_step_ns = bench_scheduler_step();
+    eprintln!("measuring cache lookup...");
+    let cache_lookup_ns = bench_cache_lookup();
+    eprintln!("measuring warm-start vs cold study...");
+    let (cold_ms, warm_ms, cold_trials, warm_trials) = match bench_warm_vs_cold() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"service-baseline\",\n  \"scheduler_step_ns\": {scheduler_step_ns},\n  \
+         \"cache_lookup_ns\": {cache_lookup_ns},\n  \"cold_study_ms\": {cold_ms:.3},\n  \
+         \"warm_study_ms\": {warm_ms:.3},\n  \"cold_trials\": {cold_trials},\n  \
+         \"warm_trials\": {warm_trials}\n}}\n"
+    );
+    eprint!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("baseline written to {out}");
+    ExitCode::SUCCESS
+}

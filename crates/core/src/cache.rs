@@ -369,6 +369,66 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_studies_share_one_cache_file_without_losing_entries() {
+        // Two studies park and resume against the same cache file, the
+        // way the study service interleaves tenants: A stores and saves
+        // mid-study, B picks the file up, adds its own results and
+        // saves, then A resumes from the file again. Nobody's entries
+        // are lost and late writers see earlier writers' work.
+        let dir = std::env::temp_dir().join("edgetune-cache-interleaved-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        let mut study_a = HistoricalCache::new();
+        study_a.store(&key("ResNet/layers=18"), rec(8));
+        study_a.save(&path).unwrap();
+
+        let mut study_b = HistoricalCache::load(&path).unwrap();
+        assert_eq!(
+            study_b.lookup(&key("ResNet/layers=18")).unwrap().batch,
+            8,
+            "B warm-hits A's mid-study save"
+        );
+        study_b.store(&key("M5/width=64"), rec(4));
+        study_b.save(&path).unwrap();
+
+        let mut resumed_a = HistoricalCache::load(&path).unwrap();
+        assert_eq!(resumed_a.len(), 2);
+        assert_eq!(resumed_a.lookup(&key("ResNet/layers=18")).unwrap().batch, 8);
+        assert_eq!(resumed_a.lookup(&key("M5/width=64")).unwrap().batch, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_study_round_trip_preserves_the_stats_tally_via_restore() {
+        // Hit/miss counters are #[serde(skip)] by design; a parked
+        // study carries them out-of-band (the shard manifest does) and
+        // reinstates them on resume so the final report's tally equals
+        // the uninterrupted run's.
+        let dir = std::env::temp_dir().join("edgetune-cache-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        let mut cache = HistoricalCache::new();
+        let _ = cache.lookup(&key("a")); // miss
+        cache.store(&key("a"), rec(8));
+        let _ = cache.lookup(&key("a")); // hit
+        let parked_stats = cache.stats();
+        cache.save(&path).unwrap();
+
+        let mut resumed = HistoricalCache::load(&path).unwrap();
+        assert_eq!(
+            resumed.stats(),
+            CacheStats::default(),
+            "a freshly-loaded cache counts from zero"
+        );
+        resumed.restore_stats(parked_stats);
+        let _ = resumed.lookup(&key("a")); // hit
+        assert_eq!(resumed.stats(), CacheStats { hits: 2, misses: 1 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_cache_ratio_is_zero() {
         let cache = HistoricalCache::new();
         assert_eq!(cache.stats().hit_ratio(), 0.0);

@@ -14,8 +14,9 @@ use std::time::Duration;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::{DegradationLadder, FaultPlan, Supervisor};
 use edgetune_tuner::budget::BudgetPolicy;
-use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler, WarmStartSampler};
 use edgetune_tuner::scheduler::SchedulerConfig;
+use edgetune_tuner::space::Config;
 use edgetune_tuner::Metric;
 use edgetune_util::rng::SeedStream;
 use edgetune_workloads::catalog::WorkloadId;
@@ -120,6 +121,11 @@ pub struct EdgeTuneConfig {
     /// fixed seed whatever the `trial_workers` / `study_shards` counts,
     /// and recording it never changes a report byte.
     pub trace_path: Option<PathBuf>,
+    /// Configurations replayed by the sampler before its own strategy
+    /// engages — the cross-study transfer half of a warm start. Empty
+    /// (the default) leaves the sampler stream byte-identical to a
+    /// build without this knob.
+    pub warm_start: Vec<Config>,
 }
 
 impl EdgeTuneConfig {
@@ -154,6 +160,7 @@ impl EdgeTuneConfig {
             resume: false,
             halt_after_rungs: None,
             trace_path: None,
+            warm_start: Vec::new(),
         }
     }
 
@@ -356,12 +363,25 @@ impl EdgeTuneConfig {
         self
     }
 
+    /// Seeds the sampler with transferred configurations, replayed
+    /// before its own strategy engages (cross-study warm start).
+    #[must_use]
+    pub fn with_warm_start(mut self, configs: Vec<Config>) -> Self {
+        self.warm_start = configs;
+        self
+    }
+
     pub(crate) fn build_sampler(&self) -> Box<dyn Sampler> {
         let seed = SeedStream::new(self.seed).child("sampler");
-        match self.sampler {
+        let inner: Box<dyn Sampler> = match self.sampler {
             SamplerKind::Grid(resolution) => Box::new(GridSampler::new(resolution)),
             SamplerKind::Random => Box::new(RandomSampler::new(seed)),
             SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
+        };
+        if self.warm_start.is_empty() {
+            inner
+        } else {
+            Box::new(WarmStartSampler::new(self.warm_start.clone(), inner))
         }
     }
 }

@@ -272,7 +272,7 @@ impl<'a> Engine<'a> {
         let mut sampler = self.config.build_sampler();
         let device_name = self.config.edge_device.name.clone();
 
-        let (history, stamps, makespan, stall, inference_energy, degradation) = {
+        let (history, stamps, makespan, stall, inference_energy, degradation, rungs_completed) = {
             let mut evaluator = OnefoldEvaluator {
                 backend,
                 inference: &async_server,
@@ -331,6 +331,7 @@ impl<'a> Engine<'a> {
                 evaluator.stall,
                 evaluator.inference_energy,
                 evaluator.stats,
+                evaluator.rungs_completed,
             )
         };
         // The report's timeline is a view over the trace — derived, not
@@ -415,6 +416,10 @@ impl<'a> Engine<'a> {
             stall_time: stall,
             inference_energy,
             faults,
+            halted: self
+                .config
+                .halt_after_rungs
+                .is_some_and(|rungs| rungs_completed >= rungs),
         })
     }
 }

@@ -53,6 +53,13 @@ pub struct TuningReport {
     pub(crate) inference_energy: Joules,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub(crate) faults: Option<FaultReport>,
+    /// Whether the run stopped at a `halt_after_rungs` boundary rather
+    /// than finishing the study. Never serialised — the JSON form stays
+    /// a byte-stability contract over *completed* studies — but a
+    /// service driving studies in rung-quantum slices needs to know
+    /// whether this slice hit its halt or ran to natural completion.
+    #[serde(skip)]
+    pub(crate) halted: bool,
 }
 
 impl TuningReport {
@@ -140,6 +147,14 @@ impl TuningReport {
     #[must_use]
     pub fn faults(&self) -> Option<&FaultReport> {
         self.faults.as_ref()
+    }
+
+    /// `true` when the run stopped because it reached its configured
+    /// `halt_after_rungs` boundary instead of completing the study.
+    /// Always `false` on reports parsed back from JSON.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
     }
 
     /// A compact human-readable summary of the run — what the CLI and

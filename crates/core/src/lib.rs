@@ -60,6 +60,7 @@ pub mod serve;
 pub mod server;
 pub mod timeline;
 pub mod trace;
+pub mod transfer;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
@@ -74,3 +75,4 @@ pub use engine::Engine;
 pub use inference::{InferenceRecommendation, InferenceSpace, InferenceTuningServer};
 pub use serve::ScenarioRetuner;
 pub use server::{EdgeTune, EdgeTuneConfig, TuningReport};
+pub use transfer::{TransferIndex, TransferKey};

@@ -26,6 +26,69 @@ pub trait Sampler: std::fmt::Debug + Send {
 }
 
 // ---------------------------------------------------------------------------
+// Warm start
+// ---------------------------------------------------------------------------
+
+/// Wraps any sampler and replays a fixed list of *seed* configurations
+/// before delegating — the transfer-learning half of a warm start: a
+/// service that has already tuned a similar architecture hands the new
+/// study the configurations that won there, so the first cohort starts
+/// from proven ground instead of cold random draws.
+///
+/// Seeds outside the search space are clamped dimension-by-dimension;
+/// seeds missing a dimension fall back to the inner sampler for that
+/// suggestion entirely (a transferred config from a different space
+/// shape must not produce a half-random hybrid).
+#[derive(Debug)]
+pub struct WarmStartSampler {
+    seeds: std::collections::VecDeque<Config>,
+    inner: Box<dyn Sampler>,
+}
+
+impl WarmStartSampler {
+    /// Wraps `inner`, replaying `seeds` in order first.
+    #[must_use]
+    pub fn new(seeds: Vec<Config>, inner: Box<dyn Sampler>) -> Self {
+        WarmStartSampler {
+            seeds: seeds.into(),
+            inner,
+        }
+    }
+
+    /// Seed configurations not yet replayed.
+    #[must_use]
+    pub fn seeds_remaining(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+impl Sampler for WarmStartSampler {
+    fn suggest(&mut self, space: &SearchSpace, observations: &[(&Config, f64)]) -> Config {
+        while let Some(seed) = self.seeds.pop_front() {
+            let mut clamped = Config::new();
+            let mut complete = true;
+            for (name, domain) in space.iter() {
+                match seed.get(name) {
+                    Some(value) => clamped.set(name, domain.clamp(value)),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                return clamped;
+            }
+        }
+        self.inner.suggest(space, observations)
+    }
+
+    fn name(&self) -> &'static str {
+        "warm-start"
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Grid
 // ---------------------------------------------------------------------------
 
@@ -416,5 +479,57 @@ mod tests {
         assert_eq!(GridSampler::new(3).name(), "grid");
         assert_eq!(RandomSampler::new(SeedStream::new(1)).name(), "random");
         assert_eq!(TpeSampler::new(SeedStream::new(1)).name(), "tpe");
+        assert_eq!(
+            WarmStartSampler::new(vec![], Box::new(GridSampler::new(3))).name(),
+            "warm-start"
+        );
+    }
+
+    #[test]
+    fn warm_start_replays_seeds_then_delegates() {
+        let space = space_2d();
+        let seeds = vec![
+            Config::new().with("x", 0.1).with("y", 0.2),
+            Config::new().with("x", 0.3).with("y", 0.4),
+        ];
+        let mut warm = WarmStartSampler::new(
+            seeds.clone(),
+            Box::new(RandomSampler::new(SeedStream::new(4))),
+        );
+        let mut cold = RandomSampler::new(SeedStream::new(4));
+        assert_eq!(warm.seeds_remaining(), 2);
+        assert_eq!(warm.suggest(&space, &[]), seeds[0]);
+        assert_eq!(warm.suggest(&space, &[]), seeds[1]);
+        assert_eq!(warm.seeds_remaining(), 0);
+        // After the seeds are spent, the inner stream is untouched by the
+        // warm prefix: it yields exactly what a cold sampler would.
+        assert_eq!(warm.suggest(&space, &[]), cold.suggest(&space, &[]));
+    }
+
+    #[test]
+    fn warm_start_clamps_out_of_domain_seeds() {
+        let space = space_2d();
+        let seeds = vec![Config::new().with("x", 7.0).with("y", -3.0)];
+        let mut warm =
+            WarmStartSampler::new(seeds, Box::new(RandomSampler::new(SeedStream::new(4))));
+        let c = warm.suggest(&space, &[]);
+        assert!(space.validate(&c).is_ok(), "clamped into domain: {c}");
+        assert_eq!(c.get("x"), Some(1.0));
+        assert_eq!(c.get("y"), Some(0.0));
+    }
+
+    #[test]
+    fn warm_start_skips_seeds_from_a_different_space_shape() {
+        let space = space_2d();
+        // A transferred config missing a dimension must be discarded, not
+        // half-filled with random values.
+        let seeds = vec![
+            Config::new().with("x", 0.5),
+            Config::new().with("x", 0.6).with("y", 0.6),
+        ];
+        let mut warm =
+            WarmStartSampler::new(seeds, Box::new(RandomSampler::new(SeedStream::new(4))));
+        let first = warm.suggest(&space, &[]);
+        assert_eq!(first, Config::new().with("x", 0.6).with("y", 0.6));
     }
 }

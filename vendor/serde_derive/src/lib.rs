@@ -309,8 +309,12 @@ fn de_fields_ctor(fields: &[parse::Field], ast: &Input) -> String {
         } else {
             format!("<{}>", ast.type_params.join(", "))
         };
+        let dflt_expr = match &ast.default_fn {
+            Some(path) => format!("{path}()"),
+            None => "::std::default::Default::default()".to_string(),
+        };
         return format!(
-            "let __dflt: {}{args} = ::std::default::Default::default();\n{}",
+            "let __dflt: {}{args} = {dflt_expr};\n{}",
             ast.name,
             de_variant_ctor_with(&ast.name, fields, ast, true)
         );
@@ -345,11 +349,15 @@ fn de_variant_ctor_with(
                 f.name
             )
         } else if f.default {
+            let dflt_expr = match &f.default_fn {
+                Some(path) => format!("{path}()"),
+                None => "::std::default::Default::default()".to_string(),
+            };
             format!(
                 "match __obj.get({wire:?}) {{\n\
                  ::std::option::Option::Some(__x) => \
                  ::serde::Deserialize::from_json_value(__x).map_err(|e| e.in_field({wire:?}))?,\n\
-                 ::std::option::Option::None => ::std::default::Default::default(),\n}}"
+                 ::std::option::Option::None => {dflt_expr},\n}}"
             )
         } else {
             format!(

@@ -12,6 +12,9 @@ pub struct Field {
     pub name: String,
     pub rename: Option<String>,
     pub default: bool,
+    /// `#[serde(default = "path")]`: the function producing the missing
+    /// value (plain `default` falls back to `Default::default()`).
+    pub default_fn: Option<String>,
     pub skip: bool,
     pub flatten: bool,
     pub skip_serializing_if: Option<String>,
@@ -68,6 +71,9 @@ pub struct Input {
     /// Container-level `#[serde(default)]`: missing fields come from
     /// the struct's own `Default` value.
     pub default: bool,
+    /// Container-level `#[serde(default = "path")]`: the function
+    /// producing that fallback value instead of `Default::default()`.
+    pub default_fn: Option<String>,
     pub shape: Shape,
 }
 
@@ -78,6 +84,7 @@ struct SerdeAttrs {
     rename_all: Option<String>,
     transparent: bool,
     default: bool,
+    default_fn: Option<String>,
     skip: bool,
     flatten: bool,
     skip_serializing_if: Option<String>,
@@ -145,6 +152,7 @@ pub fn parse(input: TokenStream) -> Input {
         rename_all: container_attrs.rename_all,
         transparent: container_attrs.transparent,
         default: container_attrs.default,
+        default_fn: container_attrs.default_fn,
         shape,
     }
 }
@@ -211,7 +219,10 @@ fn parse_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
             ("rename_all", Some(v)) => out.rename_all = Some(v),
             ("transparent", None) => out.transparent = true,
             ("default", None) => out.default = true,
-            ("default", Some(_)) => out.default = true,
+            ("default", Some(path)) => {
+                out.default = true;
+                out.default_fn = Some(path);
+            }
             ("skip", None) => out.skip = true,
             ("skip_serializing", None) => out.skip = true,
             ("skip_deserializing", None) => out.skip = true,
@@ -305,6 +316,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             name,
             rename: attrs.rename,
             default: attrs.default,
+            default_fn: attrs.default_fn,
             skip: attrs.skip,
             flatten: attrs.flatten,
             skip_serializing_if: attrs.skip_serializing_if,
