@@ -11,9 +11,19 @@
 //!   cold vs seeded with a finished twin's top-3 configurations via
 //!   the transfer machinery — the end-to-end warm-start payoff.
 //!
-//! Usage: `perf_baseline [--out FILE]` (default `BENCH_service.json`).
-//! Numbers are host-dependent; the committed baseline anchors the
-//! trend, it is not a cross-machine contract.
+//! `perf_baseline --fabric` instead measures the process shard
+//! fabric's fixed costs (default `BENCH_fabric.json`):
+//!
+//! - `spec_serialise_ns` / `spec_deserialise_ns`: one `BackendSpec`
+//!   JSON round-trip — the payload every shard task carries.
+//! - `frame_roundtrip_ns`: encoding plus decoding one ~1 KiB
+//!   checksummed pipe frame.
+//! - `process_spawn_ms`: spawning and reaping one child process (a
+//!   no-op self-exec) — the fabric's per-attempt overhead floor.
+//!
+//! Usage: `perf_baseline [--fabric] [--out FILE]` (default
+//! `BENCH_service.json`). Numbers are host-dependent; the committed
+//! baseline anchors the trend, it is not a cross-machine contract.
 
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -130,20 +140,107 @@ fn bench_warm_vs_cold() -> Result<(f64, f64, u64, u64), String> {
     ))
 }
 
+/// The `BackendSpec` a shard task ships — the serialisation workload of
+/// every fabric spawn.
+fn sample_spec() -> edgetune::backend::BackendSpec {
+    use edgetune::backend::{SimTrainingBackend, TrainingBackend};
+    use edgetune_util::rng::SeedStream;
+    use edgetune_workloads::catalog::Workload;
+    SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(7))
+        .process_spec()
+        .expect("fault-free backend has a process spec")
+}
+
+fn bench_spec_serialise() -> (u128, u128) {
+    let spec = sample_spec();
+    let json = serde_json::to_string(&spec).expect("spec serialises");
+    let serialise = median_ns(10_000, || {
+        black_box(serde_json::to_string(black_box(&spec)).unwrap());
+    });
+    let deserialise = median_ns(10_000, || {
+        black_box(
+            serde_json::from_str::<edgetune::backend::BackendSpec>(black_box(&json)).unwrap(),
+        );
+    });
+    (serialise, deserialise)
+}
+
+fn bench_frame_roundtrip() -> u128 {
+    use edgetune_runtime::{encode_frame, read_frame, FrameKind};
+    // A payload the size of a realistic shard task (~1 KiB of JSON).
+    let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+    median_ns(10_000, || {
+        let bytes = encode_frame(FrameKind::Task, black_box(&payload));
+        let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+        black_box(frame);
+    })
+}
+
+fn bench_process_spawn() -> Result<u128, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    // Fewer samples: a fork/exec is ~1000× a serialisation.
+    Ok(median_ns(100, || {
+        let status = std::process::Command::new(&exe)
+            .arg("__noop")
+            .status()
+            .expect("self-exec spawns");
+        assert!(status.success());
+        black_box(status);
+    }))
+}
+
+fn run_fabric_baseline(out: &str) -> ExitCode {
+    eprintln!("measuring spec serialise/deserialise...");
+    let (spec_serialise_ns, spec_deserialise_ns) = bench_spec_serialise();
+    eprintln!("measuring frame round-trip...");
+    let frame_roundtrip_ns = bench_frame_roundtrip();
+    eprintln!("measuring process spawn overhead...");
+    let spawn_ns = match bench_process_spawn() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let process_spawn_ms = spawn_ns as f64 / 1e6;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fabric-baseline\",\n  \"spec_serialise_ns\": {spec_serialise_ns},\n  \
+         \"spec_deserialise_ns\": {spec_deserialise_ns},\n  \
+         \"frame_roundtrip_ns\": {frame_roundtrip_ns},\n  \
+         \"process_spawn_ms\": {process_spawn_ms:.3}\n}}\n"
+    );
+    eprint!("{json}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("baseline written to {out}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let mut out = "BENCH_service.json".to_string();
-    let mut args = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
+    // Hidden no-op mode: the spawn benchmark self-execs this to measure
+    // bare fork/exec/reap overhead.
+    if argv.peek().map(String::as_str) == Some("__noop") {
+        return ExitCode::SUCCESS;
+    }
+    let mut out: Option<String> = None;
+    let mut fabric = false;
+    let mut args = argv;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--fabric" => fabric = true,
             "--out" => match args.next() {
-                Some(path) => out = path,
+                Some(path) => out = Some(path),
                 None => {
                     eprintln!("--out requires a path");
                     return ExitCode::FAILURE;
                 }
             },
             "--help" | "-h" => {
-                println!("usage: perf_baseline [--out FILE]");
+                println!("usage: perf_baseline [--fabric] [--out FILE]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -152,6 +249,11 @@ fn main() -> ExitCode {
             }
         }
     }
+    if fabric {
+        let out = out.unwrap_or_else(|| "BENCH_fabric.json".to_string());
+        return run_fabric_baseline(&out);
+    }
+    let out = out.unwrap_or_else(|| "BENCH_service.json".to_string());
 
     eprintln!("measuring scheduler step...");
     let scheduler_step_ns = bench_scheduler_step();

@@ -24,9 +24,10 @@ use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Joules, Seconds, Watts};
 use edgetune_workloads::catalog::Workload;
 use edgetune_workloads::curve::TrainingQuality;
+use serde::{Deserialize, Serialize};
 
 /// What one training trial reports back.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialMeasurement {
     /// Validation accuracy the trial reached.
     pub accuracy: f64,
@@ -75,6 +76,50 @@ pub trait TrainingBackend: Send {
     fn parallel_snapshot(&self) -> Option<Box<dyn TrainingBackend + Send>> {
         None
     }
+
+    /// A serialisable description of this backend a shard worker process
+    /// can rebuild it from, or `None` when the backend cannot cross a
+    /// process boundary (real datasets, order-dependent fault cursors).
+    /// The contract mirrors [`TrainingBackend::parallel_snapshot`]: the
+    /// rebuilt backend must return exactly the measurement this one
+    /// would for any `(config, budget)`, so process placement can never
+    /// change a reported number. `None` makes the engine fall back to
+    /// in-process execution.
+    fn process_spec(&self) -> Option<BackendSpec> {
+        None
+    }
+}
+
+/// A self-contained, serialisable recipe for rebuilding a training
+/// backend in another process. Only backends whose behaviour is a pure
+/// function of plain data can offer one — today that is
+/// [`SimTrainingBackend`] without a fault injector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    workload: Workload,
+    trainer: Trainer,
+    seed: u64,
+    tune_system_params: bool,
+    tune_learning_rate: bool,
+    fixed_units: u32,
+}
+
+impl BackendSpec {
+    /// Rebuilds the backend this spec describes. The result measures
+    /// bit-identically to the backend that produced the spec.
+    #[must_use]
+    pub fn instantiate(&self) -> Box<dyn TrainingBackend + Send> {
+        Box::new(SimTrainingBackend {
+            workload: self.workload.clone(),
+            trainer: self.trainer.clone(),
+            seed: SeedStream::new(self.seed),
+            tune_system_params: self.tune_system_params,
+            tune_learning_rate: self.tune_learning_rate,
+            fixed_units: self.fixed_units,
+            faults: None,
+            fault_draws: 0,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -100,7 +145,7 @@ pub const PARAM_LEARNING_RATE: &str = "lr";
 
 /// Which node the Model Tuning Server trains on (§3.2: it "can be
 /// executed using both CPUs or GPUs", the GPU path being much faster).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Trainer {
     Gpu(DeviceSpec),
     Cpu(DeviceSpec),
@@ -377,6 +422,23 @@ impl TrainingBackend for SimTrainingBackend {
             return None;
         }
         Some(Box::new(self.clone()))
+    }
+
+    fn process_spec(&self) -> Option<BackendSpec> {
+        // Same rule as `parallel_snapshot`: an attached injector makes
+        // trial fate depend on the shared draw cursor, so the backend
+        // must not be replicated across processes.
+        if self.faults.is_some() {
+            return None;
+        }
+        Some(BackendSpec {
+            workload: self.workload.clone(),
+            trainer: self.trainer.clone(),
+            seed: self.seed.seed(),
+            tune_system_params: self.tune_system_params,
+            tune_learning_rate: self.tune_learning_rate,
+            fixed_units: self.fixed_units,
+        })
     }
 }
 

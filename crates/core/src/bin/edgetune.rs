@@ -36,6 +36,8 @@
 use std::process::ExitCode;
 
 use edgetune::batching::{MultiStreamScenario, ServerScenario};
+use edgetune::config::ShardExec;
+use edgetune::fabric::{self, ChaosAction, FabricChaos};
 use edgetune::prelude::*;
 use edgetune::scenario::{tune_for_scenario, Scenario};
 use edgetune::serve::ScenarioRetuner;
@@ -57,6 +59,8 @@ struct Args {
     trial_workers: usize,
     trial_slots: usize,
     study_shards: usize,
+    shard_exec: ShardExec,
+    fabric_trace: Option<String>,
     cache: Option<String>,
     json: Option<String>,
     pipelining: bool,
@@ -152,6 +156,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         trial_workers: 1,
         trial_slots: 1,
         study_shards: 1,
+        shard_exec: ShardExec::Thread,
+        fabric_trace: None,
         cache: None,
         json: None,
         pipelining: true,
@@ -217,6 +223,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad shard count: {e}"))?;
             }
+            "--shard-exec" => {
+                args.shard_exec = ShardExec::parse(&value(&mut argv, "--shard-exec")?)?;
+            }
+            "--fabric-trace" => args.fabric_trace = Some(value(&mut argv, "--fabric-trace")?),
             "--cache" => args.cache = Some(value(&mut argv, "--cache")?),
             "--json" => args.json = Some(value(&mut argv, "--json")?),
             "--no-pipelining" => args.pipelining = false,
@@ -230,10 +240,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
                      [--trials N] [--max-iter N] [--trial-workers N] [--trial-slots N] \
-                     [--study-shards N] [--cache FILE] \
+                     [--study-shards N] [--shard-exec thread|process] \
+                     [--fabric-trace FILE] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
                      [--checkpoint FILE] [--resume] [--trace FILE] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
+                     \n\
+                     --shard-exec process runs each engine shard in a supervised child\n\
+                     process (heartbeats, capped retry, in-process fallback); report and\n\
+                     trace bytes are identical to thread mode. EDGETUNE_FABRIC_KILL,\n\
+                     EDGETUNE_FABRIC_PANIC or EDGETUNE_FABRIC_HANG=<shard> plant a fault\n\
+                     in that shard's first attempt to exercise crash containment.\n\
                      \n\
                      subcommands:\n  \
                      edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
@@ -582,8 +599,36 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads a planted fabric fault from the environment:
+/// `EDGETUNE_FABRIC_KILL`, `EDGETUNE_FABRIC_PANIC` or
+/// `EDGETUNE_FABRIC_HANG`, each naming a shard index. Environment
+/// variables rather than flags so the CI byte-identity matrix runs the
+/// exact same command line with and without chaos.
+fn fabric_chaos_from_env() -> Result<Option<FabricChaos>, String> {
+    let plants = [
+        ("EDGETUNE_FABRIC_KILL", ChaosAction::Kill),
+        ("EDGETUNE_FABRIC_PANIC", ChaosAction::Panic),
+        ("EDGETUNE_FABRIC_HANG", ChaosAction::Hang),
+    ];
+    for (name, action) in plants {
+        if let Ok(text) = std::env::var(name) {
+            let shard = text
+                .parse()
+                .map_err(|e| format!("bad shard index in {name}: {e}"))?;
+            return Ok(Some(FabricChaos { shard, action }));
+        }
+    }
+    Ok(None)
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
+    // The hidden self-exec subcommand dispatches before everything
+    // else: shard workers speak length-prefixed frames on stdin/stdout
+    // and must never touch the normal CLI surface.
+    if argv.peek().map(String::as_str) == Some(fabric::WORKER_SUBCOMMAND) {
+        fabric::worker_main();
+    }
     if argv.peek().map(String::as_str) == Some("chaos") {
         argv.next();
         let args = match parse_chaos_args(argv) {
@@ -665,6 +710,17 @@ fn main() -> ExitCode {
     if let Some(path) = &args.trace {
         config = config.with_trace_path(path);
     }
+    config = config.with_shard_exec(args.shard_exec);
+    if let Some(path) = &args.fabric_trace {
+        config = config.with_fabric_trace_path(path);
+    }
+    match fabric_chaos_from_env() {
+        Ok(chaos) => config.fabric.chaos = chaos,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let edge_device = config.edge_device.clone();
     eprintln!(
@@ -684,6 +740,24 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &args.trace {
         eprintln!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
+    // Fabric counters are wall-clock noise, so they go to stderr —
+    // stdout stays deterministic for a fixed seed.
+    if let Some(stats) = report.fabric_stats() {
+        eprintln!(
+            "fabric: {} spawns, {} heartbeats, {} crashes ({} timeouts), \
+             {} retries, {} in-process fallbacks, {} stragglers",
+            stats.spawns,
+            stats.heartbeats,
+            stats.crashes,
+            stats.timeouts,
+            stats.retries,
+            stats.fallbacks,
+            stats.stragglers,
+        );
+    }
+    if let Some(path) = &args.fabric_trace {
+        eprintln!("fabric telemetry trace written to {path}");
     }
 
     println!("== winning trial ==");

@@ -21,6 +21,39 @@ use edgetune_tuner::Metric;
 use edgetune_util::rng::SeedStream;
 use edgetune_workloads::catalog::WorkloadId;
 
+use crate::fabric::FabricPolicy;
+
+/// Where engine shards run when `study_shards > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardExec {
+    /// Scoped threads of the orchestrator process — the fastest path,
+    /// no isolation.
+    #[default]
+    Thread,
+    /// Supervised child worker processes
+    /// ([`ShardFabric`](crate::fabric::ShardFabric)): a crashing
+    /// backend kills one worker, never the study. Report and trace
+    /// bytes are identical to thread mode.
+    Process,
+}
+
+impl ShardExec {
+    /// Parses the CLI spelling (`thread` | `process`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "thread" | "threads" => Ok(ShardExec::Thread),
+            "process" | "processes" => Ok(ShardExec::Process),
+            other => Err(format!(
+                "unknown shard executor '{other}' (expected 'thread' or 'process')"
+            )),
+        }
+    }
+}
+
 /// Which search strategy the Model Tuning Server uses (§4.2; the user
 /// can pick per server, the default being BOHB = TPE + HyperBand).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +124,26 @@ pub struct EdgeTuneConfig {
     /// checkpointing enabled, each shard also persists its own
     /// checkpoint shard file under a shard manifest.
     pub study_shards: usize,
+    /// How engine shards execute: on scoped threads of this process
+    /// (the default) or in supervised child worker processes
+    /// ([`ShardFabric`](crate::fabric::ShardFabric)). Process mode buys
+    /// crash containment — a dying backend kills one worker, not the
+    /// study — and never changes a reported byte. Ignored unless
+    /// `study_shards > 1`; backends without a
+    /// [`process_spec`](crate::backend::TrainingBackend::process_spec)
+    /// quietly fall back to thread execution.
+    pub shard_exec: ShardExec,
+    /// Supervision policy of the process shard fabric: retry budget,
+    /// heartbeat deadline, straggler grace, worker-executable override,
+    /// and planted chaos. Only consulted in
+    /// [`ShardExec::Process`] mode.
+    pub fabric: FabricPolicy,
+    /// Write the fabric's supervision telemetry (spawn/heartbeat/crash/
+    /// retry instants, wall-clock offsets) as Chrome trace-event JSON
+    /// here after the run, if set. Kept separate from
+    /// [`trace_path`](EdgeTuneConfig::trace_path) because the study
+    /// trace must stay byte-identical across execution modes.
+    pub fabric_trace_path: Option<PathBuf>,
     /// Root randomness seed.
     pub seed: u64,
     /// Fault-injection plan for chaos runs. [`FaultPlan::none`] (the
@@ -151,6 +204,9 @@ impl EdgeTuneConfig {
             trial_workers: 1,
             trial_slots: 1,
             study_shards: 1,
+            shard_exec: ShardExec::Thread,
+            fabric: FabricPolicy::default(),
+            fabric_trace_path: None,
             seed: SeedStream::default().seed(),
             fault_plan: FaultPlan::none(),
             supervisor: Supervisor::default(),
@@ -295,6 +351,31 @@ impl EdgeTuneConfig {
     pub fn with_study_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one study shard");
         self.study_shards = shards;
+        self
+    }
+
+    /// Selects how engine shards execute (threads vs supervised worker
+    /// processes). A no-op unless
+    /// [`with_study_shards`](EdgeTuneConfig::with_study_shards) asks
+    /// for more than one shard.
+    #[must_use]
+    pub fn with_shard_exec(mut self, exec: ShardExec) -> Self {
+        self.shard_exec = exec;
+        self
+    }
+
+    /// Sets the process shard fabric's supervision policy.
+    #[must_use]
+    pub fn with_fabric_policy(mut self, policy: FabricPolicy) -> Self {
+        self.fabric = policy;
+        self
+    }
+
+    /// Writes the fabric's supervision telemetry trace to `path` after
+    /// the run (process mode only).
+    #[must_use]
+    pub fn with_fabric_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.fabric_trace_path = Some(path.into());
         self
     }
 

@@ -48,7 +48,9 @@ pub struct TrialStamp {
 }
 
 /// One shard's contiguous slice of a rung (or of a whole history).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Serialisable because the process fabric ships plans to shard worker
+/// processes over a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ShardPlan {
     /// The shard's index in the partition.
     pub shard: usize,

@@ -52,6 +52,7 @@ use crate::backend::{TrainingBackend, TrialMeasurement};
 use crate::cache::CacheKey;
 use crate::checkpoint::{ShardManifest, StudyCheckpoint, StudyGlobals};
 use crate::engine::coordinator::{StudyCoordinator, TrialStamp};
+use crate::fabric::ShardFabric;
 use crate::inference::fallback_recommendation;
 use crate::trace::{
     timeline_from_trace, CAT_BRACKET, CAT_CACHE, CAT_FAULT, CAT_INFERENCE, CAT_MODEL, CAT_RUNG,
@@ -77,6 +78,11 @@ pub(crate) struct OnefoldEvaluator<'a> {
     /// Engine shards rungs are partitioned across (wall-clock only;
     /// mutually exclusive with `trial_workers > 1`).
     pub(crate) study_shards: usize,
+    /// Process shard fabric, when `--shard-exec process` asked for
+    /// worker-process isolation. `None` runs shards on scoped threads.
+    /// The orchestrator keeps ownership so it can export the fabric's
+    /// telemetry after the evaluator is gone.
+    pub(crate) fabric: Option<&'a mut ShardFabric>,
     /// The study's virtual clock; its final reading is the makespan.
     pub(crate) clock: SimClock,
     pub(crate) stall: Seconds,
@@ -256,6 +262,9 @@ impl OnefoldEvaluator<'_> {
                     return (Some(reply), extra);
                 }
                 Fallback::SkipWithPenalty => return (None, extra),
+                // The in-process rung belongs to the shard fabric's
+                // ladder; it has no meaning for a lost inference reply.
+                Fallback::InProcess => {}
             }
         }
         (None, extra)
@@ -518,13 +527,25 @@ impl OnefoldEvaluator<'_> {
     /// shared). The returned measurements are in input order, ready to be
     /// replayed through the unchanged sequential accounting path.
     fn measure_rung(
-        &self,
+        &mut self,
         trials: &[(u64, Config, TrialBudget)],
     ) -> Option<Vec<Option<TrialMeasurement>>> {
         if trials.len() <= 1 || self.faults_enabled {
             return None;
         }
         if self.study_shards > 1 {
+            // Process-mode phase A: ship each plan to a supervised
+            // worker process. Only when the backend can describe itself
+            // as a `BackendSpec`; otherwise (real datasets, fault
+            // cursors) fall through to the thread path below — same
+            // bytes either way.
+            if let Some(fabric) = self.fabric.as_deref_mut() {
+                if let Some(spec) = self.backend.process_spec() {
+                    let measured =
+                        fabric.measure_rung(&spec, self.clock.now(), trials, self.study_shards);
+                    return Some(measured.into_iter().map(Some).collect());
+                }
+            }
             // Shard-level phase A: the coordinator partitions the rung
             // into contiguous plans and runs one `EngineShard` (backend
             // snapshot + forked clock) per plan on its own scoped

@@ -26,10 +26,11 @@ use crate::async_server::AsyncInferenceServer;
 use crate::backend::{SimTrainingBackend, TrainingBackend};
 use crate::cache::{CacheKey, HistoricalCache};
 use crate::checkpoint::{load_resume_state, StudyResume};
-use crate::config::EdgeTuneConfig;
+use crate::config::{EdgeTuneConfig, ShardExec};
 use crate::engine::coordinator::StudyCoordinator;
 use crate::engine::evaluator::OnefoldEvaluator;
 use crate::engine::report::{FaultReport, TuningReport};
+use crate::fabric::ShardFabric;
 use crate::inference::{InferenceSpace, InferenceTuningServer};
 use crate::timeline::Timeline;
 use crate::trace::{seed_tracer_from_timeline, timeline_from_trace};
@@ -272,6 +273,21 @@ impl<'a> Engine<'a> {
         let mut sampler = self.config.build_sampler();
         let device_name = self.config.edge_device.name.clone();
 
+        // Under `--shard-exec process` the evaluator hands each rung's
+        // shard slices to the fabric, which runs them in supervised
+        // child processes. The fabric keeps its own tracer: process
+        // telemetry (spawns, heartbeats, crashes, retries) is
+        // wall-clock-dependent and must never leak into the study trace,
+        // whose bytes are an exec-mode-independent contract.
+        let mut fabric = (self.config.shard_exec == ShardExec::Process
+            && self.config.study_shards > 1)
+            .then(|| {
+                ShardFabric::new(
+                    self.config.fabric.clone(),
+                    SeedStream::new(self.config.seed).child("fabric"),
+                )
+            });
+
         let (history, stamps, makespan, stall, inference_energy, degradation, rungs_completed) = {
             let mut evaluator = OnefoldEvaluator {
                 backend,
@@ -284,6 +300,7 @@ impl<'a> Engine<'a> {
                 trial_workers: self.config.trial_workers,
                 trial_slots: self.config.trial_slots,
                 study_shards: self.config.study_shards,
+                fabric: fabric.as_mut(),
                 clock: SimClock::new(),
                 stall: resumed_stall,
                 inference_energy: resumed_inference_energy,
@@ -334,6 +351,14 @@ impl<'a> Engine<'a> {
                 evaluator.rungs_completed,
             )
         };
+        // Export the fabric's process telemetry to its own trace file —
+        // deliberately separate from the study trace so the latter stays
+        // byte-identical across `--shard-exec` modes.
+        let fabric_stats = fabric.as_ref().map(ShardFabric::stats);
+        if let (Some(fabric), Some(path)) = (&fabric, &self.config.fabric_trace_path) {
+            ChromeTrace::from_tracer(fabric.tracer()).write(path)?;
+        }
+
         // The report's timeline is a view over the trace — derived, not
         // separately recorded, so the two can never disagree.
         let timeline = timeline_from_trace(tracer);
@@ -416,6 +441,7 @@ impl<'a> Engine<'a> {
             stall_time: stall,
             inference_energy,
             faults,
+            fabric: fabric_stats,
             halted: self
                 .config
                 .halt_after_rungs

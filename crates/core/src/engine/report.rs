@@ -17,6 +17,7 @@ use edgetune_util::units::{Joules, Seconds};
 use edgetune_util::{Error, Result};
 
 use crate::cache::CacheStats;
+use crate::fabric::FabricStats;
 use crate::inference::InferenceRecommendation;
 use crate::timeline::Timeline;
 
@@ -60,6 +61,12 @@ pub struct TuningReport {
     /// whether this slice hit its halt or ran to natural completion.
     #[serde(skip)]
     pub(crate) halted: bool,
+    /// Process-fabric supervision counters when the study ran under
+    /// `--shard-exec process`. Never serialised: fabric telemetry is
+    /// wall-clock-dependent, and the JSON report must stay
+    /// byte-identical across execution modes.
+    #[serde(skip)]
+    pub(crate) fabric: Option<FabricStats>,
 }
 
 impl TuningReport {
@@ -155,6 +162,15 @@ impl TuningReport {
     #[must_use]
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// Supervision counters from the process fabric, when the study ran
+    /// with `--shard-exec process`. `None` for in-process runs and for
+    /// reports parsed back from JSON (the counters are never
+    /// serialised).
+    #[must_use]
+    pub fn fabric_stats(&self) -> Option<&FabricStats> {
+        self.fabric.as_ref()
     }
 
     /// A compact human-readable summary of the run — what the CLI and

@@ -1,0 +1,44 @@
+//! The process shard fabric: [`EngineShard`](crate::engine::EngineShard)
+//! execution in supervised child OS processes.
+//!
+//! Step one of the ROADMAP's remote study fabric. Where the thread-based
+//! [`StudyCoordinator`](crate::engine::StudyCoordinator) runs each
+//! [`ShardPlan`](crate::engine::ShardPlan) on a scoped thread of the
+//! orchestrator process, the fabric spawns a **shard worker** — the
+//! `edgetune` binary re-executing itself with the hidden
+//! `__shard-worker` subcommand — per plan, ships the plan plus a
+//! [`BackendSpec`](crate::backend::BackendSpec) backend snapshot over
+//! the child's stdin as length-prefixed, CRC-checksummed
+//! [frames](edgetune_runtime::frame), and streams heartbeats and the
+//! measured [`TrialMeasurement`](crate::backend::TrialMeasurement)s back
+//! over its stdout.
+//!
+//! The payoff is crash containment: a worker that is SIGKILL'd, panics,
+//! or hangs can no longer take the orchestrator or a sibling shard with
+//! it. The [`ShardFabric`] supervisor wraps every worker in the `faults`
+//! crate's vocabulary — a heartbeat [`Deadline`](edgetune_faults::Deadline),
+//! a capped-jittered-backoff [`RetryPolicy`](edgetune_faults::RetryPolicy)
+//! on crash or timeout, post-hoc straggler detection, and a
+//! [`DegradationLadder`](edgetune_faults::DegradationLadder) whose
+//! terminal `in_process` rung runs the plan sequentially on the
+//! supervisor's own thread once the retry budget is spent. A study
+//! therefore *cannot* fail because process isolation failed.
+//!
+//! The invariant the whole module is built around: a worker rebuilt from
+//! a `BackendSpec` measures bit-identically to the orchestrator's own
+//! backend (JSON `f64` round-trips exactly via shortest-roundtrip
+//! formatting), and measurements are replayed through the same
+//! sequential phase-B accounting path as every other execution mode —
+//! so report and trace bytes are identical across
+//! `--shard-exec thread|process`, across shard counts, and across a
+//! mid-rung kill followed by a successful retry. Fabric telemetry
+//! (spawn/heartbeat/crash/retry instants) goes to a **separate** tracer
+//! for exactly that reason.
+
+pub mod protocol;
+pub mod supervisor;
+pub mod worker;
+
+pub use protocol::{ChaosAction, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial};
+pub use supervisor::{FabricChaos, FabricPolicy, FabricStats, ShardFabric};
+pub use worker::{serve, worker_main, WORKER_SUBCOMMAND};

@@ -1,0 +1,662 @@
+//! The fabric supervisor: spawn, watch, retry, degrade.
+//!
+//! [`ShardFabric::measure_rung`] is the process-mode counterpart of
+//! [`StudyCoordinator::measure_rung`](crate::engine::StudyCoordinator::measure_rung):
+//! it partitions a rung into [`ShardPlan`]s and supervises one worker
+//! process per plan on a scoped thread. Supervision speaks the `faults`
+//! crate's vocabulary — a [`Supervisor`] combining the heartbeat
+//! [`Deadline`] with a capped-jittered-backoff [`RetryPolicy`], and a
+//! [`DegradationLadder`] whose terminal [`Fallback::InProcess`] rung
+//! runs the plan sequentially on the supervising thread itself once the
+//! retry budget is spent. Whatever a worker does — SIGKILL, panic,
+//! hang, garbage on the pipe — `measure_rung` always returns the exact
+//! measurements the in-process path would have produced.
+//!
+//! Telemetry (spawn/heartbeat/crash/retry/fallback/straggler instants,
+//! stamped with wall-clock offsets from the fabric's epoch) accumulates
+//! on the fabric's **own** tracer, never the study tracer: study trace
+//! bytes must stay identical across `--shard-exec thread|process`.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use edgetune_faults::{Deadline, DegradationLadder, Fallback, RetryPolicy, Supervisor};
+use edgetune_runtime::frame::{read_frame, write_frame, Frame, FrameKind};
+use edgetune_runtime::{parallel_map_ordered, SharedClock, SimClock};
+use edgetune_trace::Tracer;
+use edgetune_tuner::budget::TrialBudget;
+use edgetune_tuner::space::Config;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::backend::{BackendSpec, TrialMeasurement};
+use crate::engine::coordinator::{EngineShard, ShardPlan};
+use crate::fabric::protocol::{
+    decode, encode, ChaosAction, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial,
+    WorkerFailure,
+};
+use crate::fabric::worker::WORKER_SUBCOMMAND;
+use crate::trace::{CAT_FABRIC, PROCESS_FABRIC};
+
+/// A planted fault for chaos-testing the fabric's own containment: the
+/// targeted shard executes `action` mid-rung on its **first** attempt,
+/// so the run exercises crash → retry → clean completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricChaos {
+    /// Shard index the fault is planted in.
+    pub shard: usize,
+    /// What the worker does to itself.
+    pub action: ChaosAction,
+}
+
+/// How the fabric supervises its workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricPolicy {
+    /// Retry budget (capped jittered backoff) plus the per-frame
+    /// heartbeat deadline — a worker silent for longer is treated as
+    /// hung, killed, and retried.
+    pub supervisor: Supervisor,
+    /// Fallback order; the fabric walks `Retry` under the supervisor's
+    /// budget and ends at [`Fallback::InProcess`].
+    pub ladder: DegradationLadder,
+    /// A shard slower than `straggler_grace ×` the median sibling wall
+    /// time is flagged (telemetry only — its result is still used).
+    pub straggler_grace: f64,
+    /// Worker executable override. `None` self-execs
+    /// `std::env::current_exe()` — correct for the `edgetune` binary;
+    /// tests point it at the real CLI binary or at impostors.
+    pub worker_exe: Option<PathBuf>,
+    /// Planted chaos, if the run is testing containment.
+    pub chaos: Option<FabricChaos>,
+}
+
+impl Default for FabricPolicy {
+    fn default() -> Self {
+        FabricPolicy {
+            supervisor: Supervisor::new(RetryPolicy {
+                max_attempts: 3,
+                base_delay: Seconds::new(0.05),
+                multiplier: 2.0,
+                max_delay: Seconds::new(0.5),
+                jitter: 0.5,
+            })
+            .with_deadline(Deadline::new(Seconds::new(30.0))),
+            ladder: DegradationLadder::new(vec![Fallback::Retry, Fallback::InProcess]),
+            straggler_grace: 4.0,
+            worker_exe: None,
+            chaos: None,
+        }
+    }
+}
+
+/// What the fabric did, over the whole study. All zeros when every
+/// worker behaved on its first attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Worker processes spawned (every attempt counts).
+    pub spawns: u64,
+    /// Heartbeat frames received.
+    pub heartbeats: u64,
+    /// Worker failures observed (crash, dead pipe, error frame).
+    pub crashes: u64,
+    /// Heartbeat deadlines that fired (a subset of `crashes`).
+    pub timeouts: u64,
+    /// Respawns performed under the retry budget.
+    pub retries: u64,
+    /// Shards that exhausted the budget and ran in-process.
+    pub fallbacks: u64,
+    /// Shards flagged as stragglers.
+    pub stragglers: u64,
+}
+
+/// One telemetry event, recorded off-thread and emitted onto the fabric
+/// tracer in deterministic shard order afterwards.
+struct FabricEvent {
+    name: String,
+    offset: Seconds,
+    args: Vec<(String, String)>,
+}
+
+/// One supervised shard's outcome.
+struct ShardRun {
+    measurements: Vec<TrialMeasurement>,
+    events: Vec<FabricEvent>,
+    stats: FabricStats,
+    wall: f64,
+}
+
+/// Everything a worker attempt can end as.
+enum AttemptEnd {
+    Done(Vec<TrialMeasurement>),
+    Failed { reason: String, timed_out: bool },
+}
+
+/// The process-mode shard executor. One instance supervises every rung
+/// of a study, accumulating stats and telemetry across rungs.
+pub struct ShardFabric {
+    policy: FabricPolicy,
+    seed: SeedStream,
+    tracer: Tracer,
+    epoch: Instant,
+    stats: FabricStats,
+}
+
+impl std::fmt::Debug for ShardFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardFabric")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardFabric {
+    /// Creates a fabric with `policy`; `seed` derives the deterministic
+    /// backoff jitter streams.
+    #[must_use]
+    pub fn new(policy: FabricPolicy, seed: SeedStream) -> Self {
+        ShardFabric {
+            policy,
+            seed,
+            tracer: Tracer::new(),
+            epoch: Instant::now(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Cumulative supervision counters.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// The fabric's own telemetry trace (spawn/heartbeat/crash/retry
+    /// instants on wall-clock offsets) — separate from the study trace
+    /// by design.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Measures one rung across worker processes, one supervised worker
+    /// per [`ShardPlan`]. Infallible by construction: any shard whose
+    /// workers exhaust the retry budget is measured in-process on the
+    /// supervising thread, so the returned measurements are always the
+    /// full rung, in input order, bit-identical to sequential
+    /// execution.
+    #[must_use]
+    pub fn measure_rung(
+        &mut self,
+        spec: &BackendSpec,
+        now: Seconds,
+        trials: &[(u64, Config, TrialBudget)],
+        shards: usize,
+    ) -> Vec<TrialMeasurement> {
+        type ShardWork<'a> = (ShardPlan, &'a [(u64, Config, TrialBudget)]);
+        let plans = ShardPlan::partition(trials.len(), shards);
+        let work: Vec<ShardWork> = plans
+            .iter()
+            .map(|plan| (*plan, plan.slice(trials)))
+            .collect();
+        let lanes: Vec<()> = vec![(); work.len()];
+        let runs = parallel_map_ordered(&work, lanes, |(), _index, (plan, slice)| {
+            self.supervise_shard(*plan, spec, now, slice)
+        });
+
+        // Post-hoc straggler detection against the median sibling.
+        let mut walls: Vec<f64> = runs.iter().map(|run| run.wall).collect();
+        walls.sort_by(f64::total_cmp);
+        let median = walls[walls.len() / 2];
+        let grace = self.policy.straggler_grace.max(1.0);
+
+        let mut measurements = Vec::with_capacity(trials.len());
+        for (shard, mut run) in runs.into_iter().enumerate() {
+            if run.wall > median * grace && run.wall - median > 0.05 {
+                run.stats.stragglers += 1;
+                run.events.push(FabricEvent {
+                    name: "straggler".to_string(),
+                    offset: Seconds::new(self.epoch.elapsed().as_secs_f64()),
+                    args: vec![
+                        ("wall_s".to_string(), format!("{:.3}", run.wall)),
+                        ("median_s".to_string(), format!("{median:.3}")),
+                    ],
+                });
+            }
+            let track = self.tracer.track(PROCESS_FABRIC, &format!("shard-{shard}"));
+            for event in run.events {
+                self.tracer.instant_with_args(
+                    track,
+                    event.name,
+                    CAT_FABRIC,
+                    event.offset,
+                    event.args,
+                );
+            }
+            self.stats.spawns += run.stats.spawns;
+            self.stats.heartbeats += run.stats.heartbeats;
+            self.stats.crashes += run.stats.crashes;
+            self.stats.timeouts += run.stats.timeouts;
+            self.stats.retries += run.stats.retries;
+            self.stats.fallbacks += run.stats.fallbacks;
+            self.stats.stragglers += run.stats.stragglers;
+            measurements.extend(run.measurements);
+        }
+        measurements
+    }
+
+    /// Wall-clock offset since the fabric was created, the timestamp
+    /// domain of its telemetry.
+    fn offset(&self) -> Seconds {
+        Seconds::new(self.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Supervises one shard to completion: spawn → watch → retry under
+    /// the budget → in-process fallback. Runs on a pool thread; must
+    /// not touch `self.tracer` or `self.stats` (events and counters are
+    /// returned and merged on the calling thread).
+    fn supervise_shard(
+        &self,
+        plan: ShardPlan,
+        spec: &BackendSpec,
+        now: Seconds,
+        slice: &[(u64, Config, TrialBudget)],
+    ) -> ShardRun {
+        let started = Instant::now();
+        let mut events = Vec::new();
+        let mut stats = FabricStats::default();
+        let shard_seed = self.seed.child_indexed("shard", plan.shard as u64);
+        let exe = self
+            .policy
+            .worker_exe
+            .clone()
+            .or_else(|| std::env::current_exe().ok());
+
+        let mut attempt: u32 = 1;
+        let mut draw: u64 = 0;
+        loop {
+            let chaos = self
+                .policy
+                .chaos
+                .filter(|c| c.shard == plan.shard && attempt == 1)
+                .map(|c| c.action);
+            let end = match &exe {
+                Some(exe) => self.run_attempt(
+                    exe,
+                    plan,
+                    spec,
+                    now,
+                    slice,
+                    attempt,
+                    chaos,
+                    &mut events,
+                    &mut stats,
+                ),
+                None => AttemptEnd::Failed {
+                    reason: "no worker executable available".to_string(),
+                    timed_out: false,
+                },
+            };
+            match end {
+                AttemptEnd::Done(measurements) => {
+                    events.push(FabricEvent {
+                        name: "result".to_string(),
+                        offset: self.offset(),
+                        args: vec![("attempt".to_string(), attempt.to_string())],
+                    });
+                    return ShardRun {
+                        measurements,
+                        events,
+                        stats,
+                        wall: started.elapsed().as_secs_f64(),
+                    };
+                }
+                AttemptEnd::Failed { reason, timed_out } => {
+                    stats.crashes += 1;
+                    if timed_out {
+                        stats.timeouts += 1;
+                    }
+                    events.push(FabricEvent {
+                        name: "crash".to_string(),
+                        offset: self.offset(),
+                        args: vec![
+                            ("attempt".to_string(), attempt.to_string()),
+                            ("reason".to_string(), reason),
+                        ],
+                    });
+                    if self.policy.supervisor.give_up(attempt) {
+                        stats.fallbacks += 1;
+                        events.push(FabricEvent {
+                            name: Fallback::InProcess.trace_label().to_string(),
+                            offset: self.offset(),
+                            args: vec![("after_attempts".to_string(), attempt.to_string())],
+                        });
+                        let mut shard = EngineShard::new(
+                            plan,
+                            spec.instantiate(),
+                            SharedClock::from_clock(SimClock::at(now)),
+                        );
+                        return ShardRun {
+                            measurements: shard.measure(slice),
+                            events,
+                            stats,
+                            wall: started.elapsed().as_secs_f64(),
+                        };
+                    }
+                    stats.retries += 1;
+                    let delay = self.policy.supervisor.backoff(attempt, shard_seed, draw);
+                    draw += 1;
+                    events.push(FabricEvent {
+                        name: "retry".to_string(),
+                        offset: self.offset(),
+                        args: vec![
+                            ("attempt".to_string(), attempt.to_string()),
+                            ("backoff_s".to_string(), format!("{:.3}", delay.value())),
+                        ],
+                    });
+                    std::thread::sleep(Duration::from_secs_f64(delay.value().max(0.0)));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One worker attempt: spawn the child, ship the task, watch the
+    /// pipe under the heartbeat deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempt(
+        &self,
+        exe: &PathBuf,
+        plan: ShardPlan,
+        spec: &BackendSpec,
+        now: Seconds,
+        slice: &[(u64, Config, TrialBudget)],
+        attempt: u32,
+        chaos: Option<ChaosAction>,
+        events: &mut Vec<FabricEvent>,
+        stats: &mut FabricStats,
+    ) -> AttemptEnd {
+        let mut child = match Command::new(exe)
+            .arg(WORKER_SUBCOMMAND)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => {
+                return AttemptEnd::Failed {
+                    reason: format!("spawn failed: {e}"),
+                    timed_out: false,
+                }
+            }
+        };
+        stats.spawns += 1;
+        events.push(FabricEvent {
+            name: "spawn".to_string(),
+            offset: self.offset(),
+            args: vec![("attempt".to_string(), attempt.to_string())],
+        });
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+
+        let task = ShardTask {
+            attempt,
+            plan,
+            spec: spec.clone(),
+            now,
+            trials: slice
+                .iter()
+                .map(|(id, config, budget)| TaskTrial {
+                    id: *id,
+                    config: config.clone(),
+                    budget: *budget,
+                })
+                .collect(),
+            chaos,
+        };
+        if let Err(e) = write_frame(&mut stdin, FrameKind::Task, &encode(&task)) {
+            return Self::fail_attempt(&mut child, format!("writing task: {e}"), false);
+        }
+
+        // Reader thread: pump frames into a channel so the supervisor
+        // can wait with a timeout. The sender dropping (EOF, torn frame,
+        // killed worker) surfaces as a disconnect.
+        let (tx, rx) = mpsc::channel::<Frame>();
+        let reader = std::thread::spawn(move || {
+            let mut stdout = stdout;
+            while let Ok(Some(frame)) = read_frame(&mut stdout) {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let timeout = self
+            .policy
+            .supervisor
+            .deadline
+            .map(|d| Duration::from_secs_f64(d.limit.value().max(0.0)));
+        let end = loop {
+            let received = match timeout {
+                Some(timeout) => rx.recv_timeout(timeout),
+                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            };
+            match received {
+                Ok(frame) => match frame.kind {
+                    FrameKind::Heartbeat => {
+                        if let Ok(heartbeat) = decode::<ShardHeartbeat>(&frame.payload) {
+                            stats.heartbeats += 1;
+                            events.push(FabricEvent {
+                                name: "heartbeat".to_string(),
+                                offset: self.offset(),
+                                args: vec![(
+                                    "completed".to_string(),
+                                    heartbeat.completed.to_string(),
+                                )],
+                            });
+                        }
+                    }
+                    FrameKind::Result => match decode::<ShardResultMsg>(&frame.payload) {
+                        Ok(result) if result.measurements.len() == slice.len() => {
+                            break AttemptEnd::Done(result.measurements);
+                        }
+                        Ok(result) => {
+                            break AttemptEnd::Failed {
+                                reason: format!(
+                                    "short result: {} of {} measurements",
+                                    result.measurements.len(),
+                                    slice.len()
+                                ),
+                                timed_out: false,
+                            };
+                        }
+                        Err(e) => {
+                            break AttemptEnd::Failed {
+                                reason: format!("undecodable result: {e}"),
+                                timed_out: false,
+                            };
+                        }
+                    },
+                    FrameKind::Error => {
+                        let reason = decode::<WorkerFailure>(&frame.payload).map_or_else(
+                            |e| format!("undecodable error frame: {e}"),
+                            |f| f.message,
+                        );
+                        break AttemptEnd::Failed {
+                            reason,
+                            timed_out: false,
+                        };
+                    }
+                    FrameKind::Task => {
+                        break AttemptEnd::Failed {
+                            reason: "worker sent a task frame".to_string(),
+                            timed_out: false,
+                        };
+                    }
+                },
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    break AttemptEnd::Failed {
+                        reason: "heartbeat deadline exceeded".to_string(),
+                        timed_out: true,
+                    };
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    break AttemptEnd::Failed {
+                        reason: "worker pipe closed before result".to_string(),
+                        timed_out: false,
+                    };
+                }
+            }
+        };
+
+        // Cleanup — identical for success and failure: close the
+        // worker's stdin (its loop exits on EOF), make sure it is dead,
+        // and reap it so nothing zombifies.
+        drop(stdin);
+        if matches!(end, AttemptEnd::Failed { .. }) {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+        let _ = reader.join();
+        end
+    }
+
+    /// Kills and reaps a child after a pre-watch failure.
+    fn fail_attempt(child: &mut Child, reason: String, timed_out: bool) -> AttemptEnd {
+        let _ = child.kill();
+        let _ = child.wait();
+        AttemptEnd::Failed { reason, timed_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SimTrainingBackend, TrainingBackend};
+    use edgetune_workloads::catalog::{Workload, WorkloadId};
+
+    fn backend() -> SimTrainingBackend {
+        SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(5))
+    }
+
+    fn sample_trials(n: u64) -> Vec<(u64, Config, TrialBudget)> {
+        let space = backend().search_space();
+        (0..n)
+            .map(|id| {
+                (
+                    id,
+                    space.sample(&mut SeedStream::new(6).rng(&format!("trial-{id}"))),
+                    TrialBudget::new(2.0, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn fast_policy() -> FabricPolicy {
+        FabricPolicy {
+            supervisor: Supervisor::new(RetryPolicy {
+                max_attempts: 2,
+                base_delay: Seconds::new(0.005),
+                multiplier: 1.0,
+                max_delay: Seconds::new(0.01),
+                jitter: 0.0,
+            })
+            .with_deadline(Deadline::new(Seconds::new(5.0))),
+            ..FabricPolicy::default()
+        }
+    }
+
+    fn expected_measurements(
+        trials: &[(u64, Config, TrialBudget)],
+        now: Seconds,
+        shards: usize,
+    ) -> Vec<TrialMeasurement> {
+        let mut out = Vec::new();
+        for plan in ShardPlan::partition(trials.len(), shards) {
+            let mut shard = EngineShard::new(
+                plan,
+                backend().parallel_snapshot().unwrap(),
+                SharedClock::from_clock(SimClock::at(now)),
+            );
+            out.extend(shard.measure(plan.slice(trials)));
+        }
+        out
+    }
+
+    #[test]
+    fn missing_worker_exe_degrades_to_in_process_execution() {
+        let trials = sample_trials(5);
+        let now = Seconds::new(7.0);
+        let mut policy = fast_policy();
+        policy.worker_exe = Some(PathBuf::from("/nonexistent/edgetune-worker"));
+        let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
+
+        let measured = fabric.measure_rung(&backend().process_spec().unwrap(), now, &trials, 2);
+        assert_eq!(measured, expected_measurements(&trials, now, 2));
+
+        let stats = fabric.stats();
+        assert_eq!(stats.fallbacks, 2, "every shard fell back");
+        assert_eq!(stats.crashes, 4, "two attempts per shard failed");
+        assert_eq!(stats.retries, 2, "one retry per shard before giving up");
+        assert_eq!(stats.spawns, 0, "spawn never succeeded");
+    }
+
+    #[test]
+    fn crashing_worker_exe_degrades_to_in_process_execution() {
+        // `/bin/false` exits immediately without speaking the protocol:
+        // the pipe closes before a result, every attempt fails, and the
+        // ladder's in-process rung still delivers exact measurements.
+        if !std::path::Path::new("/bin/false").exists() {
+            return;
+        }
+        let trials = sample_trials(4);
+        let now = Seconds::ZERO;
+        let mut policy = fast_policy();
+        policy.worker_exe = Some(PathBuf::from("/bin/false"));
+        let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
+
+        let measured = fabric.measure_rung(&backend().process_spec().unwrap(), now, &trials, 2);
+        assert_eq!(measured, expected_measurements(&trials, now, 2));
+        let stats = fabric.stats();
+        assert_eq!(stats.fallbacks, 2);
+        assert_eq!(stats.spawns, 4, "two spawn attempts per shard");
+        assert!(stats.crashes >= 4);
+    }
+
+    #[test]
+    fn fabric_records_telemetry_for_failed_shards() {
+        let trials = sample_trials(3);
+        let mut policy = fast_policy();
+        policy.worker_exe = Some(PathBuf::from("/nonexistent/edgetune-worker"));
+        let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
+        let _ = fabric.measure_rung(
+            &backend().process_spec().unwrap(),
+            Seconds::ZERO,
+            &trials,
+            1,
+        );
+        let names: Vec<String> = fabric
+            .tracer()
+            .snapshot()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(names.iter().any(|n| n == "crash"));
+        assert!(names.iter().any(|n| n == "retry"));
+        assert!(names.iter().any(|n| n == "in_process"));
+    }
+
+    #[test]
+    fn default_policy_is_bounded_and_armed() {
+        let policy = FabricPolicy::default();
+        assert!(policy.supervisor.retry.max_attempts >= 2);
+        assert!(policy.supervisor.deadline.is_some());
+        assert_eq!(
+            policy.ladder.steps(),
+            &[Fallback::Retry, Fallback::InProcess]
+        );
+    }
+}

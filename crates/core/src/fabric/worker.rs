@@ -1,0 +1,262 @@
+//! The shard worker: what runs inside `edgetune __shard-worker`.
+//!
+//! A worker is a tiny frame-driven loop: read a [`ShardTask`] from
+//! stdin, rebuild the backend from its [`BackendSpec`], measure the
+//! slice trial by trial on an [`EngineShard`] (heartbeating after every
+//! trial), send the [`ShardResultMsg`], and wait for the next task or a
+//! clean EOF. The loop is generic over its streams so the protocol is
+//! unit-testable in-process without spawning anything.
+
+use std::io::{Read, Write};
+
+use edgetune_runtime::frame::{read_frame, write_frame, FrameKind};
+use edgetune_runtime::{SharedClock, SimClock};
+
+use crate::engine::coordinator::EngineShard;
+use crate::fabric::protocol::{
+    decode, encode, ChaosAction, ShardHeartbeat, ShardResultMsg, ShardTask, WorkerFailure,
+};
+
+/// The hidden CLI subcommand that turns the binary into a shard worker.
+pub const WORKER_SUBCOMMAND: &str = "__shard-worker";
+
+/// Executes a planted chaos instruction. Never returns for `Kill` and
+/// `Panic`; `Hang` sleeps far past any reasonable heartbeat deadline.
+fn execute_chaos(action: ChaosAction) {
+    match action {
+        ChaosAction::Kill => {
+            // A genuine SIGKILL — no unwinding, no atexit, exactly the
+            // failure mode the supervisor must contain. `abort` is the
+            // fallback if no `kill` utility exists.
+            let _ = std::process::Command::new("kill")
+                .arg("-9")
+                .arg(std::process::id().to_string())
+                .status();
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            std::process::abort();
+        }
+        ChaosAction::Panic => panic!("fabric chaos: injected worker panic"),
+        ChaosAction::Hang => std::thread::sleep(std::time::Duration::from_secs(3600)),
+    }
+}
+
+/// Runs the worker loop over arbitrary streams until EOF.
+///
+/// # Errors
+///
+/// Returns a description of the first protocol or I/O failure. Before
+/// failing on an undecodable task the worker attempts to send a
+/// structured [`WorkerFailure`] frame so the supervisor sees a reason,
+/// not just a dead pipe.
+pub fn serve<R: Read, W: Write>(mut reader: R, mut writer: W) -> Result<(), String> {
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(format!("reading task frame: {e}")),
+        };
+        if frame.kind != FrameKind::Task {
+            return Err(format!("expected a task frame, got {:?}", frame.kind));
+        }
+        let task: ShardTask = match decode(&frame.payload) {
+            Ok(task) => task,
+            Err(e) => {
+                let failure = WorkerFailure {
+                    message: format!("undecodable task: {e}"),
+                };
+                let _ = write_frame(&mut writer, FrameKind::Error, &encode(&failure));
+                return Err(format!("undecodable task: {e}"));
+            }
+        };
+        let mut shard = EngineShard::new(
+            task.plan,
+            task.spec.instantiate(),
+            SharedClock::from_clock(SimClock::at(task.now)),
+        );
+        let mut measurements = Vec::with_capacity(task.trials.len());
+        for (index, trial) in task.trials.iter().enumerate() {
+            measurements.extend(shard.measure(&[(trial.id, trial.config.clone(), trial.budget)]));
+            let heartbeat = ShardHeartbeat {
+                shard: task.plan.shard,
+                completed: index + 1,
+            };
+            write_frame(&mut writer, FrameKind::Heartbeat, &encode(&heartbeat))
+                .map_err(|e| format!("sending heartbeat: {e}"))?;
+            if index == 0 {
+                if let Some(action) = task.chaos {
+                    execute_chaos(action);
+                }
+            }
+        }
+        if task.trials.is_empty() {
+            // Chaos still fires on an empty slice, so kill tests do not
+            // silently depend on the partition shape.
+            if let Some(action) = task.chaos {
+                execute_chaos(action);
+            }
+        }
+        let result = ShardResultMsg {
+            shard: task.plan.shard,
+            measurements,
+        };
+        write_frame(&mut writer, FrameKind::Result, &encode(&result))
+            .map_err(|e| format!("sending result: {e}"))?;
+    }
+}
+
+/// Entry point for the hidden `__shard-worker` subcommand: serve
+/// stdin/stdout until EOF, then exit. Exit code 0 is a clean shutdown,
+/// 1 a protocol failure (the supervisor treats both the code and a dead
+/// pipe as a crash when no result arrived).
+pub fn worker_main() -> ! {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve(stdin.lock(), stdout.lock()) {
+        Ok(()) => std::process::exit(0),
+        Err(message) => {
+            eprintln!("shard worker: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SimTrainingBackend, TrainingBackend};
+    use crate::engine::coordinator::ShardPlan;
+    use crate::fabric::protocol::TaskTrial;
+    use edgetune_runtime::frame::encode_frame;
+    use edgetune_tuner::budget::TrialBudget;
+    use edgetune_tuner::space::Config;
+    use edgetune_util::rng::SeedStream;
+    use edgetune_util::units::Seconds;
+    use edgetune_workloads::catalog::{Workload, WorkloadId};
+    use std::io::Cursor;
+
+    fn backend() -> SimTrainingBackend {
+        SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(5))
+    }
+
+    fn sample_trials(n: u64) -> Vec<(u64, Config, TrialBudget)> {
+        let space = backend().search_space();
+        (0..n)
+            .map(|id| {
+                (
+                    id,
+                    space.sample(&mut SeedStream::new(6).rng(&format!("trial-{id}"))),
+                    TrialBudget::new(2.0, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn task_for(trials: &[(u64, Config, TrialBudget)], now: Seconds) -> ShardTask {
+        ShardTask {
+            attempt: 1,
+            plan: ShardPlan {
+                shard: 0,
+                start: 0,
+                len: trials.len(),
+            },
+            spec: backend().process_spec().unwrap(),
+            now,
+            trials: trials
+                .iter()
+                .map(|(id, config, budget)| TaskTrial {
+                    id: *id,
+                    config: config.clone(),
+                    budget: *budget,
+                })
+                .collect(),
+            chaos: None,
+        }
+    }
+
+    fn run_worker(input: Vec<u8>) -> (Result<(), String>, Vec<u8>) {
+        let mut output = Vec::new();
+        let result = serve(Cursor::new(input), &mut output);
+        (result, output)
+    }
+
+    #[test]
+    fn worker_measures_exactly_what_the_primary_backend_would() {
+        let trials = sample_trials(4);
+        let now = Seconds::new(123.0);
+        let task = task_for(&trials, now);
+        let input = encode_frame(FrameKind::Task, &encode(&task));
+
+        let (result, output) = run_worker(input);
+        result.unwrap();
+
+        let mut frames = Vec::new();
+        let mut cursor = Cursor::new(&output);
+        while let Some(frame) = read_frame(&mut cursor).unwrap() {
+            frames.push(frame);
+        }
+        // One heartbeat per trial, then the result.
+        assert_eq!(frames.len(), trials.len() + 1);
+        for (i, frame) in frames[..trials.len()].iter().enumerate() {
+            assert_eq!(frame.kind, FrameKind::Heartbeat);
+            let hb: ShardHeartbeat = decode(&frame.payload).unwrap();
+            assert_eq!(hb.completed, i + 1);
+        }
+        assert_eq!(frames[trials.len()].kind, FrameKind::Result);
+        let result: ShardResultMsg = decode(&frames[trials.len()].payload).unwrap();
+
+        let mut shard = EngineShard::new(
+            task.plan,
+            backend().parallel_snapshot().unwrap(),
+            SharedClock::from_clock(SimClock::at(now)),
+        );
+        let expected = shard.measure(&trials);
+        assert_eq!(result.measurements, expected);
+    }
+
+    #[test]
+    fn worker_serves_multiple_tasks_until_eof() {
+        let trials = sample_trials(2);
+        let mut input = Vec::new();
+        for _ in 0..3 {
+            input.extend(encode_frame(
+                FrameKind::Task,
+                &encode(&task_for(&trials, Seconds::ZERO)),
+            ));
+        }
+        let (result, output) = run_worker(input);
+        result.unwrap();
+        let mut cursor = Cursor::new(&output);
+        let mut results = 0;
+        while let Some(frame) = read_frame(&mut cursor).unwrap() {
+            if frame.kind == FrameKind::Result {
+                results += 1;
+            }
+        }
+        assert_eq!(results, 3);
+    }
+
+    #[test]
+    fn undecodable_task_reports_a_structured_failure() {
+        let input = encode_frame(FrameKind::Task, b"{\"not\": \"a task\"}");
+        let (result, output) = run_worker(input);
+        assert!(result.is_err());
+        let frame = read_frame(&mut Cursor::new(&output)).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Error);
+        let failure: WorkerFailure = decode(&frame.payload).unwrap();
+        assert!(failure.message.contains("undecodable task"));
+    }
+
+    #[test]
+    fn unexpected_frame_kind_is_an_error() {
+        let input = encode_frame(FrameKind::Heartbeat, b"{}");
+        let (result, _) = run_worker(input);
+        assert!(result.unwrap_err().contains("expected a task frame"));
+    }
+
+    #[test]
+    fn empty_input_is_a_clean_shutdown() {
+        let (result, output) = run_worker(Vec::new());
+        result.unwrap();
+        assert!(output.is_empty());
+    }
+}

@@ -54,6 +54,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod fabric;
 pub mod inference;
 pub mod scenario;
 pub mod serve;

@@ -32,6 +32,9 @@ pub const CAT_CACHE: &str = "cache";
 pub const CAT_FAULT: &str = "fault";
 /// Category of serving-runtime batch spans and shed/outage instants.
 pub const CAT_SERVING: &str = "serving";
+/// Category of shard-fabric supervision instants
+/// (spawn/heartbeat/crash/retry), recorded on the fabric's own tracer.
+pub const CAT_FABRIC: &str = "fabric";
 
 /// Process grouping for Model Tuning Server tracks.
 pub const PROCESS_MODEL: &str = "model-server";
@@ -41,6 +44,9 @@ pub const PROCESS_INFERENCE: &str = "inference-server";
 pub const PROCESS_SCHEDULER: &str = "scheduler";
 /// Process grouping for fault/degradation tracks.
 pub const PROCESS_FAULTS: &str = "faults";
+/// Process grouping for shard-fabric supervision tracks (one per
+/// shard), on the fabric's own tracer.
+pub const PROCESS_FABRIC: &str = "fabric";
 
 /// Rebuilds the report's [`Timeline`] from a tracer's event stream.
 ///

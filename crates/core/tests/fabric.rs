@@ -1,0 +1,150 @@
+//! End-to-end invariants of the process shard fabric.
+//!
+//! Every test drives the same study twice — once with in-process shard
+//! threads, once with supervised worker processes self-exec'd from the
+//! real `edgetune` binary — and demands byte-identical report and trace
+//! JSON. The chaos variants plant worker faults (SIGKILL, panic, hang)
+//! or remove the worker executable entirely, and *still* demand
+//! identical bytes: crash containment is only containment if the study
+//! cannot tell anything happened.
+
+use std::path::PathBuf;
+
+use edgetune::config::ShardExec;
+use edgetune::fabric::{ChaosAction, FabricChaos, FabricPolicy};
+use edgetune::prelude::*;
+use edgetune::Engine;
+use edgetune_faults::Deadline;
+use edgetune_util::units::Seconds;
+
+/// The real CLI binary, which dispatches the hidden `__shard-worker`
+/// subcommand. The test harness binary does not, so the policy must
+/// point at the CLI explicitly.
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_edgetune"))
+}
+
+fn process_policy() -> FabricPolicy {
+    FabricPolicy {
+        worker_exe: Some(worker_exe()),
+        ..FabricPolicy::default()
+    }
+}
+
+fn study(shards: usize) -> EdgeTuneConfig {
+    EdgeTuneConfig::for_workload(WorkloadId::Ic)
+        .with_scheduler(SchedulerConfig::new(4, 2.0, 4))
+        .with_study_shards(shards)
+        .with_seed(11)
+}
+
+/// Runs a study and returns its byte-stability surface: the report JSON
+/// and the study trace JSON, plus the report for stats assertions.
+fn run(config: &EdgeTuneConfig) -> (String, String, TuningReport) {
+    let (report, trace) = Engine::new(config).run_traced().expect("study runs");
+    let json = report.to_json().expect("report serialises");
+    (json, trace.to_json_pretty(), report)
+}
+
+#[test]
+fn process_mode_reproduces_thread_bytes_across_shard_counts() {
+    for shards in [1, 4] {
+        let (thread_json, thread_trace, thread_report) = run(&study(shards));
+        let (proc_json, proc_trace, proc_report) = run(&study(shards)
+            .with_shard_exec(ShardExec::Process)
+            .with_fabric_policy(process_policy()));
+        assert_eq!(
+            thread_json, proc_json,
+            "report bytes differ at {shards} shards"
+        );
+        assert_eq!(
+            thread_trace, proc_trace,
+            "trace bytes differ at {shards} shards"
+        );
+        assert!(thread_report.fabric_stats().is_none());
+        if shards > 1 {
+            let stats = proc_report.fabric_stats().expect("fabric engaged");
+            assert!(stats.spawns > 0, "no worker was spawned: {stats:?}");
+            assert!(stats.heartbeats > 0, "no heartbeat arrived: {stats:?}");
+            assert_eq!(stats.crashes, 0, "clean run crashed: {stats:?}");
+        }
+    }
+}
+
+#[test]
+fn sigkilled_worker_is_retried_without_disturbing_the_study() {
+    let (thread_json, thread_trace, _) = run(&study(4));
+    let mut policy = process_policy();
+    policy.chaos = Some(FabricChaos {
+        shard: 0,
+        action: ChaosAction::Kill,
+    });
+    let (proc_json, proc_trace, report) = run(&study(4)
+        .with_shard_exec(ShardExec::Process)
+        .with_fabric_policy(policy));
+    assert_eq!(thread_json, proc_json, "kill chaos changed report bytes");
+    assert_eq!(thread_trace, proc_trace, "kill chaos changed trace bytes");
+    let stats = report.fabric_stats().expect("fabric engaged");
+    assert!(stats.crashes > 0, "planted SIGKILL never fired: {stats:?}");
+    assert!(stats.retries > 0, "crash was not retried: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "retry should have sufficed: {stats:?}");
+}
+
+#[test]
+fn panicking_worker_is_retried_without_disturbing_the_study() {
+    let (thread_json, thread_trace, _) = run(&study(2));
+    let mut policy = process_policy();
+    policy.chaos = Some(FabricChaos {
+        shard: 1,
+        action: ChaosAction::Panic,
+    });
+    let (proc_json, proc_trace, report) = run(&study(2)
+        .with_shard_exec(ShardExec::Process)
+        .with_fabric_policy(policy));
+    assert_eq!(thread_json, proc_json, "panic chaos changed report bytes");
+    assert_eq!(thread_trace, proc_trace, "panic chaos changed trace bytes");
+    let stats = report.fabric_stats().expect("fabric engaged");
+    assert!(stats.crashes > 0, "planted panic never fired: {stats:?}");
+    assert!(stats.retries > 0, "crash was not retried: {stats:?}");
+}
+
+#[test]
+fn hung_worker_trips_the_heartbeat_deadline_and_is_retried() {
+    let (thread_json, thread_trace, _) = run(&study(2));
+    let mut policy = process_policy();
+    policy.supervisor = policy
+        .supervisor
+        .with_deadline(Deadline::new(Seconds::new(0.3)));
+    policy.chaos = Some(FabricChaos {
+        shard: 0,
+        action: ChaosAction::Hang,
+    });
+    let (proc_json, proc_trace, report) = run(&study(2)
+        .with_shard_exec(ShardExec::Process)
+        .with_fabric_policy(policy));
+    assert_eq!(thread_json, proc_json, "hang chaos changed report bytes");
+    assert_eq!(thread_trace, proc_trace, "hang chaos changed trace bytes");
+    let stats = report.fabric_stats().expect("fabric engaged");
+    assert!(stats.timeouts > 0, "deadline never fired: {stats:?}");
+    assert!(stats.retries > 0, "hang was not retried: {stats:?}");
+}
+
+#[test]
+fn exhausted_retry_budget_degrades_to_in_process_execution() {
+    let (thread_json, thread_trace, _) = run(&study(4));
+    // No such executable: every spawn fails, every retry fails, and the
+    // ladder's terminal rung runs each slice on the supervising thread.
+    let mut policy = process_policy();
+    policy.worker_exe = Some(PathBuf::from("/nonexistent/edgetune-worker"));
+    let (proc_json, proc_trace, report) = run(&study(4)
+        .with_shard_exec(ShardExec::Process)
+        .with_fabric_policy(policy));
+    assert_eq!(thread_json, proc_json, "fallback changed report bytes");
+    assert_eq!(thread_trace, proc_trace, "fallback changed trace bytes");
+    let stats = report.fabric_stats().expect("fabric engaged");
+    assert!(
+        stats.fallbacks > 0,
+        "retry budget never exhausted: {stats:?}"
+    );
+    assert_eq!(stats.spawns, 0, "nothing spawnable existed: {stats:?}");
+}

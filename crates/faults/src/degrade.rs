@@ -16,6 +16,10 @@ pub enum Fallback {
     /// Give up on the trial and record it with a penalty score so the
     /// scheduler routes budget elsewhere.
     SkipWithPenalty,
+    /// Abandon process isolation and run the work in-process on the
+    /// supervisor's own thread — the shard fabric's terminal rung when a
+    /// worker process exhausts its retry budget.
+    InProcess,
 }
 
 impl Fallback {
@@ -28,6 +32,7 @@ impl Fallback {
             Fallback::StaleCache => "stale_cache",
             Fallback::DeviceDefault => "device_default",
             Fallback::SkipWithPenalty => "skip_with_penalty",
+            Fallback::InProcess => "in_process",
         }
     }
 }

@@ -1,0 +1,108 @@
+//! Wall-clock behaviour of [`Supervisor`] and [`Deadline`].
+//!
+//! The unit tests in `retry.rs` pin the policy arithmetic on the
+//! virtual clock; these tests run the *same* policy objects against
+//! real host time — short real sleeps, a real hung thread — because the
+//! process shard fabric supervises its workers in the wall-clock
+//! domain. Durations are kept generous relative to scheduler jitter so
+//! the tests stay honest on loaded CI machines.
+
+use std::time::Duration;
+
+use edgetune_faults::{Deadline, RetryPolicy, Supervisor};
+use edgetune_runtime::WallClock;
+use edgetune_util::rng::SeedStream;
+use edgetune_util::units::Seconds;
+
+#[test]
+fn deadline_fires_under_real_time() {
+    let deadline = Deadline::new(Seconds::new(0.02));
+    let clock = WallClock::new();
+    let start = clock.now();
+    assert!(
+        !deadline.exceeded_since(&clock, start),
+        "a 20 ms deadline cannot already be spent"
+    );
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(deadline.exceeded_since(&clock, start));
+
+    // A generous limit is untouched by the same wait.
+    assert!(!Deadline::new(Seconds::new(60.0)).exceeded_since(&clock, start));
+}
+
+#[test]
+fn supervised_retry_loop_recovers_in_real_time() {
+    // Fail twice, succeed on the third attempt, sleeping the policy's
+    // real jittered backoff between attempts — the exact loop shape the
+    // process fabric runs per shard.
+    let supervisor = Supervisor::new(RetryPolicy {
+        max_attempts: 3,
+        base_delay: Seconds::new(0.01),
+        multiplier: 2.0,
+        max_delay: Seconds::new(0.05),
+        jitter: 0.5,
+    });
+    let seed = SeedStream::new(3);
+    let clock = WallClock::new();
+    let start = clock.now();
+
+    let mut attempt = 1u32;
+    let mut slept = Seconds::ZERO;
+    loop {
+        let failed = attempt < 3;
+        if !failed {
+            break;
+        }
+        assert!(
+            !supervisor.give_up(attempt),
+            "budget spent before the flake cleared"
+        );
+        let backoff = supervisor.backoff(attempt, seed, u64::from(attempt));
+        std::thread::sleep(Duration::from_secs_f64(backoff.value()));
+        slept += backoff;
+        attempt += 1;
+    }
+
+    assert_eq!(attempt, 3);
+    // Real elapsed time covers at least the backoff actually slept
+    // (jitter only ever shortens delays, never stretches them).
+    assert!(clock.now() - start >= slept);
+    assert!(slept.value() > 0.0, "backoff schedule never slept");
+}
+
+#[test]
+fn hung_work_is_detected_while_it_is_still_hung() {
+    // A worker that stops responding for 500 ms, watched by a 40 ms
+    // heartbeat deadline polled on the wall clock: detection must come
+    // long before the hang resolves.
+    let hung = std::thread::spawn(|| std::thread::sleep(Duration::from_millis(500)));
+    let supervisor =
+        Supervisor::new(RetryPolicy::no_retries()).with_deadline(Deadline::new(Seconds::new(0.04)));
+    let clock = WallClock::new();
+    let start = clock.now();
+    while !supervisor.deadline_exceeded_since(&clock, start) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let detected_after = clock.now() - start;
+    assert!(
+        detected_after.value() < 0.5,
+        "deadline ({detected_after:?}) fired only after the hang resolved"
+    );
+    assert!(
+        !hung.is_finished(),
+        "the hung worker returned before the deadline tripped"
+    );
+    hung.join().unwrap();
+}
+
+#[test]
+fn wall_clock_ignores_virtual_advances() {
+    use edgetune_runtime::Clock;
+    // The fabric hands policies a clock it cannot steer: model-cost
+    // `advance` calls must not consume real deadline budget.
+    let clock = WallClock::new();
+    let start = Clock::now(&clock);
+    clock.advance(Seconds::new(1e6));
+    let deadline = Deadline::new(Seconds::new(30.0));
+    assert!(!deadline.exceeded_since(&clock, start));
+}

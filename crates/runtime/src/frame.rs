@@ -1,0 +1,375 @@
+//! Length-prefixed, checksummed frame codec for inter-process pipes.
+//!
+//! The shard fabric ships serialised plans and measurement histories
+//! between the orchestrator and its worker processes over plain
+//! stdin/stdout pipes. Pipes deliver bytes, not messages, and a worker
+//! can die mid-write, so every message travels inside a frame:
+//!
+//! ```text
+//! magic(2) | kind(1) | len(4, LE) | crc32(4, LE over payload) | payload
+//! ```
+//!
+//! The reader state machine promises three things no matter what the
+//! peer does: a clean EOF on a frame boundary is `Ok(None)`, a torn or
+//! truncated tail is a [`FrameError`] (never a panic), and a corrupt
+//! header can never make it allocate or wait for an absurd payload
+//! (lengths above [`MAX_FRAME_LEN`] are rejected before any read).
+//! Checksums are CRC-32 (IEEE), computed over the payload only.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Two-byte frame preamble; catches desynchronised or garbage streams
+/// before the length field is trusted.
+pub const FRAME_MAGIC: [u8; 2] = [0xED, 0x67];
+
+/// Upper bound on a single frame's payload (64 MiB). A corrupt length
+/// field must not be able to trigger a giant allocation or an
+/// effectively-infinite blocking read.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead preceding every payload.
+pub const FRAME_HEADER_LEN: usize = 11;
+
+/// What a frame carries — the fabric's tiny message vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Orchestrator → worker: a serialised shard task.
+    Task,
+    /// Worker → orchestrator: liveness plus progress.
+    Heartbeat,
+    /// Worker → orchestrator: the measured shard history.
+    Result,
+    /// Worker → orchestrator: a structured failure description.
+    Error,
+}
+
+impl FrameKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            Self::Task => 1,
+            Self::Heartbeat => 2,
+            Self::Result => 3,
+            Self::Error => 4,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(Self::Task),
+            2 => Some(Self::Heartbeat),
+            3 => Some(Self::Result),
+            4 => Some(Self::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant.
+    pub kind: FrameKind,
+    /// Verbatim payload bytes (checksum already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The stream ended inside a frame (torn write / killed peer).
+    Truncated,
+    /// The bytes were there but wrong: bad magic, unknown kind, or a
+    /// checksum mismatch.
+    Corrupt(&'static str),
+    /// The length field exceeded [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "frame i/o error: {e}"),
+            Self::Truncated => write!(f, "stream truncated inside a frame"),
+            Self::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            Self::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds maximum {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time so the codec carries no external dependency.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+/// Encodes one frame to a byte vector (header + payload).
+#[must_use]
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind.to_wire());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame and flushes the writer, so a single-frame message is
+/// visible to the peer immediately.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if the payload exceeds [`MAX_FRAME_LEN`];
+/// [`FrameError::Io`] if the writer fails.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes. `Ok(false)` means EOF arrived before
+/// the *first* byte (a clean boundary when `at_boundary`); EOF after a
+/// partial read is always [`FrameError::Truncated`].
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads the next frame.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary. Any other
+/// premature end of stream is [`FrameError::Truncated`]; wrong magic,
+/// an unknown kind byte, or a checksum mismatch is
+/// [`FrameError::Corrupt`]. The reader never panics and never attempts
+/// a read longer than [`MAX_FRAME_LEN`], regardless of input.
+///
+/// # Errors
+///
+/// See above: [`FrameError::Io`], [`FrameError::Truncated`],
+/// [`FrameError::Corrupt`], or [`FrameError::TooLarge`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_full(r, &mut header)? {
+        return Ok(None);
+    }
+    if header[0..2] != FRAME_MAGIC {
+        return Err(FrameError::Corrupt("bad magic"));
+    }
+    let Some(kind) = FrameKind::from_wire(header[2]) else {
+        return Err(FrameError::Corrupt("unknown frame kind"));
+    };
+    let len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let expected_crc = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    let mut payload = vec![0u8; len];
+    if !read_full(r, &mut payload)? && len > 0 {
+        return Err(FrameError::Truncated);
+    }
+    if crc32(&payload) != expected_crc {
+        return Err(FrameError::Corrupt("checksum mismatch"));
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"hello fabric").unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Task);
+        assert_eq!(frame.payload, b"hello fabric");
+    }
+
+    #[test]
+    fn round_trips_an_empty_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Heartbeat, b"").unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Heartbeat);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_between_frames_is_none() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Result, b"one").unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert!(read_frame(&mut cursor).unwrap().is_some());
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"payload").unwrap();
+        for cut in 1..FRAME_HEADER_LEN {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, FrameError::Truncated), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"payload").unwrap();
+        for cut in FRAME_HEADER_LEN..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, FrameError::Truncated), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"x").unwrap();
+        buf[0] ^= 0xFF;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(_)));
+    }
+
+    #[test]
+    fn unknown_kind_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"x").unwrap();
+        buf[2] = 99;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(_)));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Result, b"measurements").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt("checksum mismatch")));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_reading() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"x").unwrap();
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        buf[3..7].copy_from_slice(&huge);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        struct NullSink;
+        impl std::io::Write for NullSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        let err = write_frame(&mut NullSink, FrameKind::Task, &payload).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Task, b"first").unwrap();
+        write_frame(&mut buf, FrameKind::Heartbeat, b"second").unwrap();
+        write_frame(&mut buf, FrameKind::Result, b"third").unwrap();
+        let mut cursor = Cursor::new(&buf);
+        let kinds: Vec<FrameKind> = std::iter::from_fn(|| read_frame(&mut cursor).unwrap())
+            .map(|f| f.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![FrameKind::Task, FrameKind::Heartbeat, FrameKind::Result]
+        );
+    }
+}

@@ -15,9 +15,17 @@
 //!   interleaving affects wall-clock duration only; the returned vector
 //!   is bit-identical to a sequential map, which is what lets the tuning
 //!   engine scale with cores while reports stay byte-identical per seed.
+//! * **Pipe framing** — the [`frame`] codec: length-prefixed,
+//!   CRC-checksummed message frames for processes talking over raw
+//!   pipes, with torn writes and truncation surfacing as clean
+//!   [`FrameError`]s instead of hangs or panics.
 
 pub mod clock;
+pub mod frame;
 pub mod pool;
 
 pub use clock::{Clock, SharedClock, SimClock, WallClock};
+pub use frame::{
+    crc32, encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, MAX_FRAME_LEN,
+};
 pub use pool::parallel_map_ordered;

@@ -1,0 +1,171 @@
+//! Property tests for the pipe frame codec: frames must survive
+//! arbitrary read splits, and any truncation or torn write must surface
+//! as a clean [`FrameError`] — never a panic, never a hang. The shard
+//! fabric's crash containment rests on these guarantees.
+
+use std::io::{Cursor, Read};
+
+use edgetune_runtime::frame::{
+    encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, FRAME_HEADER_LEN,
+};
+use proptest::prelude::*;
+
+/// A reader that hands back the stream in caller-chosen chunk sizes,
+/// modelling how a pipe delivers bytes in arbitrary pieces.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Self {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = if self.chunks.is_empty() {
+            1
+        } else {
+            let c = self.chunks[self.next_chunk % self.chunks.len()];
+            self.next_chunk += 1;
+            c.max(1)
+        };
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn kind_from(idx: u8) -> FrameKind {
+    match idx % 4 {
+        0 => FrameKind::Task,
+        1 => FrameKind::Heartbeat,
+        2 => FrameKind::Result,
+        _ => FrameKind::Error,
+    }
+}
+
+fn drain(reader: &mut impl Read) -> (Vec<Frame>, Result<(), FrameError>) {
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(reader) {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => return (frames, Ok(())),
+            Err(e) => return (frames, Err(e)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any frame sequence decodes identically no matter how the reads
+    /// are split up.
+    #[test]
+    fn frames_survive_arbitrary_read_splits(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..64), 1..6),
+        kinds in prop::collection::vec(0u8..4, 1..6),
+        chunks in prop::collection::vec(1usize..13, 1..8),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            let kind = kind_from(kinds[i % kinds.len()]);
+            write_frame(&mut stream, kind, payload).unwrap();
+            expected.push(Frame { kind, payload: payload.clone() });
+        }
+        let mut reader = ChunkedReader::new(stream, chunks);
+        let (frames, end) = drain(&mut reader);
+        prop_assert!(end.is_ok());
+        prop_assert_eq!(frames, expected);
+    }
+
+    /// Truncating the stream anywhere yields a prefix of the original
+    /// frames and then either a clean EOF (cut on a boundary) or a
+    /// `Truncated` error — never a panic, never an `Ok` with mangled
+    /// data.
+    #[test]
+    fn truncation_yields_clean_error(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..48), 1..5),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for payload in &payloads {
+            write_frame(&mut stream, FrameKind::Result, payload).unwrap();
+            boundaries.push(stream.len());
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        let truncated = stream[..cut.min(stream.len())].to_vec();
+        let on_boundary = boundaries.contains(&truncated.len());
+
+        let (frames, end) = drain(&mut Cursor::new(&truncated));
+        // Decoded frames are exactly the ones whose bytes fully fit.
+        let complete = boundaries.iter().filter(|b| **b > 0 && **b <= truncated.len()).count();
+        prop_assert_eq!(frames.len(), complete);
+        for (frame, payload) in frames.iter().zip(payloads.iter()) {
+            prop_assert_eq!(&frame.payload, payload);
+        }
+        if on_boundary {
+            prop_assert!(end.is_ok());
+        } else {
+            prop_assert!(matches!(end, Err(FrameError::Truncated)));
+        }
+    }
+
+    /// A torn write — any byte of the frame XORed with a non-zero mask —
+    /// is either detected as an error or decodes to something that is
+    /// visibly not the original frame (a flipped kind byte can still be
+    /// a valid kind). It never panics and never silently returns the
+    /// original payload.
+    #[test]
+    fn torn_writes_never_pass_as_the_original(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        kind_idx in 0u8..4,
+        flip_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let kind = kind_from(kind_idx);
+        let original = Frame { kind, payload: payload.clone() };
+        let mut stream = encode_frame(kind, &payload);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (((stream.len() - 1) as f64) * flip_frac) as usize;
+        let idx = idx.min(stream.len() - 1);
+        stream[idx] ^= mask;
+
+        if let Ok(Some(decoded)) = read_frame(&mut Cursor::new(&stream)) {
+            prop_assert_ne!(decoded, original);
+        }
+    }
+
+    /// Feeding pure garbage to the reader returns promptly with *some*
+    /// result for any input — the decoder never panics on arbitrary
+    /// bytes.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..128)) {
+        let mut cursor = Cursor::new(&bytes);
+        let _ = drain(&mut cursor);
+    }
+
+    /// Header length constant matches the encoder's actual framing
+    /// overhead for every payload.
+    #[test]
+    fn header_overhead_is_constant(payload in prop::collection::vec(0u8..=255, 0..64)) {
+        let encoded = encode_frame(FrameKind::Task, &payload);
+        prop_assert_eq!(encoded.len(), FRAME_HEADER_LEN + payload.len());
+    }
+}

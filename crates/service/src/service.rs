@@ -305,6 +305,22 @@ impl StudyService {
         let mut states: Vec<StudyState> = Vec::new();
         let mut rejected: Vec<RejectedStudy> = Vec::new();
         for submission in &file.studies {
+            // Unresolvable names reject this study alone — never the
+            // whole submission file — and consume no queue room.
+            let ids = submission
+                .workload_id()
+                .and_then(|w| submission.metric_id().map(|m| (w, m)));
+            let (workload, metric) = match ids {
+                Ok(ids) => ids,
+                Err(err) => {
+                    rejected.push(RejectedStudy {
+                        tenant: submission.tenant.clone(),
+                        study: submission.name.clone(),
+                        reason: err.to_string(),
+                    });
+                    continue;
+                }
+            };
             let room = queue_room
                 .get_mut(submission.tenant.as_str())
                 .expect("validated tenant");
@@ -320,8 +336,8 @@ impl StudyService {
             let cold = SchedulerConfig::new(submission.trials, 2.0, submission.max_iter);
             let (_, planned_rungs) = planned_study(cold);
             let state = StudyState {
-                workload: submission.workload_id()?,
-                metric: submission.metric_id()?,
+                workload,
+                metric,
                 submission: submission.clone(),
                 cold,
                 warm_seeds: Vec::new(),
@@ -397,21 +413,45 @@ impl StudyService {
                 }
                 Ok(report) if !report.halted() => {
                     let state = &states[idx];
-                    let key = self.donor_key(state, &report);
-                    self.transfer
-                        .record(key, self.donation(&report), report.best().outcome.score);
-                    let json = report.to_json()?;
-                    std::fs::write(self.study_path(&state.submission, "report.json"), &json)?;
-                    outcomes[idx] = Some(StudyOutcome {
-                        tenant: state.submission.tenant.clone(),
-                        study: state.submission.name.clone(),
-                        seed: state.submission.seed,
-                        slices: state.slices,
-                        warm_hits: state.warm_hits,
-                        trials_saved: state.trials_saved,
-                        evaluated_trials: report.history().len() as u64,
-                        report: Some(report),
-                        error: None,
+                    // Harvest failures (an unserialisable report, an
+                    // unwritable report path) fail *this study*, not the
+                    // whole submission file — and a study whose report
+                    // could not be persisted donates nothing.
+                    let harvest = report.to_json().and_then(|json| {
+                        std::fs::write(self.study_path(&state.submission, "report.json"), &json)
+                            .map_err(Error::from)
+                    });
+                    outcomes[idx] = Some(match harvest {
+                        Ok(()) => {
+                            let key = self.donor_key(state, &report);
+                            self.transfer.record(
+                                key,
+                                self.donation(&report),
+                                report.best().outcome.score,
+                            );
+                            StudyOutcome {
+                                tenant: state.submission.tenant.clone(),
+                                study: state.submission.name.clone(),
+                                seed: state.submission.seed,
+                                slices: state.slices,
+                                warm_hits: state.warm_hits,
+                                trials_saved: state.trials_saved,
+                                evaluated_trials: report.history().len() as u64,
+                                report: Some(report),
+                                error: None,
+                            }
+                        }
+                        Err(err) => StudyOutcome {
+                            tenant: state.submission.tenant.clone(),
+                            study: state.submission.name.clone(),
+                            seed: state.submission.seed,
+                            slices: state.slices,
+                            warm_hits: state.warm_hits,
+                            trials_saved: state.trials_saved,
+                            evaluated_trials: 0,
+                            report: None,
+                            error: Some(format!("harvest failed: {err}")),
+                        },
                     });
                     scheduler.remove(idx);
                     self.cleanup(&state.submission);

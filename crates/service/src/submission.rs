@@ -155,6 +155,9 @@ impl SubmissionFile {
     /// Parses a submission file from JSON and validates its internal
     /// references: tenant names unique, every study owned by a declared
     /// tenant, study names unique per tenant, chaos rates in range.
+    /// Per-study workload/metric names are *not* checked here — the
+    /// service rejects studies with unknown names at admission, so one
+    /// bad study never invalidates the whole file.
     ///
     /// # Errors
     ///
@@ -223,8 +226,10 @@ impl SubmissionFile {
                     study.tenant, study.name
                 )));
             }
-            study.workload_id()?;
-            study.metric_id()?;
+            // Unknown workload/metric names are deliberately *not* a
+            // file-level error: one tenant's typo must not sink every
+            // other tenant's studies. The service rejects such studies
+            // individually at admission.
         }
         Ok(())
     }
@@ -283,23 +288,26 @@ mod tests {
     }
 
     #[test]
-    fn bad_workload_metric_and_rate_are_rejected() {
-        for (field, json) in [
-            (
-                "workload",
-                r#"{"tenants": [{"name": "a"}], "studies": [{"tenant": "a", "name": "s", "workload": "vision", "seed": 1}]}"#,
-            ),
-            (
-                "metric",
-                r#"{"tenants": [{"name": "a"}], "studies": [{"tenant": "a", "name": "s", "workload": "ic", "metric": "latency", "seed": 1}]}"#,
-            ),
-            (
-                "chaos_rate",
-                r#"{"tenants": [{"name": "a"}], "studies": [{"tenant": "a", "name": "s", "workload": "ic", "chaos_rate": 1.5, "seed": 1}]}"#,
-            ),
-        ] {
-            assert!(SubmissionFile::from_json(json).is_err(), "{field}");
-        }
+    fn out_of_range_chaos_rate_is_rejected() {
+        let json = r#"{"tenants": [{"name": "a"}], "studies": [{"tenant": "a", "name": "s", "workload": "ic", "chaos_rate": 1.5, "seed": 1}]}"#;
+        assert!(SubmissionFile::from_json(json).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_or_metric_parses_but_fails_resolution() {
+        // File-level parsing tolerates unknown names (the service
+        // rejects the study at admission instead); the resolvers still
+        // report them.
+        let json = r#"{
+            "tenants": [{"name": "a"}],
+            "studies": [
+                {"tenant": "a", "name": "s1", "workload": "vision", "seed": 1},
+                {"tenant": "a", "name": "s2", "workload": "ic", "metric": "latency", "seed": 2}
+            ]
+        }"#;
+        let file = SubmissionFile::from_json(json).expect("file-level checks pass");
+        assert!(file.studies[0].workload_id().is_err());
+        assert!(file.studies[1].metric_id().is_err());
     }
 
     #[test]

@@ -288,6 +288,107 @@ fn chaos_study_runs_alongside_clean_studies_without_contamination() {
 }
 
 #[test]
+fn invalid_studies_are_rejected_without_sinking_their_siblings() {
+    let dir = work_dir("invalid-sibling");
+    // One typo'd workload, one typo'd metric, one good study — under a
+    // queue limit of 1, so the test also proves rejected studies
+    // consume no queue room.
+    let file = SubmissionFile::from_json(
+        r#"{
+            "tenants": [{"name": "alpha", "queue_limit": 1}],
+            "studies": [
+                {"tenant": "alpha", "name": "typo-w", "workload": "vision", "seed": 1,
+                 "trials": 2, "max_iter": 2},
+                {"tenant": "alpha", "name": "typo-m", "workload": "ic", "metric": "latency",
+                 "seed": 2, "trials": 2, "max_iter": 2},
+                {"tenant": "alpha", "name": "good", "workload": "ic", "seed": 41,
+                 "trials": 4, "max_iter": 4}
+            ]
+        }"#,
+    )
+    .unwrap();
+    let report = StudyService::new(ServiceOptions::new(&dir))
+        .unwrap()
+        .run(&file)
+        .expect("one bad study must not abort the submission file");
+
+    assert_eq!(report.rejected.len(), 2);
+    let reason = |study: &str| {
+        report
+            .rejected
+            .iter()
+            .find(|r| r.study == study)
+            .unwrap_or_else(|| panic!("{study} not rejected"))
+            .reason
+            .clone()
+    };
+    assert!(
+        reason("typo-w").contains("unknown workload"),
+        "{}",
+        reason("typo-w")
+    );
+    assert!(
+        reason("typo-m").contains("unknown metric"),
+        "{}",
+        reason("typo-m")
+    );
+
+    assert_eq!(report.outcomes.len(), 1);
+    let good = report.outcome("alpha", "good").unwrap();
+    assert_eq!(
+        good.report
+            .as_ref()
+            .expect("sibling completed")
+            .to_json()
+            .unwrap(),
+        solo_json(WorkloadId::Ic, Metric::Runtime, 41, 4, 4),
+        "rejections disturbed the surviving study"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unwritable_report_path_fails_the_study_not_the_run() {
+    let dir = work_dir("harvest-failure");
+    let file = SubmissionFile::from_json(
+        r#"{
+            "tenants": [{"name": "alpha"}, {"name": "beta"}],
+            "studies": [
+                {"tenant": "alpha", "name": "blocked", "workload": "ic", "seed": 9,
+                 "trials": 2, "max_iter": 2},
+                {"tenant": "beta", "name": "fine", "workload": "ic", "seed": 41,
+                 "trials": 4, "max_iter": 4}
+            ]
+        }"#,
+    )
+    .unwrap();
+    let mut service = StudyService::new(ServiceOptions::new(&dir)).unwrap();
+    // Squat on the blocked study's report path with a directory so the
+    // harvest write fails deterministically.
+    std::fs::create_dir_all(dir.join("alpha.blocked.report.json")).unwrap();
+    let report = service
+        .run(&file)
+        .expect("a failed harvest must not abort the submission file");
+
+    let blocked = report.outcome("alpha", "blocked").unwrap();
+    assert!(blocked.report.is_none());
+    let error = blocked.error.as_deref().expect("harvest error recorded");
+    assert!(error.contains("harvest failed"), "{error}");
+
+    let fine = report.outcome("beta", "fine").unwrap();
+    assert_eq!(
+        fine.report
+            .as_ref()
+            .expect("sibling completed")
+            .to_json()
+            .unwrap(),
+        solo_json(WorkloadId::Ic, Metric::Runtime, 41, 4, 4),
+        "the harvest failure disturbed the sibling study"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn queue_limit_rejects_overflow_without_failing_the_run() {
     let dir = work_dir("queue-limit");
     let file = SubmissionFile::from_json(
