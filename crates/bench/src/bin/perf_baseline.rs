@@ -21,12 +21,28 @@
 //! - `process_spawn_ms`: spawning and reaping one child process (a
 //!   no-op self-exec) — the fabric's per-attempt overhead floor.
 //!
-//! Usage: `perf_baseline [--fabric] [--out FILE]` (default
-//! `BENCH_service.json`). Numbers are host-dependent; the committed
+//! `perf_baseline --hotpath` measures the hot-path campaign's targets
+//! (default `BENCH_hotpath.json`):
+//!
+//! - `matmul_blocked_ns` / `matmul_naive_ns`: one 256×256 matmul
+//!   through the cache-blocked kernel vs the textbook triple loop.
+//! - `snapshot_cow_ns` / `snapshot_deep_clone_ns`: one copy-on-write
+//!   `parallel_snapshot` of the real-training backend vs deep-cloning
+//!   its dataset payloads (the pre-COW behaviour).
+//! - `study_wall_ms` / `study_allocs_per_trial`: wall time and heap
+//!   allocations (counted by this binary's global allocator) of a full
+//!   traced study; the Chrome trace lands in `--trace-out` for
+//!   `edgetune trace-summary`.
+//!
+//! Usage: `perf_baseline [--fabric|--hotpath] [--out FILE]
+//! [--trace-out FILE]` (defaults `BENCH_service.json` /
+//! `hotpath.trace.json`). Numbers are host-dependent; the committed
 //! baseline anchors the trend, it is not a cross-machine contract.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use edgetune::cache::{CacheKey, HistoricalCache};
@@ -34,6 +50,37 @@ use edgetune::inference::InferenceRecommendation;
 use edgetune::prelude::*;
 use edgetune_service::FairScheduler;
 use edgetune_util::units::{Hertz, ItemsPerSecond, JoulesPerItem, Seconds};
+
+/// Allocation-counting wrapper over the system allocator, so the
+/// `--hotpath` mode can report how many heap allocations a study costs
+/// per trial. Counting is two relaxed atomic bumps per alloc/realloc —
+/// cheap enough to leave on for every mode.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Median of `n` timed runs of `f`, in nanoseconds.
 fn median_ns(n: usize, mut f: impl FnMut()) -> u128 {
@@ -219,6 +266,114 @@ fn run_fabric_baseline(out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One 256×256 matmul through the cache-blocked kernel and through the
+/// textbook triple loop (both bit-identical; see the nn crate's
+/// `kernel_properties` suite). Returns `(blocked_ns, naive_ns)`.
+fn bench_matmul() -> (u128, u128) {
+    use edgetune_nn::tensor::Tensor;
+    use edgetune_util::rng::SeedStream;
+    let a = Tensor::randn(&[256, 256], 1.0, SeedStream::new(11));
+    let b = Tensor::randn(&[256, 256], 1.0, SeedStream::new(12));
+    let blocked = median_ns(15, || {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+    let naive = median_ns(15, || {
+        black_box(black_box(&a).matmul_naive(black_box(&b)));
+    });
+    (blocked, naive)
+}
+
+/// One rung snapshot of the convolutional real-training backend — the
+/// backend with the largest snapshot payload (a procedural tiny-image
+/// dataset): the copy-on-write `parallel_snapshot` (Arc handles, a
+/// clock fork and a few `Copy` fields) vs what the pre-COW code cloned
+/// per worker, the same struct with both dataset payloads duplicated.
+/// The datasets are rebuilt here exactly the way `convnet` builds them.
+/// Returns `(cow_ns, deep_clone_ns)`.
+fn bench_snapshot() -> (u128, u128) {
+    use edgetune::backend::{NnTrainingBackend, TrainingBackend};
+    use edgetune_nn::data::Dataset;
+    use edgetune_util::rng::SeedStream;
+    let seed = SeedStream::new(7);
+    let backend = NnTrainingBackend::convnet(seed);
+    let data = Dataset::tiny_images(400, 8, 4, 0.25, seed.child("data"));
+    let (train, val) = data.split(0.8);
+    // The snapshot is fast enough that timer overhead would swamp a
+    // single call, so each sample times a batch and divides.
+    const BATCH: u128 = 128;
+    let cow = median_ns(200, || {
+        for _ in 0..BATCH {
+            black_box(backend.parallel_snapshot().expect("nn backend snapshots"));
+        }
+    }) / BATCH;
+    // What the pre-COW snapshot did: the same struct copy, but with the
+    // train/val payloads duplicated instead of Arc-shared.
+    let deep = median_ns(200, || {
+        for _ in 0..BATCH {
+            let snapshot = backend.parallel_snapshot().expect("nn backend snapshots");
+            black_box((train.clone(), val.clone()));
+            black_box(snapshot);
+        }
+    }) / BATCH;
+    (cow, deep)
+}
+
+/// A full traced study with the allocation counter running: wall time,
+/// total heap allocations, trial count, and the Chrome trace.
+fn bench_traced_study() -> Result<(f64, u64, u64, edgetune_trace::ChromeTrace), String> {
+    let before = allocations();
+    let start = Instant::now();
+    let (report, trace) = EdgeTune::new(study_config(42))
+        .run_traced()
+        .map_err(|e| e.to_string())?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let allocs = allocations() - before;
+    Ok((wall_ms, allocs, report.history().len() as u64, trace))
+}
+
+fn run_hotpath_baseline(out: &str, trace_out: &str) -> ExitCode {
+    eprintln!("measuring blocked vs naive 256x256 matmul...");
+    let (matmul_blocked_ns, matmul_naive_ns) = bench_matmul();
+    eprintln!("measuring copy-on-write vs deep-clone snapshot...");
+    let (snapshot_cow_ns, snapshot_deep_clone_ns) = bench_snapshot();
+    eprintln!("running an allocation-counted traced study...");
+    let (study_wall_ms, study_allocs, study_trials, trace) = match bench_traced_study() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let study_allocs_per_trial = study_allocs / study_trials.max(1);
+    let matmul_speedup = matmul_naive_ns as f64 / matmul_blocked_ns.max(1) as f64;
+    let snapshot_speedup = snapshot_deep_clone_ns as f64 / snapshot_cow_ns.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"hotpath-baseline\",\n  \
+         \"matmul_blocked_ns\": {matmul_blocked_ns},\n  \
+         \"matmul_naive_ns\": {matmul_naive_ns},\n  \
+         \"matmul_speedup\": {matmul_speedup:.2},\n  \
+         \"snapshot_cow_ns\": {snapshot_cow_ns},\n  \
+         \"snapshot_deep_clone_ns\": {snapshot_deep_clone_ns},\n  \
+         \"snapshot_speedup\": {snapshot_speedup:.2},\n  \
+         \"study_wall_ms\": {study_wall_ms:.3},\n  \
+         \"study_trials\": {study_trials},\n  \
+         \"study_allocs_per_trial\": {study_allocs_per_trial}\n}}\n"
+    );
+    eprint!("{json}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("baseline written to {out}");
+    if let Err(e) = trace.write(trace_out) {
+        eprintln!("error writing {trace_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("study trace written to {trace_out} (try: edgetune trace-summary {trace_out})");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     // Hidden no-op mode: the spawn benchmark self-execs this to measure
@@ -227,11 +382,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut fabric = false;
+    let mut hotpath = false;
     let mut args = argv;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fabric" => fabric = true,
+            "--hotpath" => hotpath = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -239,8 +397,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: perf_baseline [--fabric] [--out FILE]");
+                println!(
+                    "usage: perf_baseline [--fabric|--hotpath] [--out FILE] [--trace-out FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -252,6 +419,11 @@ fn main() -> ExitCode {
     if fabric {
         let out = out.unwrap_or_else(|| "BENCH_fabric.json".to_string());
         return run_fabric_baseline(&out);
+    }
+    if hotpath {
+        let out = out.unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+        let trace_out = trace_out.unwrap_or_else(|| "hotpath.trace.json".to_string());
+        return run_hotpath_baseline(&out, &trace_out);
     }
     let out = out.unwrap_or_else(|| "BENCH_service.json".to_string());
 

@@ -489,9 +489,13 @@ mod tests {
         let server = start();
         let pending = server.submit(key("slow"), profile());
         // May or may not be ready instantly; both are valid — the call
-        // just must not block.
-        let _ = pending.try_wait();
-        let reply = pending.wait().unwrap();
+        // just must not block. When it *is* ready, `try_wait` receives
+        // (and thereby consumes) the reply, so fall back to `wait` only
+        // in the not-ready case.
+        let reply = match pending.try_wait() {
+            Some(reply) => reply,
+            None => pending.wait().unwrap(),
+        };
         assert!(reply.recommendation.batch >= 1);
     }
 

@@ -25,6 +25,7 @@ use edgetune_util::units::{Joules, Seconds, Watts};
 use edgetune_workloads::catalog::Workload;
 use edgetune_workloads::curve::TrainingQuality;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What one training trial reports back.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,8 +111,10 @@ impl BackendSpec {
     #[must_use]
     pub fn instantiate(&self) -> Box<dyn TrainingBackend + Send> {
         Box::new(SimTrainingBackend {
-            workload: self.workload.clone(),
-            trainer: self.trainer.clone(),
+            shared: Arc::new(SimBackendShared {
+                workload: self.workload.clone(),
+                trainer: self.trainer.clone(),
+            }),
             seed: SeedStream::new(self.seed),
             tune_system_params: self.tune_system_params,
             tune_learning_rate: self.tune_learning_rate,
@@ -151,11 +154,20 @@ enum Trainer {
     Cpu(DeviceSpec),
 }
 
+/// The immutable bulk of a [`SimTrainingBackend`] — the workload's
+/// calibration tables and the trainer's device spec. Shared between the
+/// primary backend and every rung snapshot through an `Arc`, so taking a
+/// snapshot copies a handle instead of deep-cloning the tables.
+#[derive(Debug, Clone, PartialEq)]
+struct SimBackendShared {
+    workload: Workload,
+    trainer: Trainer,
+}
+
 /// Simulated training of one paper workload on the emulated trainer node.
 #[derive(Debug, Clone)]
 pub struct SimTrainingBackend {
-    workload: Workload,
-    trainer: Trainer,
+    shared: Arc<SimBackendShared>,
     seed: SeedStream,
     tune_system_params: bool,
     tune_learning_rate: bool,
@@ -170,8 +182,10 @@ impl SimTrainingBackend {
     #[must_use]
     pub fn new(workload: Workload, seed: SeedStream) -> Self {
         SimTrainingBackend {
-            workload,
-            trainer: Trainer::Gpu(DeviceSpec::titan_rtx_node()),
+            shared: Arc::new(SimBackendShared {
+                workload,
+                trainer: Trainer::Gpu(DeviceSpec::titan_rtx_node()),
+            }),
             seed,
             tune_system_params: true,
             tune_learning_rate: false,
@@ -204,7 +218,7 @@ impl SimTrainingBackend {
     /// system parameter becomes the core count.
     #[must_use]
     pub fn with_cpu_trainer(mut self, device: DeviceSpec) -> Self {
-        self.trainer = Trainer::Cpu(device);
+        Arc::make_mut(&mut self.shared).trainer = Trainer::Cpu(device);
         self
     }
 
@@ -222,7 +236,7 @@ impl SimTrainingBackend {
     }
 
     fn trainer_spec(&self) -> &DeviceSpec {
-        match &self.trainer {
+        match &self.shared.trainer {
             Trainer::Gpu(spec) | Trainer::Cpu(spec) => spec,
         }
     }
@@ -232,7 +246,7 @@ impl SimTrainingBackend {
     }
 
     fn system_param_name(&self) -> &'static str {
-        match self.trainer {
+        match self.shared.trainer {
             Trainer::Gpu(_) => PARAM_GPUS,
             Trainer::Cpu(_) => PARAM_CORES,
         }
@@ -241,7 +255,14 @@ impl SimTrainingBackend {
     /// The workload being tuned.
     #[must_use]
     pub fn workload(&self) -> &Workload {
-        &self.workload
+        &self.shared.workload
+    }
+
+    /// A copy-on-write snapshot: the calibration tables travel as a
+    /// shared `Arc` handle, so the copy is a few pointer bumps no matter
+    /// how large the workload's tables are.
+    fn cow_snapshot(&self) -> Self {
+        self.clone()
     }
 
     /// Whether system parameters are part of the search space.
@@ -269,7 +290,7 @@ impl TrainingBackend for SimTrainingBackend {
         let mut space = SearchSpace::new()
             .with(
                 PARAM_MODEL_HP,
-                Domain::choice(self.workload.model_hp_values.clone()),
+                Domain::choice(self.shared.workload.model_hp_values.clone()),
             )
             .with(PARAM_TRAIN_BATCH, Domain::int_log(32, 512));
         if self.tune_system_params {
@@ -287,8 +308,11 @@ impl TrainingBackend for SimTrainingBackend {
     fn architecture(&self, config: &Config) -> (String, WorkProfile) {
         let hp = config
             .get(PARAM_MODEL_HP)
-            .unwrap_or(self.workload.model_hp_values[0]);
-        (self.workload.arch_signature(hp), self.workload.profile(hp))
+            .unwrap_or(self.shared.workload.model_hp_values[0]);
+        (
+            self.shared.workload.arch_signature(hp),
+            self.shared.workload.profile(hp),
+        )
     }
 
     fn run_trial(&mut self, config: &Config, budget: TrialBudget) -> TrialMeasurement {
@@ -305,16 +329,19 @@ impl TrainingBackend for SimTrainingBackend {
         };
         let hp = config
             .get(PARAM_MODEL_HP)
-            .unwrap_or(self.workload.model_hp_values[0]);
+            .unwrap_or(self.shared.workload.model_hp_values[0]);
         let batch = config
             .get(PARAM_TRAIN_BATCH)
             .map_or(128, |b| b as u32)
             .max(1);
         let units = self.units_of(config);
 
-        let profile = self.workload.profile(hp);
-        let samples = self.workload.samples_at_fraction(budget.data_fraction);
-        let spec = self.trainer_spec().clone();
+        let profile = self.shared.workload.profile(hp);
+        let samples = self
+            .shared
+            .workload
+            .samples_at_fraction(budget.data_fraction);
+        let spec = self.trainer_spec();
 
         // Out-of-memory check: the *per-device* training working set
         // (weights + gradients + optimizer state + saved activations for
@@ -341,7 +368,7 @@ impl TrainingBackend for SimTrainingBackend {
             };
         }
 
-        let epoch = match &self.trainer {
+        let epoch = match &self.shared.trainer {
             Trainer::Gpu(node) => {
                 let alloc =
                     GpuAllocation::new(node, units).expect("gpu count clamped to the node's range");
@@ -390,7 +417,7 @@ impl TrainingBackend for SimTrainingBackend {
                 quality = quality.with_learning_rate(lr.max(1e-6));
             }
         }
-        let accuracy = self.workload.simulated_accuracy(
+        let accuracy = self.shared.workload.simulated_accuracy(
             hp,
             &quality,
             budget.epochs,
@@ -421,7 +448,7 @@ impl TrainingBackend for SimTrainingBackend {
         if self.faults.is_some() {
             return None;
         }
-        Some(Box::new(self.clone()))
+        Some(Box::new(self.cow_snapshot()))
     }
 
     fn process_spec(&self) -> Option<BackendSpec> {
@@ -432,8 +459,8 @@ impl TrainingBackend for SimTrainingBackend {
             return None;
         }
         Some(BackendSpec {
-            workload: self.workload.clone(),
-            trainer: self.trainer.clone(),
+            workload: self.shared.workload.clone(),
+            trainer: self.shared.trainer.clone(),
             seed: self.seed.seed(),
             tune_system_params: self.tune_system_params,
             tune_learning_rate: self.tune_learning_rate,
@@ -483,8 +510,10 @@ const NN_SETUP_S: f64 = 0.05;
 /// [`NnTrainingBackend::with_clock`] restores genuine host timing.
 #[derive(Debug, Clone)]
 pub struct NnTrainingBackend {
-    train: Dataset,
-    val: Dataset,
+    // Shared behind `Arc` so rung snapshots copy a handle, not the
+    // feature/label payloads. Trials only ever read the datasets.
+    train: Arc<Dataset>,
+    val: Arc<Dataset>,
     seed: SeedStream,
     architecture: NnArchitecture,
     /// Host power assumed when converting training time to energy (a
@@ -501,8 +530,8 @@ impl NnTrainingBackend {
         let data = Dataset::gaussian_blobs(600, 8, 4, 0.35, seed.child("data"));
         let (train, val) = data.split(0.8);
         NnTrainingBackend {
-            train,
-            val,
+            train: Arc::new(train),
+            val: Arc::new(val),
             seed,
             architecture: NnArchitecture::Mlp,
             host_power: Watts::new(25.0),
@@ -519,8 +548,8 @@ impl NnTrainingBackend {
         let data = Dataset::tiny_images(400, side, 4, 0.25, seed.child("data"));
         let (train, val) = data.split(0.8);
         NnTrainingBackend {
-            train,
-            val,
+            train: Arc::new(train),
+            val: Arc::new(val),
             seed,
             architecture: NnArchitecture::ConvNet { side },
             host_power: Watts::new(25.0),
@@ -532,8 +561,8 @@ impl NnTrainingBackend {
     #[must_use]
     pub fn with_dataset(train: Dataset, val: Dataset, seed: SeedStream) -> Self {
         NnTrainingBackend {
-            train,
-            val,
+            train: Arc::new(train),
+            val: Arc::new(val),
             seed,
             architecture: NnArchitecture::Mlp,
             host_power: Watts::new(25.0),
@@ -590,6 +619,17 @@ impl NnTrainingBackend {
                     ))
             }
         }
+    }
+
+    /// A copy-on-write snapshot: the datasets travel as shared `Arc`
+    /// handles (no feature/label copies), and the clock is forked so
+    /// concurrent snapshots never interleave their advances on one
+    /// timeline — each trial's elapsed time is a local difference on its
+    /// own fork and thus independent of scheduling.
+    fn cow_snapshot(&self) -> Self {
+        let mut snapshot = self.clone();
+        snapshot.clock = self.clock.fork();
+        snapshot
     }
 }
 
@@ -674,12 +714,7 @@ impl TrainingBackend for NnTrainingBackend {
     }
 
     fn parallel_snapshot(&self) -> Option<Box<dyn TrainingBackend + Send>> {
-        // Fork the clock so concurrent snapshots never interleave their
-        // advances on one timeline: each trial's elapsed time is a local
-        // difference on its own fork and thus independent of scheduling.
-        let mut snapshot = self.clone();
-        snapshot.clock = self.clock.fork();
-        Some(Box::new(snapshot))
+        Some(Box::new(self.cow_snapshot()))
     }
 }
 
@@ -878,6 +913,30 @@ mod tests {
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.runtime, b.runtime);
         assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn sim_snapshot_shares_payload_without_copying() {
+        let backend = sim();
+        let snapshot = backend.cow_snapshot();
+        assert!(
+            Arc::ptr_eq(&backend.shared, &snapshot.shared),
+            "a snapshot must share the workload tables, not deep-clone them"
+        );
+    }
+
+    #[test]
+    fn nn_snapshot_shares_datasets_without_copying() {
+        let backend = NnTrainingBackend::new(seed());
+        let snapshot = backend.cow_snapshot();
+        assert!(
+            Arc::ptr_eq(&backend.train, &snapshot.train),
+            "the training set must be shared, not copied"
+        );
+        assert!(
+            Arc::ptr_eq(&backend.val, &snapshot.val),
+            "the validation set must be shared, not copied"
+        );
     }
 
     #[test]

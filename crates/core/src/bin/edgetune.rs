@@ -599,6 +599,68 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `edgetune trace-summary FILE [--top N]`: a span-level profile of an
+/// exported Chrome trace — the top spans ranked by *self* time (span
+/// duration minus the spans nested directly inside it on its track), so
+/// the hot accounting paths show up by themselves instead of being
+/// buried under their enclosing rung/bracket spans.
+fn run_trace_summary(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    const USAGE: &str = "usage: edgetune trace-summary FILE [--top N]";
+    let mut file: Option<String> = None;
+    let mut top = 10usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let value = args.next().ok_or("--top requires a count")?;
+                top = value
+                    .parse()
+                    .map_err(|e| format!("bad --top value '{value}': {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown argument '{other}'; {USAGE}")),
+        }
+    }
+    let path = file.ok_or(USAGE)?;
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = ChromeTrace::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("invalid trace {path}: {e}"))?;
+    let stats = edgetune_trace::span_summary(&trace);
+    let spans: u64 = stats.iter().map(|s| s.count).sum();
+    let busy_us: f64 = stats.iter().map(|s| s.self_us).sum();
+    println!(
+        "{} spans, {} distinct names, {:.3} ms total self time",
+        spans,
+        stats.len(),
+        busy_us / 1e3
+    );
+    println!(
+        "{:<32} {:>7} {:>12} {:>12} {:>7}",
+        "span", "count", "total(ms)", "self(ms)", "self%"
+    );
+    for stat in stats.iter().take(top) {
+        let share = if busy_us > 0.0 {
+            100.0 * stat.self_us / busy_us
+        } else {
+            0.0
+        };
+        println!(
+            "{:<32} {:>7} {:>12.3} {:>12.3} {:>6.1}%",
+            stat.name,
+            stat.count,
+            stat.total_us / 1e3,
+            stat.self_us / 1e3,
+            share
+        );
+    }
+    Ok(())
+}
+
 /// Reads a planted fabric fault from the environment:
 /// `EDGETUNE_FABRIC_KILL`, `EDGETUNE_FABRIC_PANIC` or
 /// `EDGETUNE_FABRIC_HANG`, each naming a shard index. Environment
@@ -656,6 +718,16 @@ fn main() -> ExitCode {
             }
         };
         return match run_serve(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.peek().map(String::as_str) == Some("trace-summary") {
+        argv.next();
+        return match run_trace_summary(argv) {
             Ok(()) => ExitCode::SUCCESS,
             Err(err) => {
                 eprintln!("error: {err}");

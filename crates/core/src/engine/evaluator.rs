@@ -132,6 +132,19 @@ pub(crate) struct OnefoldEvaluator<'a> {
     /// next [`Evaluate::on_bracket_start`] or the orchestrator's final
     /// [`OnefoldEvaluator::finish_trace`] closes it.
     pub(crate) bracket_open: Option<(u32, Seconds)>,
+    /// Recycled per-rung working buffers (see [`RungScratch`]).
+    pub(crate) scratch: RungScratch,
+}
+
+/// Per-rung working buffers the evaluator recycles across rungs: the
+/// phase-A measurement slots and the simulated-slot load table. A rung
+/// `mem::take`s a buffer (so `self` stays free to borrow), fills it, and
+/// hands it back when done — steady-state rung execution then reuses one
+/// allocation per buffer instead of churning a fresh `Vec` per rung.
+#[derive(Debug, Default)]
+pub(crate) struct RungScratch {
+    measured: Vec<Option<TrialMeasurement>>,
+    loads: Vec<Seconds>,
 }
 
 /// Everything one trial produced, before timeline/clock accounting.
@@ -520,18 +533,21 @@ impl OnefoldEvaluator<'_> {
     }
 
     /// Phase A of rung execution: measure the rung's trials on real
-    /// scoped worker threads, one backend snapshot per worker. Returns
-    /// `None` — sequential execution — when threads are not requested,
-    /// cannot help, or would change results (an active fault plan makes
-    /// trial fate order-dependent; a backend without snapshots cannot be
-    /// shared). The returned measurements are in input order, ready to be
-    /// replayed through the unchanged sequential accounting path.
+    /// scoped worker threads, one backend snapshot per worker. Fills
+    /// `measured` (a recycled scratch buffer) in input order, ready to be
+    /// replayed through the unchanged sequential accounting path, and
+    /// leaves it empty — sequential execution — when threads are not
+    /// requested, cannot help, or would change results (an active fault
+    /// plan makes trial fate order-dependent; a backend without snapshots
+    /// cannot be shared).
     fn measure_rung(
         &mut self,
         trials: &[(u64, Config, TrialBudget)],
-    ) -> Option<Vec<Option<TrialMeasurement>>> {
+        measured: &mut Vec<Option<TrialMeasurement>>,
+    ) {
+        measured.clear();
         if trials.len() <= 1 || self.faults_enabled {
-            return None;
+            return;
         }
         if self.study_shards > 1 {
             // Process-mode phase A: ship each plan to a supervised
@@ -541,9 +557,10 @@ impl OnefoldEvaluator<'_> {
             // bytes either way.
             if let Some(fabric) = self.fabric.as_deref_mut() {
                 if let Some(spec) = self.backend.process_spec() {
-                    let measured =
+                    let raw =
                         fabric.measure_rung(&spec, self.clock.now(), trials, self.study_shards);
-                    return Some(measured.into_iter().map(Some).collect());
+                    measured.extend(raw.into_iter().map(Some));
+                    return;
                 }
             }
             // Shard-level phase A: the coordinator partitions the rung
@@ -553,22 +570,26 @@ impl OnefoldEvaluator<'_> {
             // measurements come back in input order and feed the
             // unchanged phase B.
             let coordinator = StudyCoordinator::new(self.study_shards);
-            return coordinator
-                .measure_rung(&*self.backend, self.clock.now(), trials)
-                .map(|measured| measured.into_iter().map(Some).collect());
+            if let Some(raw) = coordinator.measure_rung(&*self.backend, self.clock.now(), trials) {
+                measured.extend(raw.into_iter().map(Some));
+            }
+            return;
         }
         if self.trial_workers <= 1 {
-            return None;
+            return;
         }
         let workers = self.trial_workers.min(trials.len());
         let mut snapshots = Vec::with_capacity(workers);
         for _ in 0..workers {
-            snapshots.push(self.backend.parallel_snapshot()?);
+            let Some(snapshot) = self.backend.parallel_snapshot() else {
+                return;
+            };
+            snapshots.push(snapshot);
         }
-        let measured = parallel_map_ordered(trials, snapshots, |backend, _index, trial| {
+        let raw = parallel_map_ordered(trials, snapshots, |backend, _index, trial| {
             backend.run_trial(&trial.1, trial.2)
         });
-        Some(measured.into_iter().map(Some).collect())
+        measured.extend(raw.into_iter().map(Some));
     }
 }
 
@@ -707,24 +728,28 @@ impl OnefoldEvaluator<'_> {
                 .collect();
         }
         // Phase A: real threads precompute the measurements when that is
-        // provably invisible in the results.
-        let mut measured = self.measure_rung(&trials);
-        let precomputed = |measured: &mut Option<Vec<Option<TrialMeasurement>>>, index: usize| {
-            measured.as_mut().and_then(|m| m[index].take())
-        };
+        // provably invisible in the results. The buffer is recycled
+        // scratch (taken out of `self` so `run_one` stays free to borrow
+        // it mutably) and is handed back once the rung is accounted.
+        let mut measured = std::mem::take(&mut self.scratch.measured);
+        self.measure_rung(&trials, &mut measured);
         if self.trial_slots <= 1 || trials.len() <= 1 {
             // Phase B, one slot: the exact sequential accounting path.
-            return trials
+            let outcomes = trials
                 .into_iter()
                 .enumerate()
                 .map(|(index, (id, config, budget))| {
-                    let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                    let precomputed = measured.get_mut(index).and_then(Option::take);
+                    let run = self.run_one(&config, budget, precomputed);
                     let start = self.clock.now();
                     self.record(id, &run, start, 0);
                     self.clock.advance(run.outcome.runtime);
                     run.outcome
                 })
                 .collect();
+            measured.clear();
+            self.scratch.measured = measured;
+            return outcomes;
         }
         // Phase B, simulated parallel slots: the rung's trials are
         // list-scheduled onto `trial_slots` slots; the rung advances
@@ -733,12 +758,17 @@ impl OnefoldEvaluator<'_> {
             .into_iter()
             .enumerate()
             .map(|(index, (id, config, budget))| {
-                let run = self.run_one(&config, budget, precomputed(&mut measured, index));
+                let precomputed = measured.get_mut(index).and_then(Option::take);
+                let run = self.run_one(&config, budget, precomputed);
                 (id, run)
             })
             .collect();
+        measured.clear();
+        self.scratch.measured = measured;
         let rung_start = self.clock.now();
-        let mut loads = vec![Seconds::ZERO; self.trial_slots];
+        let mut loads = std::mem::take(&mut self.scratch.loads);
+        loads.clear();
+        loads.resize(self.trial_slots, Seconds::ZERO);
         let mut outcomes = Vec::with_capacity(runs.len());
         for (id, run) in runs {
             let (slot, _) = loads
@@ -751,8 +781,9 @@ impl OnefoldEvaluator<'_> {
             loads[slot] = (start + run.train_runtime + run.stall) - rung_start;
             outcomes.push(run.outcome);
         }
-        let makespan = loads.into_iter().fold(Seconds::ZERO, Seconds::max);
+        let makespan = loads.iter().copied().fold(Seconds::ZERO, Seconds::max);
         self.clock.advance(makespan);
+        self.scratch.loads = loads;
         outcomes
     }
 }

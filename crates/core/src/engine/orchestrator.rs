@@ -323,6 +323,7 @@ impl<'a> Engine<'a> {
                 stamps: Vec::new(),
                 rungs_traced: 0,
                 bracket_open: None,
+                scratch: Default::default(),
             };
             let history = if self.config.hyperband {
                 HyperBand::new(self.config.scheduler).run(

@@ -75,6 +75,67 @@ fn bad_flags_fail_with_guidance() {
 }
 
 #[test]
+fn trace_summary_profiles_a_recorded_trace() {
+    let path = std::env::temp_dir().join("edgetune-cli-test-summary.trace.json");
+    std::fs::remove_file(&path).ok();
+    let out = edgetune()
+        .args([
+            "--workload",
+            "ic",
+            "--trials",
+            "4",
+            "--max-iter",
+            "4",
+            "--trace",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = edgetune()
+        .args([
+            "trace-summary",
+            path.to_str().expect("utf8 path"),
+            "--top",
+            "5",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("spans"), "{stdout}");
+    assert!(stdout.contains("self(ms)"), "{stdout}");
+    assert!(stdout.contains("bracket-0"), "{stdout}");
+    // `--top 5` caps the table at a header line, a summary line and
+    // five rows.
+    assert!(stdout.lines().count() <= 7, "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_summary_rejects_missing_or_bad_input() {
+    let out = edgetune().arg("trace-summary").output().expect("cli runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let out = edgetune()
+        .args(["trace-summary", "/nonexistent/trace.json"])
+        .output()
+        .expect("cli runs");
+    assert!(!out.status.success());
+}
+
+#[test]
 fn help_lists_the_flags() {
     let out = edgetune().arg("--help").output().expect("cli runs");
     assert!(out.status.success());

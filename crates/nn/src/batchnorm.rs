@@ -71,22 +71,27 @@ impl Layer for BatchNorm1d {
         assert_eq!(cols, self.features(), "batchnorm feature mismatch");
         let mut out = Tensor::zeros(&[rows, cols]);
 
+        // Row-sliced sweeps: the statistics still accumulate row by row
+        // (ascending `r` per column, exactly the order the old per-element
+        // `at()` loops used, so results are bit-identical), but each pass
+        // walks contiguous row slices with no per-element bounds asserts.
+        let xd = input.data();
         if train {
             // Per-feature batch statistics.
             let mut mean = vec![0.0f32; cols];
             let mut var = vec![0.0f32; cols];
             for r in 0..rows {
-                for (c, m) in mean.iter_mut().enumerate() {
-                    *m += input.at(r, c);
+                for (m, &x) in mean.iter_mut().zip(&xd[r * cols..(r + 1) * cols]) {
+                    *m += x;
                 }
             }
             for m in &mut mean {
                 *m /= rows as f32;
             }
             for r in 0..rows {
-                for c in 0..cols {
-                    let d = input.at(r, c) - mean[c];
-                    var[c] += d * d;
+                for ((v, &x), &m) in var.iter_mut().zip(&xd[r * cols..(r + 1) * cols]).zip(&mean) {
+                    let d = x - m;
+                    *v += d * d;
                 }
             }
             for v in &mut var {
@@ -100,11 +105,15 @@ impl Layer for BatchNorm1d {
             }
             let std_inv: Vec<f32> = var.iter().map(|v| 1.0 / (v + EPSILON).sqrt()).collect();
             let mut normalized = Tensor::zeros(&[rows, cols]);
+            let (gd, bd) = (self.gamma.data(), self.beta.data());
+            let nd = normalized.data_mut();
+            let od = out.data_mut();
             for r in 0..rows {
+                let base = r * cols;
                 for c in 0..cols {
-                    let n = (input.at(r, c) - mean[c]) * std_inv[c];
-                    normalized.data_mut()[r * cols + c] = n;
-                    out.data_mut()[r * cols + c] = self.gamma.data()[c] * n + self.beta.data()[c];
+                    let n = (xd[base + c] - mean[c]) * std_inv[c];
+                    nd[base + c] = n;
+                    od[base + c] = gd[c] * n + bd[c];
                 }
             }
             self.cache = Some(Cache {
@@ -112,11 +121,14 @@ impl Layer for BatchNorm1d {
                 std_inv,
             });
         } else {
+            let (gd, bd) = (self.gamma.data(), self.beta.data());
+            let od = out.data_mut();
             for r in 0..rows {
+                let base = r * cols;
                 for c in 0..cols {
-                    let n = (input.at(r, c) - self.running_mean[c])
+                    let n = (xd[base + c] - self.running_mean[c])
                         / (self.running_var[c] + EPSILON).sqrt();
-                    out.data_mut()[r * cols + c] = self.gamma.data()[c] * n + self.beta.data()[c];
+                    od[base + c] = gd[c] * n + bd[c];
                 }
             }
             self.cache = None;
@@ -132,27 +144,44 @@ impl Layer for BatchNorm1d {
         let (rows, cols) = (grad_out.rows(), grad_out.cols());
         let n = rows as f32;
 
-        // dγ = Σ dy·x̂ ; dβ = Σ dy.
+        // dγ = Σ dy·x̂ ; dβ = Σ dy — accumulated row by row (ascending
+        // `r` per column, the same order as before the slice rewrite).
         self.grad_gamma.fill_zero();
         self.grad_beta.fill_zero();
-        for r in 0..rows {
-            for c in 0..cols {
-                let dy = grad_out.at(r, c);
-                self.grad_gamma.data_mut()[c] += dy * cache.normalized.at(r, c);
-                self.grad_beta.data_mut()[c] += dy;
+        let god = grad_out.data();
+        let nd = cache.normalized.data();
+        {
+            let gg = self.grad_gamma.data_mut();
+            for r in 0..rows {
+                let base = r * cols;
+                for c in 0..cols {
+                    gg[c] += god[base + c] * nd[base + c];
+                }
+            }
+        }
+        {
+            let gb = self.grad_beta.data_mut();
+            for r in 0..rows {
+                for (o, &dy) in gb.iter_mut().zip(&god[r * cols..(r + 1) * cols]) {
+                    *o += dy;
+                }
             }
         }
 
-        // dx = (γ·std_inv / N) · (N·dy − Σdy − x̂·Σ(dy·x̂))
+        // dx = (γ·std_inv / N) · (N·dy − Σdy − x̂·Σ(dy·x̂)) — each element
+        // is independent, so the sweep is row-major over contiguous
+        // slices; the per-element arithmetic is unchanged.
+        let scale: Vec<f32> = (0..cols)
+            .map(|c| self.gamma.data()[c] * cache.std_inv[c] / n)
+            .collect();
+        let (sum_dy, sum_dy_xhat) = (self.grad_beta.data(), self.grad_gamma.data());
         let mut grad_in = Tensor::zeros(&[rows, cols]);
-        for c in 0..cols {
-            let sum_dy = self.grad_beta.data()[c];
-            let sum_dy_xhat = self.grad_gamma.data()[c];
-            let scale = self.gamma.data()[c] * cache.std_inv[c] / n;
-            for r in 0..rows {
-                let dy = grad_out.at(r, c);
-                let xhat = cache.normalized.at(r, c);
-                grad_in.data_mut()[r * cols + c] = scale * (n * dy - sum_dy - xhat * sum_dy_xhat);
+        let gid = grad_in.data_mut();
+        for r in 0..rows {
+            let base = r * cols;
+            for c in 0..cols {
+                gid[base + c] =
+                    scale[c] * (n * god[base + c] - sum_dy[c] - nd[base + c] * sum_dy_xhat[c]);
             }
         }
         grad_in

@@ -52,6 +52,21 @@ pub struct Dense {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    // Scratch for the backward-pass transposes, reused across steps so
+    // the optimiser loop stops allocating two tensors per layer per
+    // batch. `scratch_xt` tracks the batch size (the final batch of an
+    // epoch may be smaller); `scratch_wt` has the fixed shape [out, in].
+    scratch_xt: Option<Tensor>,
+    scratch_wt: Option<Tensor>,
+}
+
+/// Returns the scratch tensor in `slot`, reallocating only when the
+/// required shape changes.
+fn ensure_shape<'a>(slot: &'a mut Option<Tensor>, shape: &[usize]) -> &'a mut Tensor {
+    if slot.as_ref().is_none_or(|t| t.shape() != shape) {
+        *slot = Some(Tensor::zeros(shape));
+    }
+    slot.as_mut().expect("scratch just ensured")
 }
 
 impl Dense {
@@ -64,6 +79,8 @@ impl Dense {
             grad_weight: Tensor::zeros(&[inputs, outputs]),
             grad_bias: Tensor::zeros(&[1, outputs]),
             cached_input: None,
+            scratch_xt: None,
+            scratch_wt: None,
         }
     }
 
@@ -90,15 +107,27 @@ impl Layer for Dense {
             input.cols()
         );
         self.cached_input = Some(input.clone());
-        input.matmul(&self.weight).add_row(self.bias.data())
+        let mut out = Tensor::zeros(&[input.rows(), self.outputs()]);
+        input.matmul_into(&self.weight, &mut out);
+        out.add_row_assign(self.bias.data());
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (inputs, outputs) = (self.inputs(), self.outputs());
         let input = self.cached_input.as_ref().expect("backward before forward");
-        // dW = xᵀ · dy ; db = Σ_batch dy ; dx = dy · Wᵀ
-        self.grad_weight = input.transpose().matmul(grad_out);
-        self.grad_bias = Tensor::from_vec(grad_out.sum_rows(), &[1, self.outputs()]);
-        grad_out.matmul(&self.weight.transpose())
+        let batch = input.rows();
+        // dW = xᵀ · dy ; db = Σ_batch dy ; dx = dy · Wᵀ — transposes go
+        // through reused scratch, gradients into their standing buffers.
+        let xt = ensure_shape(&mut self.scratch_xt, &[inputs, batch]);
+        input.transpose_into(xt);
+        xt.matmul_into(grad_out, &mut self.grad_weight);
+        grad_out.sum_rows_into(self.grad_bias.data_mut());
+        let wt = ensure_shape(&mut self.scratch_wt, &[outputs, inputs]);
+        self.weight.transpose_into(wt);
+        let mut grad_in = Tensor::zeros(&[batch, inputs]);
+        grad_out.matmul_into(wt, &mut grad_in);
+        grad_in
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -450,6 +479,25 @@ fn idx4(shape: &[usize], n: usize, c: usize, h: usize, w: usize) -> usize {
     ((n * shape[1] + c) * shape[2] + h) * shape[3] + w
 }
 
+/// Range of output positions `o` (capped to `[0, out_len)`) for which
+/// `o * stride + offset` lands inside `[0, in_len)` — the hoisted form
+/// of the per-element padding bounds checks in the convolution loops.
+#[inline]
+fn valid_range(offset: isize, stride: usize, in_len: usize, out_len: usize) -> (usize, usize) {
+    let stride = stride as isize;
+    let lo = if offset < 0 {
+        ((-offset + stride - 1) / stride) as usize
+    } else {
+        0
+    };
+    let hi = if (in_len as isize) > offset {
+        ((in_len as isize - 1 - offset) / stride + 1).clamp(0, out_len as isize) as usize
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let ishape = input.shape().to_vec();
@@ -464,35 +512,45 @@ impl Layer for Conv2d {
         let (out_c, k) = (wshape[0], wshape[2]);
         let oh = self.output_size(ih);
         let ow = self.output_size(iw);
+        let (stride, padding) = (self.stride, self.padding);
         let mut out = Tensor::zeros(&[batch, out_c, oh, ow]);
-        let oshape = out.shape().to_vec();
         let xd = input.data();
         let wd = self.weight.data();
         let bd = self.bias.data().to_vec();
         let od = out.data_mut();
+        // Output-stationary sweep: seed each output map with its bias,
+        // then stream the (ic, ky, kx) weight taps in ascending order
+        // with `ox` innermost. Every output element receives exactly the
+        // additions of the old ox-outer loop in the same order, so the
+        // result is bit-identical — but the inner loop is now a
+        // contiguous, branch-free run the autovectoriser can unroll.
+        // Padding is handled by hoisting the valid oy/ox ranges out of
+        // the inner loops instead of per-element bounds branches.
         for n in 0..batch {
             for oc in 0..out_c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bd[oc];
-                        for ic in 0..in_c {
-                            for ky in 0..k {
-                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                                if iy < 0 || iy >= ih as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.padding as isize;
-                                    if ix < 0 || ix >= iw as isize {
-                                        continue;
-                                    }
-                                    acc += xd[idx4(&ishape, n, ic, iy as usize, ix as usize)]
-                                        * wd[idx4(&wshape, oc, ic, ky, kx)];
+                let obase = (n * out_c + oc) * oh * ow;
+                od[obase..obase + oh * ow]
+                    .iter_mut()
+                    .for_each(|o| *o = bd[oc]);
+                for ic in 0..in_c {
+                    let xplane = (n * in_c + ic) * ih * iw;
+                    for ky in 0..k {
+                        let kyo = ky as isize - padding as isize;
+                        let (oy_lo, oy_hi) = valid_range(kyo, stride, ih, oh);
+                        for kx in 0..k {
+                            let w = wd[idx4(&wshape, oc, ic, ky, kx)];
+                            let kxo = kx as isize - padding as isize;
+                            let (ox_lo, ox_hi) = valid_range(kxo, stride, iw, ow);
+                            for oy in oy_lo..oy_hi {
+                                let iy = ((oy * stride) as isize + kyo) as usize;
+                                let xrow = xplane + iy * iw;
+                                let orow = obase + oy * ow;
+                                for ox in ox_lo..ox_hi {
+                                    let ix = ((ox * stride) as isize + kxo) as usize;
+                                    od[orow + ox] += xd[xrow + ix] * w;
                                 }
                             }
                         }
-                        od[idx4(&oshape, n, oc, oy, ox)] = acc;
                     }
                 }
             }
@@ -521,29 +579,37 @@ impl Layer for Conv2d {
         let gwd = self.grad_weight.data_mut();
         let gbd = self.grad_bias.data_mut();
 
+        // The (n, oc, oy, ox) → (ic, ky, kx) nesting is kept exactly as
+        // before: the three gradient buffers accumulate across output
+        // elements, so reordering the outer loops would change the
+        // floating-point addition order. The win here is hoisting the
+        // padding bounds out of the tap loops — `ky`/`kx` iterate only
+        // their valid windows, with no branches inside.
+        let (stride, padding) = (self.stride, self.padding);
         for n in 0..batch {
             for oc in 0..out_c {
                 for oy in 0..oh {
+                    let oys = (oy * stride) as isize - padding as isize;
+                    let ky_lo = (-oys).max(0) as usize;
+                    let ky_hi = (ih as isize - oys).clamp(0, k as isize) as usize;
                     for ox in 0..ow {
                         let g = god[idx4(&oshape, n, oc, oy, ox)];
                         if g == 0.0 {
                             continue;
                         }
                         gbd[oc] += g;
+                        let oxs = (ox * stride) as isize - padding as isize;
+                        let kx_lo = (-oxs).max(0) as usize;
+                        let kx_hi = (iw as isize - oxs).clamp(0, k as isize) as usize;
                         for ic in 0..in_c {
-                            for ky in 0..k {
-                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                                if iy < 0 || iy >= ih as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.padding as isize;
-                                    if ix < 0 || ix >= iw as isize {
-                                        continue;
-                                    }
-                                    let xi = idx4(&ishape, n, ic, iy as usize, ix as usize);
-                                    let wi = idx4(&wshape, oc, ic, ky, kx);
+                            let xplane = (n * in_c + ic) * ih * iw;
+                            for ky in ky_lo..ky_hi {
+                                let iy = (oys + ky as isize) as usize;
+                                let xrow = xplane + iy * iw;
+                                let wrow = ((oc * in_c + ic) * k + ky) * k;
+                                for kx in kx_lo..kx_hi {
+                                    let xi = xrow + (oxs + kx as isize) as usize;
+                                    let wi = wrow + kx;
                                     gwd[wi] += g * xd[xi];
                                     gid[xi] += g * wd[wi];
                                 }

@@ -122,15 +122,14 @@ impl Sgd {
                 "parameter {index} changed shape between steps"
             );
             if weight_decay > 0.0 {
-                param.axpy(-lr * weight_decay, &param.clone());
+                param.axpy_self(-lr * weight_decay);
             }
             if momentum > 0.0 {
-                // v = momentum * v + grad ; p -= lr * v
-                let snapshot = velocity.clone();
-                velocity.fill_zero();
-                velocity.axpy(momentum, &snapshot);
-                velocity.axpy(1.0, grad);
-                param.axpy(-lr, &velocity.clone());
+                // v = momentum * v + grad ; p -= lr * v — all in place:
+                // the old clone-per-tensor sequence allocated four
+                // tensors per parameter per step on the hottest path.
+                velocity.momentum_update(momentum, grad);
+                param.axpy(-lr, &*velocity);
             } else {
                 param.axpy(-lr, grad);
             }

@@ -7,6 +7,15 @@
 
 use edgetune_util::rng::{sample_normal, SeedStream};
 
+/// Cache-block sizes for [`Tensor::matmul_into`]: output rows × output
+/// columns per tile. The `k` loop is never tiled — splitting it would
+/// reorder floating-point accumulation and break bit-identity with the
+/// naive kernels — so blocking only bounds the `rhs` panel (`k` rows ×
+/// `MATMUL_BLOCK_COLS` columns ≈ 128 KiB at `k = 256`) that each pass
+/// streams, keeping it resident in L2 across a stripe of output rows.
+const MATMUL_BLOCK_ROWS: usize = 64;
+const MATMUL_BLOCK_COLS: usize = 128;
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// # Examples
@@ -191,11 +200,83 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors.
     ///
+    /// Allocates a fresh output and delegates to [`Tensor::matmul_into`];
+    /// hot paths that already own a correctly shaped buffer should call
+    /// `matmul_into` directly and skip the allocation.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     #[must_use]
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows(), rhs.cols()]);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product written into a preallocated `[m, n]` output.
+    ///
+    /// The kernel is cache-blocked over output rows and columns only;
+    /// the `k` loop is never split, so every output element accumulates
+    /// its products onto a fresh zero in one ascending-`k` pass and the
+    /// result is bit-identical to [`Tensor::matmul_naive`]
+    /// (proptest-enforced in `tests/kernel_properties.rs`). Rows of
+    /// `rhs` whose `self` coefficient is exactly zero are skipped: the
+    /// `±0.0` products they would add cannot change any value the
+    /// accumulator can reach.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` is not `[m, n]`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k, k2,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape, rhs.shape
+        );
+        assert_eq!(
+            out.shape,
+            [m, n],
+            "matmul output must be [{m}, {n}], got {:?}",
+            out.shape
+        );
+        out.data.iter_mut().for_each(|x| *x = 0.0);
+        for ib in (0..m).step_by(MATMUL_BLOCK_ROWS) {
+            let i_end = (ib + MATMUL_BLOCK_ROWS).min(m);
+            for jb in (0..n).step_by(MATMUL_BLOCK_COLS) {
+                let j_end = (jb + MATMUL_BLOCK_COLS).min(n);
+                for i in ib..i_end {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * n + jb..i * n + j_end];
+                    for (p, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[p * n + jb..p * n + j_end];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference matrix product: the textbook `i → j → k` triple loop.
+    ///
+    /// Deliberately unblocked — the inner loop walks a column of `rhs`
+    /// with stride `n`, so this is the cache-hostile baseline the
+    /// blocked kernel is benchmarked (`perf_baseline --hotpath`) and
+    /// proptested against. It keeps the same zero-coefficient skip and
+    /// ascending-`k` accumulation, hence bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (rhs.rows(), rhs.cols());
         assert_eq!(
@@ -205,16 +286,16 @@ impl Tensor {
         );
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
+            for (j, o) in out[i * n..(i + 1) * n].iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let a = self.data[i * k + p];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * rhs.data[p * n + j];
                 }
-                let rhs_row = &rhs.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
+                *o = acc;
             }
         }
         Tensor {
@@ -230,16 +311,28 @@ impl Tensor {
     /// Panics if the tensor is not 2-D.
     #[must_use]
     pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.cols(), self.rows()]);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into a preallocated `[cols, rows]` output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have the transposed shape.
+    pub fn transpose_into(&self, out: &mut Tensor) {
         let (m, n) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; m * n];
+        assert_eq!(
+            out.shape,
+            [n, m],
+            "transpose output must be [{n}, {m}], got {:?}",
+            out.shape
+        );
         for i in 0..m {
             for (j, &v) in self.data[i * n..(i + 1) * n].iter().enumerate() {
-                out[j * m + i] = v;
+                out.data[j * m + i] = v;
             }
-        }
-        Tensor {
-            shape: vec![n, m],
-            data: out,
         }
     }
 
@@ -310,28 +403,51 @@ impl Tensor {
     /// Panics if `row.len()` differs from the column count.
     #[must_use]
     pub fn add_row(&self, row: &[f32]) -> Tensor {
-        let n = self.cols();
-        assert_eq!(row.len(), n, "row length mismatch");
         let mut out = self.clone();
-        for r in 0..self.rows() {
-            for (o, &v) in out.data[r * n..(r + 1) * n].iter_mut().zip(row) {
+        out.add_row_assign(row);
+        out
+    }
+
+    /// In-place version of [`Tensor::add_row`]: adds the row vector to
+    /// every row of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the column count.
+    pub fn add_row_assign(&mut self, row: &[f32]) {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(row.len(), n, "row length mismatch");
+        for r in 0..m {
+            for (o, &v) in self.data[r * n..(r + 1) * n].iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sums each column of a 2-D tensor, producing a length-`cols` vector.
     #[must_use]
     pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols()];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Column sums written into a preallocated length-`cols` slice
+    /// (zeroed first, then accumulated row by row — the same order as
+    /// [`Tensor::sum_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the column count.
+    pub fn sum_rows_into(&self, out: &mut [f32]) {
         let (m, n) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; n];
+        assert_eq!(out.len(), n, "sum_rows output length mismatch");
+        out.iter_mut().for_each(|x| *x = 0.0);
         for i in 0..m {
             for (o, &v) in out.iter_mut().zip(&self.data[i * n..(i + 1) * n]) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Applies `f` to every element, returning a new tensor.
@@ -414,6 +530,35 @@ impl Tensor {
         }
     }
 
+    /// In-place scaled self-add: `self += alpha * self`, element-wise.
+    ///
+    /// Replaces the `axpy(alpha, &self.clone())` pattern (decoupled
+    /// weight decay) without the clone; the per-element arithmetic is
+    /// unchanged.
+    pub fn axpy_self(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a += alpha * *a;
+        }
+    }
+
+    /// Momentum velocity update: `self = momentum * self + grad`.
+    ///
+    /// Matches, bit for bit, the allocation-heavy sequence it replaced
+    /// (`fill_zero` + `axpy(momentum, snapshot)` + `axpy(1.0, grad)`):
+    /// each element is computed as `(0.0 + momentum * v) + g`. The
+    /// leading `0.0 +` is load-bearing — it maps a `-0.0` product to
+    /// `+0.0` exactly as accumulating onto a zeroed buffer did.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn momentum_update(&mut self, momentum: f32, grad: &Tensor) {
+        assert_eq!(self.shape, grad.shape, "momentum_update shape mismatch");
+        for (v, &g) in self.data.iter_mut().zip(&grad.data) {
+            *v = (0.0 + momentum * *v) + g;
+        }
+    }
+
     /// Sets every element to zero (used to clear gradients).
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
@@ -471,6 +616,38 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 2]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_naive_matches_blocked() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        assert_eq!(a.matmul_naive(&b), a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_into_reuses_the_buffer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::eye(2);
+        let mut out = Tensor::full(&[2, 2], 9.9);
+        let before = out.data().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), a.data(), "stale contents must be overwritten");
+        a.matmul_into(&b, &mut out);
+        assert_eq!(
+            out.data().as_ptr(),
+            before,
+            "matmul_into must not reallocate the output"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output must be")]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let mut out = Tensor::zeros(&[2, 3]);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]
@@ -552,6 +729,50 @@ mod tests {
         let narrow = Tensor::kaiming(&[100, 100], 10, s);
         let wide = Tensor::kaiming(&[100, 100], 1000, s);
         assert!(narrow.norm() > wide.norm());
+    }
+
+    #[test]
+    fn in_place_helpers_match_allocating_forms() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let mut t = Tensor::zeros(&[3, 2]);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let mut sums = vec![0.0; 3];
+        a.sum_rows_into(&mut sums);
+        assert_eq!(sums, a.sum_rows());
+
+        let mut b = a.clone();
+        b.add_row_assign(&[1.0, 2.0, 3.0]);
+        assert_eq!(b, a.add_row(&[1.0, 2.0, 3.0]));
+
+        let mut d = a.clone();
+        d.axpy_self(-0.5);
+        let mut reference = a.clone();
+        reference.axpy(-0.5, &a.clone());
+        assert_eq!(d, reference);
+    }
+
+    #[test]
+    fn momentum_update_matches_the_old_axpy_sequence() {
+        // Includes a -0.0 velocity: the old sequence accumulated onto a
+        // zeroed buffer, so `momentum * -0.0` lands as `+0.0`. A naive
+        // `v = m*v + g` rewrite would produce `-0.0` here.
+        let grad = Tensor::from_vec(vec![0.5, -0.0, 1.5], &[1, 3]);
+        let start = Tensor::from_vec(vec![2.0, -0.0, -1.0], &[1, 3]);
+        let momentum = 0.9;
+
+        let mut old = start.clone();
+        let snapshot = old.clone();
+        old.fill_zero();
+        old.axpy(momentum, &snapshot);
+        old.axpy(1.0, &grad);
+
+        let mut new = start.clone();
+        new.momentum_update(momentum, &grad);
+        for (a, b) in old.data().iter().zip(new.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -135,10 +135,14 @@ pub fn fit(
     config: &FitConfig,
     seed: SeedStream,
 ) -> FitReport {
+    // Borrow the full dataset directly — the common full-budget case was
+    // deep-cloning features and labels once per trial.
+    let fractioned;
     let effective = if config.data_fraction < 1.0 {
-        train.fraction(config.data_fraction)
+        fractioned = train.fraction(config.data_fraction);
+        &fractioned
     } else {
-        train.clone()
+        train
     };
     let mut report = FitReport::default();
     let mut best_val = f64::NEG_INFINITY;

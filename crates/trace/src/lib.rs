@@ -29,8 +29,10 @@
 
 pub mod event;
 pub mod export;
+pub mod summary;
 pub mod tracer;
 
 pub use event::{monotone_per_track, well_nested, EventKind, TraceEvent, TrackId};
 pub use export::{ChromeEvent, ChromeTrace};
+pub use summary::{span_summary, SpanStat};
 pub use tracer::{SpanGuard, TraceSheet, Tracer, Track};

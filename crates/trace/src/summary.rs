@@ -1,0 +1,205 @@
+//! Span-level profile of an exported trace: where did the time go?
+//!
+//! [`span_summary`] folds a [`ChromeTrace`]'s complete (`"X"`) events
+//! into per-name statistics, attributing to each span its **self time**
+//! — the span's duration minus the durations of the spans nested
+//! directly inside it on the same `(pid, tid)` track. Summed self time
+//! partitions a track's busy time without double counting, which makes
+//! the ranking answer the profiler question ("which span *itself* is
+//! hot?") rather than the call-tree question ("which span encloses the
+//! most time?").
+
+use std::collections::BTreeMap;
+
+use crate::export::ChromeTrace;
+
+/// Aggregated statistics of all spans sharing one name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name (the aggregation key, across all tracks).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed span duration in microseconds (children included).
+    pub total_us: f64,
+    /// Summed self time in microseconds (children excluded).
+    pub self_us: f64,
+}
+
+#[derive(Default)]
+struct Acc {
+    count: u64,
+    total_us: f64,
+    self_us: f64,
+}
+
+/// Summarises a trace's complete spans by name, sorted by descending
+/// self time (name breaks ties, so the order is deterministic).
+///
+/// Spans are treated as nested when one's `[ts, ts + dur)` interval
+/// contains another's on the same track — the shape
+/// [`crate::event::well_nested`] traces guarantee. Metadata, instant and
+/// counter events are ignored.
+#[must_use]
+pub fn span_summary(trace: &ChromeTrace) -> Vec<SpanStat> {
+    // Group complete spans by track; nesting is only meaningful within
+    // one (pid, tid) pair.
+    type TrackSpans<'a> = Vec<(f64, f64, &'a str)>;
+    let mut tracks: BTreeMap<(u32, u32), TrackSpans> = BTreeMap::new();
+    for event in &trace.trace_events {
+        if event.ph == "X" {
+            tracks.entry((event.pid, event.tid)).or_default().push((
+                event.ts,
+                event.dur.unwrap_or(0.0),
+                event.name.as_str(),
+            ));
+        }
+    }
+
+    fn finalize<'a>(agg: &mut BTreeMap<&'a str, Acc>, name: &'a str, dur: f64, children: f64) {
+        let entry = agg.entry(name).or_default();
+        entry.count += 1;
+        entry.total_us += dur;
+        entry.self_us += (dur - children).max(0.0);
+    }
+    let mut agg: BTreeMap<&str, Acc> = BTreeMap::new();
+    for spans in tracks.values_mut() {
+        // Start-ascending; on equal starts the longer span first, so a
+        // parent precedes the children sharing its start time.
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.total_cmp(&a.1)));
+        // (end, dur, name, directly-nested duration sum)
+        let mut stack: Vec<(f64, f64, &str, f64)> = Vec::new();
+        for &(ts, dur, name) in spans.iter() {
+            while stack.last().is_some_and(|&(end, ..)| end <= ts) {
+                let (_, d, n, children) = stack.pop().expect("just checked");
+                finalize(&mut agg, n, d, children);
+            }
+            if let Some(parent) = stack.last_mut() {
+                parent.3 += dur;
+            }
+            stack.push((ts + dur, dur, name, 0.0));
+        }
+        while let Some((_, d, n, children)) = stack.pop() {
+            finalize(&mut agg, n, d, children);
+        }
+    }
+
+    let mut stats: Vec<SpanStat> = agg
+        .into_iter()
+        .map(|(name, acc)| SpanStat {
+            name: name.to_string(),
+            count: acc.count,
+            total_us: acc.total_us,
+            self_us: acc.self_us,
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        b.self_us
+            .total_cmp(&a.self_us)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::ChromeEvent;
+
+    fn span(name: &str, ts: f64, dur: f64, pid: u32, tid: u32) -> ChromeEvent {
+        ChromeEvent {
+            name: name.to_string(),
+            cat: Some("test".to_string()),
+            ph: "X".to_string(),
+            ts,
+            dur: Some(dur),
+            pid,
+            tid,
+            s: None,
+            args: None,
+        }
+    }
+
+    fn trace(events: Vec<ChromeEvent>) -> ChromeTrace {
+        ChromeTrace {
+            trace_events: events,
+            display_time_unit: "ms".to_string(),
+            other_data: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn nested_children_are_subtracted_from_self_time() {
+        // parent [0,100) contains child-a [10,40) and child-b [50,80):
+        // parent self = 100 - 30 - 30 = 40.
+        let t = trace(vec![
+            span("parent", 0.0, 100.0, 1, 1),
+            span("child-a", 10.0, 30.0, 1, 1),
+            span("child-b", 50.0, 30.0, 1, 1),
+        ]);
+        let stats = span_summary(&t);
+        let parent = stats.iter().find(|s| s.name == "parent").unwrap();
+        assert_eq!(parent.total_us, 100.0);
+        assert_eq!(parent.self_us, 40.0);
+        let child = stats.iter().find(|s| s.name == "child-a").unwrap();
+        assert_eq!(child.self_us, 30.0);
+    }
+
+    #[test]
+    fn only_direct_children_count_against_a_span() {
+        // grand [0,100) > mid [10,90) > leaf [20,30): grand's self must
+        // subtract mid only (80), not mid + leaf.
+        let t = trace(vec![
+            span("grand", 0.0, 100.0, 1, 1),
+            span("mid", 10.0, 80.0, 1, 1),
+            span("leaf", 20.0, 10.0, 1, 1),
+        ]);
+        let stats = span_summary(&t);
+        let grand = stats.iter().find(|s| s.name == "grand").unwrap();
+        assert_eq!(grand.self_us, 20.0);
+        let mid = stats.iter().find(|s| s.name == "mid").unwrap();
+        assert_eq!(mid.self_us, 70.0);
+    }
+
+    #[test]
+    fn tracks_do_not_shadow_each_other() {
+        // The same interval on another track is concurrency, not
+        // nesting: both spans keep their full duration as self time.
+        let t = trace(vec![span("a", 0.0, 50.0, 1, 1), span("b", 0.0, 50.0, 1, 2)]);
+        let stats = span_summary(&t);
+        assert!(stats.iter().all(|s| s.self_us == 50.0));
+    }
+
+    #[test]
+    fn repeated_names_aggregate_and_sort_by_self_time() {
+        let t = trace(vec![
+            span("hot", 0.0, 30.0, 1, 1),
+            span("hot", 40.0, 30.0, 1, 1),
+            span("cold", 80.0, 10.0, 1, 1),
+        ]);
+        let stats = span_summary(&t);
+        assert_eq!(stats[0].name, "hot");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_us, 60.0);
+        assert_eq!(stats[1].name, "cold");
+    }
+
+    #[test]
+    fn non_span_events_are_ignored() {
+        let mut meta = span("process_name", 0.0, 0.0, 1, 0);
+        meta.ph = "M".to_string();
+        meta.dur = None;
+        let mut instant = span("cache-hit", 5.0, 0.0, 1, 1);
+        instant.ph = "i".to_string();
+        instant.dur = None;
+        let t = trace(vec![meta, instant, span("work", 0.0, 10.0, 1, 1)]);
+        let stats = span_summary(&t);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "work");
+    }
+
+    #[test]
+    fn empty_trace_summarises_to_nothing() {
+        assert!(span_summary(&trace(Vec::new())).is_empty());
+    }
+}
