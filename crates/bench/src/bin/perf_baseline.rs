@@ -34,7 +34,16 @@
 //!   traced study; the Chrome trace lands in `--trace-out` for
 //!   `edgetune trace-summary`.
 //!
-//! Usage: `perf_baseline [--fabric|--hotpath] [--out FILE]
+//! `perf_baseline --pareto` measures the vector-objective hot spots
+//! (default `BENCH_pareto.json`):
+//!
+//! - `front_insert_ns`: amortised cost of offering one point to a
+//!   `ParetoFront` over a 256-point insertion stream — the per-trial
+//!   overhead `--pareto K` adds to history accounting.
+//! - `selector_decision_ns`: one `ConfigSelector::select` over a
+//!   16-entry frontier — the whole stage-one drift response.
+//!
+//! Usage: `perf_baseline [--fabric|--hotpath|--pareto] [--out FILE]
 //! [--trace-out FILE]` (defaults `BENCH_service.json` /
 //! `hotpath.trace.json`). Numbers are host-dependent; the committed
 //! baseline anchors the trend, it is not a cross-machine contract.
@@ -374,6 +383,88 @@ fn run_hotpath_baseline(out: &str, trace_out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A deterministic 256-point insertion stream with enough dominance
+/// churn to exercise both the reject path and the eviction path: the
+/// amortised per-point cost a `--pareto` study pays on every finished
+/// trial.
+fn bench_front_insert() -> (u128, usize) {
+    use edgetune_tuner::pareto::{FrontPoint, ObjectiveVector, ParetoFront};
+    use edgetune_tuner::space::Config;
+    const POINTS: u128 = 256;
+    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut uniform = || {
+        lcg = lcg
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (lcg >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let stream: Vec<FrontPoint> = (0..POINTS as u64)
+        .map(|i| FrontPoint {
+            config: Config::new().with("batch", i as f64),
+            vector: ObjectiveVector::new(uniform(), uniform() * 100.0, uniform() * 10.0),
+            trial: i,
+        })
+        .collect();
+    let per_insert = median_ns(200, || {
+        let mut front = ParetoFront::new();
+        for point in &stream {
+            front.insert(black_box(point.clone()));
+        }
+        black_box(&front);
+    }) / POINTS;
+    let mut front = ParetoFront::new();
+    for point in &stream {
+        front.insert(point.clone());
+    }
+    (per_insert, front.len())
+}
+
+/// One stage-one drift decision: `ConfigSelector::select` over a
+/// 16-entry geometric frontier ladder with an energy budget attached.
+fn bench_selector_decision() -> (u128, usize) {
+    use edgetune_serving::{ConfigSelector, FrontierEntry, ServingConfig};
+    let entries: Vec<FrontierEntry> = (0..16u32)
+        .map(|i| {
+            let capacity = 2.0 * 1.5f64.powi(i as i32);
+            FrontierEntry {
+                config: ServingConfig::new(1 << (i / 3), 4, Hertz::from_ghz(1.4))
+                    .with_tuned_rate(capacity)
+                    .with_prediction(Seconds::new(0.2 + 0.1 * f64::from(i))),
+                capacity,
+                energy_per_item: JoulesPerItem::new(0.2 + 0.05 * f64::from(i)),
+            }
+        })
+        .collect();
+    let selector = ConfigSelector::new(entries);
+    let budget = Some(JoulesPerItem::new(0.9));
+    let decision = median_ns(10_000, || {
+        black_box(selector.select(black_box(40.0), Seconds::new(2.0), black_box(budget)));
+    });
+    (decision, selector.len())
+}
+
+fn run_pareto_baseline(out: &str) -> ExitCode {
+    eprintln!("measuring amortised Pareto-front insertion...");
+    let (front_insert_ns, front_points) = bench_front_insert();
+    eprintln!("measuring one selector decision...");
+    let (selector_decision_ns, frontier_entries) = bench_selector_decision();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pareto-baseline\",\n  \
+         \"front_insert_ns\": {front_insert_ns},\n  \
+         \"front_points\": {front_points},\n  \
+         \"selector_decision_ns\": {selector_decision_ns},\n  \
+         \"frontier_entries\": {frontier_entries}\n}}\n"
+    );
+    eprint!("{json}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("baseline written to {out}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     // Hidden no-op mode: the spawn benchmark self-execs this to measure
@@ -385,11 +476,13 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut fabric = false;
     let mut hotpath = false;
+    let mut pareto = false;
     let mut args = argv;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fabric" => fabric = true,
             "--hotpath" => hotpath = true,
+            "--pareto" => pareto = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -406,7 +499,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: perf_baseline [--fabric|--hotpath] [--out FILE] [--trace-out FILE]"
+                    "usage: perf_baseline [--fabric|--hotpath|--pareto] [--out FILE] \
+                     [--trace-out FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -424,6 +518,10 @@ fn main() -> ExitCode {
         let out = out.unwrap_or_else(|| "BENCH_hotpath.json".to_string());
         let trace_out = trace_out.unwrap_or_else(|| "hotpath.trace.json".to_string());
         return run_hotpath_baseline(&out, &trace_out);
+    }
+    if pareto {
+        let out = out.unwrap_or_else(|| "BENCH_pareto.json".to_string());
+        return run_pareto_baseline(&out);
     }
     let out = out.unwrap_or_else(|| "BENCH_service.json".to_string());
 

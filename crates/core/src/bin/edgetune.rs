@@ -15,6 +15,15 @@
 //!                                              # add a scenario-aware batching
 //!                                              # recommendation (§3.4); also
 //!                                              # accepts server:<n>:<period>
+//! edgetune --workload ic --pareto 5            # vector objective: report the
+//!                                              # top-5 Pareto frontier of
+//!                                              # accuracy vs train vs inference
+//!                                              # cost alongside the winner
+//! edgetune serve --workload ic --traffic shift --frontier 6
+//!                                              # pre-compute a 6-point frontier
+//!                                              # so drift is answered by instant
+//!                                              # config selection, re-tuning
+//!                                              # only when nothing feasible
 //! edgetune serve --workload ic --traffic burst --seed 42
 //!                                              # deploy the tuned configuration
 //!                                              # into the serving runtime and
@@ -40,7 +49,7 @@ use edgetune::config::ShardExec;
 use edgetune::fabric::{self, ChaosAction, FabricChaos};
 use edgetune::prelude::*;
 use edgetune::scenario::{tune_for_scenario, Scenario};
-use edgetune::serve::ScenarioRetuner;
+use edgetune::serve::{frontier_rates, ScenarioRetuner};
 use edgetune_device::spec::DeviceSpec;
 use edgetune_serving::{RuntimeOptions, ServingRuntime, SloPolicy, TrafficProfile};
 use edgetune_trace::{ChromeTrace, Tracer};
@@ -69,6 +78,7 @@ struct Args {
     checkpoint: Option<String>,
     resume: bool,
     trace: Option<String>,
+    pareto: Option<usize>,
 }
 
 struct ChaosArgs {
@@ -98,6 +108,7 @@ struct ServeArgs {
     shed: bool,
     json: Option<String>,
     trace: Option<String>,
+    frontier: Option<usize>,
 }
 
 fn parse_workload(value: &str) -> Result<WorkloadId, String> {
@@ -166,6 +177,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         checkpoint: None,
         resume: false,
         trace: None,
+        pareto: None,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -235,6 +247,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--checkpoint" => args.checkpoint = Some(value(&mut argv, "--checkpoint")?),
             "--resume" => args.resume = true,
             "--trace" => args.trace = Some(value(&mut argv, "--trace")?),
+            "--pareto" => {
+                let k: usize = value(&mut argv, "--pareto")?
+                    .parse()
+                    .map_err(|e| format!("bad frontier size: {e}"))?;
+                if k == 0 {
+                    return Err("--pareto needs a frontier size >= 1".into());
+                }
+                args.pareto = Some(k);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
@@ -243,7 +264,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      [--study-shards N] [--shard-exec thread|process] \
                      [--fabric-trace FILE] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
-                     [--checkpoint FILE] [--resume] [--trace FILE] \
+                     [--checkpoint FILE] [--resume] [--trace FILE] [--pareto K] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
                      \n\
                      --shard-exec process runs each engine shard in a supervised child\n\
@@ -256,7 +277,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
                      [--traffic poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
                      [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE] \
-                     [--trace FILE]\n  \
+                     [--trace FILE] [--frontier N]\n  \
                      edgetune chaos [--workload ic|sr|nlp|od] [--metric runtime|energy] \
                      [--rate P] [--seed N] [--trials N] [--max-iter N] [--checkpoint FILE] \
                      [--resume] [--halt-after-rungs N] [--json FILE] [--trace FILE]"
@@ -283,6 +304,7 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
         shed: true,
         json: None,
         trace: None,
+        frontier: None,
     };
     let mut argv = argv;
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -347,12 +369,21 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeArgs, Str
             "--no-shed" => args.shed = false,
             "--json" => args.json = Some(value(&mut argv, "--json")?),
             "--trace" => args.trace = Some(value(&mut argv, "--trace")?),
+            "--frontier" => {
+                let n: usize = value(&mut argv, "--frontier")?
+                    .parse()
+                    .map_err(|e| format!("bad frontier size: {e}"))?;
+                if n == 0 {
+                    return Err("--frontier needs a ladder size >= 1".into());
+                }
+                args.frontier = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
                      [--traffic poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
                      [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE] \
-                     [--trace FILE]"
+                     [--trace FILE] [--frontier N]"
                 );
                 std::process::exit(0);
             }
@@ -569,8 +600,19 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     if args.static_serving {
         options = options.static_serving();
     }
-    let runtime =
+    let mut runtime =
         ServingRuntime::new(device, profile, config, options).map_err(|e| e.to_string())?;
+    if let Some(n) = args.frontier {
+        let rates = frontier_rates(traffic.design_rate(), n);
+        let selector = retuner.precompute_frontier(&rates, seed.child("frontier"));
+        eprintln!(
+            "pre-computed {} frontier configuration(s) over {:.1}..{:.1} items/s",
+            selector.len(),
+            rates.first().copied().unwrap_or(0.0),
+            rates.last().copied().unwrap_or(0.0),
+        );
+        runtime = runtime.with_selector(selector);
+    }
     let tuner = (!args.static_serving).then_some(&retuner as &dyn edgetune_serving::OnlineTuner);
     let tracer = args.trace.as_ref().map(|_| Tracer::new());
     let report = runtime
@@ -782,6 +824,9 @@ fn main() -> ExitCode {
     if let Some(path) = &args.trace {
         config = config.with_trace_path(path);
     }
+    if let Some(k) = args.pareto {
+        config = config.with_pareto(k);
+    }
     config = config.with_shard_exec(args.shard_exec);
     if let Some(path) = &args.fabric_trace {
         config = config.with_fabric_trace_path(path);
@@ -849,6 +894,24 @@ fn main() -> ExitCode {
     println!("frequency     : {:.2} GHz", rec.freq.as_ghz());
     println!("throughput    : {:.1} items/s", rec.throughput.value());
     println!("energy        : {:.3} J/item", rec.energy_per_item.value());
+
+    if !report.frontier().is_empty() {
+        println!("== pareto frontier ==");
+        println!(
+            "{:>5} {:>9} {:>12} {:>12}  configuration",
+            "trial", "accuracy", "train-cost", "infer-cost"
+        );
+        for point in report.frontier() {
+            println!(
+                "{:>5} {:>8.1}% {:>12.2} {:>12.4}  {}",
+                point.trial,
+                point.vector.accuracy * 100.0,
+                point.vector.train_cost,
+                point.vector.inference_cost,
+                point.config,
+            );
+        }
+    }
 
     if let Some(scenario) = &args.scenario {
         use edgetune::backend::PARAM_MODEL_HP;

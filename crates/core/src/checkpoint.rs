@@ -32,6 +32,7 @@ use std::path::Path;
 use edgetune_faults::DegradationStats;
 use edgetune_tuner::budget::TrialBudget;
 use edgetune_tuner::merge::{HistoryMerge, ShardHistory, StampedTrial};
+use edgetune_tuner::pareto::ObjectiveVector;
 use edgetune_tuner::space::Config;
 use edgetune_tuner::{History, TrialFailure, TrialOutcome, TrialRecord};
 use edgetune_util::units::{Joules, Seconds};
@@ -56,6 +57,11 @@ struct CheckpointTrial {
     energy: Joules,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     failure: Option<TrialFailure>,
+    /// Pareto objective vector of the trial, when the study ran in
+    /// `--pareto` mode. Absent (and skipped) in scalar studies so their
+    /// checkpoints are byte-identical to pre-Pareto builds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    vector: Option<ObjectiveVector>,
 }
 
 impl From<&TrialRecord> for CheckpointTrial {
@@ -69,6 +75,7 @@ impl From<&TrialRecord> for CheckpointTrial {
             runtime: record.outcome.runtime,
             energy: record.outcome.energy,
             failure: record.outcome.failure,
+            vector: record.outcome.vector,
         }
     }
 }
@@ -85,6 +92,7 @@ impl From<&CheckpointTrial> for TrialRecord {
                 runtime: trial.runtime,
                 energy: trial.energy,
                 failure: trial.failure,
+                vector: trial.vector,
             },
         }
     }

@@ -14,6 +14,7 @@ use std::time::Duration;
 use edgetune_device::spec::DeviceSpec;
 use edgetune_faults::{DegradationLadder, FaultPlan, Supervisor};
 use edgetune_tuner::budget::BudgetPolicy;
+use edgetune_tuner::pareto::ParetoTpeSampler;
 use edgetune_tuner::sampler::{GridSampler, RandomSampler, Sampler, TpeSampler, WarmStartSampler};
 use edgetune_tuner::scheduler::SchedulerConfig;
 use edgetune_tuner::space::Config;
@@ -179,6 +180,14 @@ pub struct EdgeTuneConfig {
     /// (the default) leaves the sampler stream byte-identical to a
     /// build without this knob.
     pub warm_start: Vec<Config>,
+    /// Pareto mode: when set, every trial carries an objective vector
+    /// (accuracy, train cost, inference cost), rung promotion runs on
+    /// dominance-front membership, TPE upgrades to the multi-objective
+    /// hypervolume acquisition, and the report gains a `frontier`
+    /// section with up to this many non-dominated configurations.
+    /// `None` (the default) is scalar mode, byte-identical to a build
+    /// without this knob.
+    pub pareto: Option<usize>,
 }
 
 impl EdgeTuneConfig {
@@ -217,6 +226,7 @@ impl EdgeTuneConfig {
             halt_after_rungs: None,
             trace_path: None,
             warm_start: Vec::new(),
+            pareto: None,
         }
     }
 
@@ -452,11 +462,29 @@ impl EdgeTuneConfig {
         self
     }
 
+    /// Enables Pareto mode: multi-objective search whose report carries a
+    /// frontier of up to `k` non-dominated configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn with_pareto(mut self, k: usize) -> Self {
+        assert!(k >= 1, "frontier capacity must be >= 1");
+        self.pareto = Some(k);
+        self
+    }
+
     pub(crate) fn build_sampler(&self) -> Box<dyn Sampler> {
         let seed = SeedStream::new(self.seed).child("sampler");
         let inner: Box<dyn Sampler> = match self.sampler {
             SamplerKind::Grid(resolution) => Box::new(GridSampler::new(resolution)),
             SamplerKind::Random => Box::new(RandomSampler::new(seed)),
+            // In Pareto mode the TPE model upgrades to the multi-objective
+            // hypervolume acquisition; grid/random enumerate the same way
+            // in either mode (the frontier is still assembled from their
+            // vectored history).
+            SamplerKind::Tpe if self.pareto.is_some() => Box::new(ParetoTpeSampler::new(seed)),
             SamplerKind::Tpe => Box::new(TpeSampler::new(seed)),
         };
         if self.warm_start.is_empty() {

@@ -40,6 +40,7 @@ use edgetune_runtime::{parallel_map_ordered, SimClock};
 use edgetune_trace::{Tracer, TrackId};
 use edgetune_tuner::budget::TrialBudget;
 use edgetune_tuner::objective::{TrainMeasurement, TrainObjective};
+use edgetune_tuner::pareto::ObjectiveVector;
 use edgetune_tuner::scheduler::Evaluate;
 use edgetune_tuner::space::Config;
 use edgetune_tuner::trial::{History, TrialFailure, TrialOutcome, TrialRecord};
@@ -71,6 +72,11 @@ pub(crate) struct OnefoldEvaluator<'a> {
     /// (`crate::trace::timeline_from_trace`), never recorded separately.
     pub(crate) tracer: &'a Tracer,
     pub(crate) pipelining: bool,
+    /// Whether the study runs in Pareto mode: successful trials carry an
+    /// [`ObjectiveVector`] alongside the scalar score. Off by default so
+    /// scalar reports stay byte-identical (the serde field is skipped
+    /// when `None`).
+    pub(crate) pareto: bool,
     /// Real measurement threads (wall-clock only; see the module docs).
     pub(crate) trial_workers: usize,
     /// Simulated concurrent trial slots (changes the reported makespan).
@@ -460,13 +466,21 @@ impl OnefoldEvaluator<'_> {
             inference_energy: Some(reply.recommendation.energy_per_item),
         };
         let score = self.objective.score(&measurement);
+        let mut outcome = TrialOutcome::new(
+            score,
+            accuracy,
+            train_runtime + stall,
+            train_energy + reply.energy,
+        );
+        if self.pareto {
+            if let Some(vector) =
+                ObjectiveVector::from_measurement(&measurement, self.objective.metric())
+            {
+                outcome = outcome.with_vector(vector);
+            }
+        }
         TrialRun {
-            outcome: TrialOutcome::new(
-                score,
-                accuracy,
-                train_runtime + stall,
-                train_energy + reply.energy,
-            ),
+            outcome,
             arch,
             train_runtime,
             sweep_runtime: reply.runtime,

@@ -15,7 +15,7 @@ use edgetune_runtime::SimClock;
 use edgetune_trace::{ChromeTrace, Tracer};
 use edgetune_tuner::merge::HistoryMerge;
 use edgetune_tuner::objective::{InferenceObjective, TrainObjective};
-use edgetune_tuner::scheduler::{HyperBand, SuccessiveHalving};
+use edgetune_tuner::scheduler::{HyperBand, PromotionRule, SuccessiveHalving};
 use edgetune_tuner::trial::TrialRecord;
 use edgetune_util::rng::SeedStream;
 use edgetune_util::units::{Joules, Seconds};
@@ -297,6 +297,7 @@ impl<'a> Engine<'a> {
                 objective,
                 tracer,
                 pipelining: self.config.pipelining,
+                pareto: self.config.pareto.is_some(),
                 trial_workers: self.config.trial_workers,
                 trial_slots: self.config.trial_slots,
                 study_shards: self.config.study_shards,
@@ -325,20 +326,32 @@ impl<'a> Engine<'a> {
                 bracket_open: None,
                 scratch: Default::default(),
             };
-            let history = if self.config.hyperband {
-                HyperBand::new(self.config.scheduler).run(
-                    sampler.as_mut(),
-                    &space,
-                    &self.config.budget,
-                    &mut evaluator,
-                )
+            // Pareto mode promotes on front membership (dominance
+            // layers) instead of raw scalar rank; scalar mode keeps the
+            // default rule, so its reports are untouched.
+            let promotion = if self.config.pareto.is_some() {
+                PromotionRule::FrontMembership
             } else {
-                SuccessiveHalving::new(self.config.scheduler).run(
-                    sampler.as_mut(),
-                    &space,
-                    &self.config.budget,
-                    &mut evaluator,
-                )
+                PromotionRule::ScalarRank
+            };
+            let history = if self.config.hyperband {
+                HyperBand::new(self.config.scheduler)
+                    .with_promotion(promotion)
+                    .run(
+                        sampler.as_mut(),
+                        &space,
+                        &self.config.budget,
+                        &mut evaluator,
+                    )
+            } else {
+                SuccessiveHalving::new(self.config.scheduler)
+                    .with_promotion(promotion)
+                    .run(
+                        sampler.as_mut(),
+                        &space,
+                        &self.config.budget,
+                        &mut evaluator,
+                    )
             };
             evaluator.finish_trace();
             let stamps = std::mem::take(&mut evaluator.stamps);
@@ -432,9 +445,18 @@ impl<'a> Engine<'a> {
             None
         };
 
+        // The frontier is assembled from the *merged* history, so its
+        // contents (like every other reported byte) are invariant to the
+        // worker/shard split.
+        let frontier = match self.config.pareto {
+            Some(k) => crate::engine::report::build_frontier(&history, k),
+            None => Vec::new(),
+        };
+
         Ok(TuningReport {
             history,
             best,
+            frontier,
             recommendation,
             timeline,
             cache_stats: final_cache.stats(),

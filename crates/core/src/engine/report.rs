@@ -11,6 +11,7 @@
 //! snapshot tests can compare runs across refactors and machines.
 
 use edgetune_faults::{DegradationStats, FaultPlan};
+use edgetune_tuner::pareto::{FrontPoint, ParetoFront};
 use edgetune_tuner::space::Config;
 use edgetune_tuner::trial::{History, TrialRecord};
 use edgetune_util::units::{Joules, Seconds};
@@ -41,6 +42,28 @@ pub struct FaultReport {
     pub failed_trials: u64,
 }
 
+/// Assembles a report frontier from a (merged) history: every healthy
+/// vectored trial is offered to a [`ParetoFront`] and the canonical
+/// top-`k` survives. The input history is already merged into execution
+/// order, and the front itself is insertion-order invariant, so the
+/// result is byte-identical whatever the worker/shard split.
+pub(crate) fn build_frontier(history: &History, k: usize) -> Vec<FrontPoint> {
+    let mut front = ParetoFront::new();
+    for record in history.records() {
+        if record.outcome.is_failed() {
+            continue;
+        }
+        if let Some(vector) = record.outcome.vector {
+            front.insert(FrontPoint {
+                config: record.config.clone(),
+                vector,
+                trial: record.id,
+            });
+        }
+    }
+    front.top(k).to_vec()
+}
+
 /// The outcome of an EdgeTune run.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct TuningReport {
@@ -54,6 +77,12 @@ pub struct TuningReport {
     pub(crate) inference_energy: Joules,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub(crate) faults: Option<FaultReport>,
+    /// The Pareto frontier of the study when it ran in `--pareto` mode:
+    /// up to `k` mutually non-dominated configurations in the canonical
+    /// front order. Empty in scalar mode and omitted from JSON so scalar
+    /// reports are byte-identical to a build without this feature.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub(crate) frontier: Vec<FrontPoint>,
     /// Whether the run stopped at a `halt_after_rungs` boundary rather
     /// than finishing the study. Never serialised — the JSON form stays
     /// a byte-stability contract over *completed* studies — but a
@@ -173,6 +202,13 @@ impl TuningReport {
         self.fabric.as_ref()
     }
 
+    /// The study's Pareto frontier — empty unless the run was configured
+    /// with [`EdgeTuneConfig::with_pareto`](crate::config::EdgeTuneConfig::with_pareto).
+    #[must_use]
+    pub fn frontier(&self) -> &[FrontPoint] {
+        &self.frontier
+    }
+
     /// A compact human-readable summary of the run — what the CLI and
     /// examples print.
     #[must_use]
@@ -197,6 +233,22 @@ impl TuningReport {
             rec.throughput.value(),
             rec.energy_per_item.value(),
         );
+        if !self.frontier.is_empty() {
+            summary.push_str(&format!(
+                "\npareto frontier: {} configs (accuracy {:.1}%..{:.1}%)",
+                self.frontier.len(),
+                self.frontier
+                    .iter()
+                    .map(|p| p.vector.accuracy)
+                    .fold(f64::INFINITY, f64::min)
+                    * 100.0,
+                self.frontier
+                    .iter()
+                    .map(|p| p.vector.accuracy)
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    * 100.0,
+            ));
+        }
         if let Some(faults) = &self.faults {
             let d = &faults.degradation;
             summary.push_str(&format!(

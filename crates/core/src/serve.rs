@@ -8,10 +8,12 @@
 //! [`ServingConfig`] — plus the conversion helper the CLI and examples use
 //! to deploy an offline recommendation.
 
+use edgetune_device::latency::{simulate_inference, CpuAllocation};
 use edgetune_device::profile::WorkProfile;
 use edgetune_device::spec::DeviceSpec;
-use edgetune_serving::{OnlineTuner, ServingConfig};
+use edgetune_serving::{ConfigSelector, FrontierEntry, OnlineTuner, ServingConfig};
 use edgetune_util::rng::SeedStream;
+use edgetune_util::units::JoulesPerItem;
 use edgetune_util::Result;
 
 use crate::batching::MultiStreamScenario;
@@ -88,6 +90,56 @@ impl ScenarioRetuner {
         let rec = tune_for_scenario(&self.device, &self.space, &self.profile, scenario, seed)?;
         Ok(config_from_recommendation(&rec, scenario_rate(scenario)))
     }
+
+    /// Pre-tunes one configuration per rate in `rates` and packs them
+    /// into a [`ConfigSelector`]: the frontier the serving runtime
+    /// consults *before* paying for a live re-tune. Each rung gets its
+    /// own derived seed, a capacity equal to the rate it was tuned for,
+    /// and a per-item energy read off the device model at its batch
+    /// size; untunable rates (sweep finds nothing stable) are skipped.
+    #[must_use]
+    pub fn precompute_frontier(&self, rates: &[f64], seed: SeedStream) -> ConfigSelector {
+        let mut entries = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            if !(rate > 0.0 && rate.is_finite()) {
+                continue;
+            }
+            let scenario = Scenario::MultiStream(MultiStreamScenario::new(rate, self.arrivals));
+            let Ok(config) = self.recommend(&scenario, seed.child_indexed("frontier", i as u64))
+            else {
+                continue;
+            };
+            let Ok(alloc) = CpuAllocation::new(&self.device, config.cores, config.freq) else {
+                continue;
+            };
+            let exec = simulate_inference(&self.device, &alloc, &self.profile, config.batch_cap);
+            entries.push(FrontierEntry {
+                config,
+                capacity: rate,
+                energy_per_item: JoulesPerItem::new(
+                    exec.energy.value() / f64::from(config.batch_cap),
+                ),
+            });
+        }
+        ConfigSelector::new(entries)
+    }
+}
+
+/// A geometric ladder of arrival rates around `base_rate` for frontier
+/// pre-computation: `n` points spanning `base_rate / 2` to
+/// `base_rate * 8`, wide enough to cover the multi-x upward drifts the
+/// drift experiments inject while keeping a cheap point for lulls.
+#[must_use]
+pub fn frontier_rates(base_rate: f64, n: usize) -> Vec<f64> {
+    assert!(base_rate > 0.0, "rate ladder needs a positive base");
+    if n <= 1 {
+        return vec![base_rate];
+    }
+    let lo = base_rate * 0.5;
+    let hi = base_rate * 8.0;
+    (0..n)
+        .map(|i| lo * (hi / lo).powf(i as f64 / (n - 1) as f64))
+        .collect()
 }
 
 impl OnlineTuner for ScenarioRetuner {
@@ -154,6 +206,34 @@ mod tests {
             r.retune(12.0, SeedStream::new(4)),
             r.retune(12.0, SeedStream::new(4))
         );
+    }
+
+    #[test]
+    fn precomputed_frontier_covers_its_rate_ladder() {
+        let r = retuner().with_arrivals(100);
+        let rates = frontier_rates(5.0, 4);
+        let selector = r.precompute_frontier(&rates, SeedStream::new(6));
+        assert_eq!(selector.len(), 4, "every rung in the ladder is tunable");
+        for &rate in &rates {
+            let entry = selector
+                .select(rate, Seconds::new(f64::INFINITY), None)
+                .expect("a point tuned for this rate exists");
+            assert!(entry.capacity >= rate);
+            assert!(entry.energy_per_item.value() > 0.0);
+        }
+        // Determinism: same seed, same frontier.
+        let again = r.precompute_frontier(&rates, SeedStream::new(6));
+        assert_eq!(selector, again);
+    }
+
+    #[test]
+    fn frontier_rates_span_the_drift_envelope() {
+        let rates = frontier_rates(5.0, 6);
+        assert_eq!(rates.len(), 6);
+        assert!((rates[0] - 2.5).abs() < 1e-9);
+        assert!((rates[5] - 40.0).abs() < 1e-9);
+        assert!(rates.windows(2).all(|w| w[0] < w[1]), "ladder ascends");
+        assert_eq!(frontier_rates(5.0, 1), vec![5.0]);
     }
 
     #[test]

@@ -106,7 +106,12 @@ impl Layer for Dense {
             self.inputs(),
             input.cols()
         );
-        self.cached_input = Some(input.clone());
+        // Refill the standing input cache instead of cloning a fresh
+        // tensor per batch — same bytes, one allocation for the epoch.
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         let mut out = Tensor::zeros(&[input.rows(), self.outputs()]);
         input.matmul_into(&self.weight, &mut out);
         out.add_row_assign(self.bias.data());
@@ -555,7 +560,10 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         out
     }
 

@@ -198,6 +198,17 @@ impl Tensor {
         }
     }
 
+    /// Copies `src`'s shape and contents into `self`, reusing the
+    /// existing data allocation when its capacity suffices — the
+    /// buffer-reuse counterpart of `clone()` for standing caches that
+    /// are refilled every training batch.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product of two 2-D tensors.
     ///
     /// Allocates a fresh output and delegates to [`Tensor::matmul_into`];
@@ -639,6 +650,26 @@ mod tests {
             before,
             "matmul_into must not reallocate the output"
         );
+    }
+
+    #[test]
+    fn copy_from_reuses_the_buffer() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let mut dst = Tensor::full(&[3, 2], 9.9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let before = dst.data().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(
+            dst.data().as_ptr(),
+            before,
+            "same-size refills must not reallocate"
+        );
+        // Shrinking copies reuse the allocation too.
+        let small = Tensor::from_vec(vec![7.0], &[1, 1]);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
+        assert_eq!(dst.data().as_ptr(), before);
     }
 
     #[test]

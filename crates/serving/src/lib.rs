@@ -13,6 +13,9 @@
 //!   cap and deadline-based load shedding,
 //! * [`drift`] — windowed arrival-rate estimation that flags sustained
 //!   departures from the tuned rate,
+//! * [`selector`] — a pre-computed Pareto frontier of configurations
+//!   consulted *before* any re-tune: stage one of the two-stage drift
+//!   response answers most drift events by instant lookup,
 //! * [`runtime`] — the discrete-event serving loop: a worker pool
 //!   executing batches on the `edgetune-device` roofline/power models,
 //!   admission control, and drift-triggered online re-tuning through the
@@ -56,10 +59,12 @@ pub mod drift;
 pub mod metrics;
 pub mod queue;
 pub mod runtime;
+pub mod selector;
 pub mod traffic;
 
 pub use drift::{DriftConfig, DriftDetector};
-pub use metrics::{ConfigSwitch, ServingFaultSummary, ServingReport};
+pub use metrics::{ConfigSwitch, ServingFaultSummary, ServingReport, SwitchSource};
 pub use queue::{AdaptiveBatcher, BatchPolicy, SloPolicy};
 pub use runtime::{OnlineTuner, RuntimeOptions, ServingConfig, ServingRuntime};
+pub use selector::{ConfigSelector, FrontierEntry};
 pub use traffic::TrafficProfile;

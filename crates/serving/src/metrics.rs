@@ -11,6 +11,27 @@ use edgetune_util::units::{Hertz, ItemsPerSecond, Joules, JoulesPerItem, Seconds
 use edgetune_util::{Error, Result};
 use serde::{Deserialize, Serialize};
 
+/// How a drift-triggered configuration switch was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SwitchSource {
+    /// Stage two: a full online re-tune produced the new configuration.
+    #[default]
+    Retune,
+    /// Stage one: the new configuration was looked up on a pre-computed
+    /// Pareto frontier — no tuning trials were spent.
+    Frontier,
+}
+
+impl SwitchSource {
+    /// True for the default (re-tune) source — the serde skip predicate
+    /// that keeps re-tune switches byte-identical to pre-frontier
+    /// reports.
+    #[must_use]
+    pub fn is_retune(&self) -> bool {
+        matches!(self, SwitchSource::Retune)
+    }
+}
+
 /// One drift-triggered configuration hot-swap.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ConfigSwitch {
@@ -33,6 +54,11 @@ pub struct ConfigSwitch {
     /// The re-tuner's predicted mean response under the new
     /// configuration, when it reported one.
     pub predicted_mean_response: Option<Seconds>,
+    /// How the switch was decided. Defaults to [`SwitchSource::Retune`]
+    /// (and is skipped for re-tunes) so reports from runs without a
+    /// frontier selector keep their exact pre-frontier bytes.
+    #[serde(default, skip_serializing_if = "SwitchSource::is_retune")]
+    pub source: SwitchSource,
 }
 
 /// What fault injection did to one serving run. Only present when the
@@ -203,6 +229,7 @@ mod tests {
                 from_freq: Hertz::from_ghz(1.0),
                 to_freq: Hertz::from_ghz(1.4),
                 predicted_mean_response: Some(Seconds::new(0.3)),
+                source: SwitchSource::default(),
             }],
             faults: None,
         }
@@ -253,6 +280,26 @@ mod tests {
             !json.contains("\"faults\""),
             "no-op runs keep the old shape"
         );
+    }
+
+    #[test]
+    fn retune_switches_serialise_without_a_source_key() {
+        let json = report().to_json().unwrap();
+        assert!(
+            !json.contains("\"source\""),
+            "re-tune switches keep the pre-frontier shape"
+        );
+    }
+
+    #[test]
+    fn frontier_switches_round_trip_their_source() {
+        let mut r = report();
+        r.switches[0].source = SwitchSource::Frontier;
+        let json = r.to_json().unwrap();
+        assert!(json.contains("\"Frontier\""));
+        let back = ServingReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.switches[0].source, SwitchSource::Frontier);
     }
 
     #[test]

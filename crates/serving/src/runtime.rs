@@ -30,8 +30,11 @@ use edgetune_util::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::drift::{DriftConfig, DriftDetector};
-use crate::metrics::{response_percentiles, ConfigSwitch, ServingFaultSummary, ServingReport};
+use crate::metrics::{
+    response_percentiles, ConfigSwitch, ServingFaultSummary, ServingReport, SwitchSource,
+};
 use crate::queue::{AdaptiveBatcher, BatchPolicy, SloPolicy};
+use crate::selector::ConfigSelector;
 use crate::traffic::TrafficProfile;
 
 /// Category stamped on every serving trace event (matches the core
@@ -132,6 +135,11 @@ pub struct RuntimeOptions {
     /// fault-free and keeps reports byte-identical to pre-chaos runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultPlan>,
+    /// Per-item energy budget stage-one frontier selection must respect;
+    /// `None` leaves energy unconstrained. A stage-two re-tune optimises
+    /// its own objective and ignores this.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub energy_budget: Option<JoulesPerItem>,
 }
 
 impl RuntimeOptions {
@@ -146,7 +154,15 @@ impl RuntimeOptions {
             workers: 1,
             drift: Some(DriftConfig::default_for_rate()),
             faults: None,
+            energy_budget: None,
         }
+    }
+
+    /// Caps the per-item energy stage-one frontier selection may pick.
+    #[must_use]
+    pub fn with_energy_budget(mut self, budget: JoulesPerItem) -> Self {
+        self.energy_budget = Some(budget);
+        self
     }
 
     /// Serves under `plan`: transient device outages stall workers and
@@ -209,6 +225,10 @@ pub struct ServingRuntime {
     profile: WorkProfile,
     config: ServingConfig,
     options: RuntimeOptions,
+    /// Pre-computed Pareto frontier for stage-one drift response;
+    /// `None` answers every drift with a full re-tune (the pre-frontier
+    /// behaviour).
+    selector: Option<ConfigSelector>,
 }
 
 impl ServingRuntime {
@@ -230,7 +250,23 @@ impl ServingRuntime {
             profile,
             config,
             options,
+            selector: None,
         })
+    }
+
+    /// Installs a pre-computed Pareto frontier: drift events first try
+    /// an instant configuration lookup and only escalate to the
+    /// [`OnlineTuner`] when no frontier point is feasible.
+    #[must_use]
+    pub fn with_selector(mut self, selector: ConfigSelector) -> Self {
+        self.selector = Some(selector);
+        self
+    }
+
+    /// The installed frontier selector, if any.
+    #[must_use]
+    pub fn selector(&self) -> Option<&ConfigSelector> {
+        self.selector.as_ref()
     }
 
     /// The currently deployed configuration.
@@ -465,10 +501,69 @@ impl ServingRuntime {
             depth_max = depth_max.max(backlog as u64);
             batcher.observe(Seconds::new(batch_sum / f64::from(size)), backlog, &slo);
 
-            // Sustained drift: ask the tuner for a fresh optimum and
-            // hot-swap.
+            // Sustained drift: stage one looks the answer up on the
+            // pre-computed Pareto frontier (instant, zero trials); only
+            // when no frontier point is feasible does stage two pay for
+            // a full re-tune.
             if let Some(est) = pending_drift {
                 if let (Some(det), Some(tuner)) = (detector.as_mut(), tuner) {
+                    let frontier_pick = self
+                        .selector
+                        .as_ref()
+                        .and_then(|s| s.select(est, slo.target, self.options.energy_budget));
+                    if let Some(entry) = frontier_pick {
+                        let new_config = entry.config;
+                        if let Some(tracer) = tracer {
+                            let track = tracer.track(TRACE_PROCESS, "retune");
+                            tracer.instant_with_args(
+                                track,
+                                "frontier-select",
+                                TRACE_CATEGORY,
+                                Seconds::new(completion),
+                                vec![
+                                    ("estimated_rate".to_string(), est.to_string()),
+                                    ("to_batch".to_string(), new_config.batch_cap.to_string()),
+                                ],
+                            );
+                        }
+                        let same_deployment = new_config.batch_cap == config.batch_cap
+                            && new_config.cores == config.cores
+                            && new_config.freq == config.freq;
+                        if same_deployment {
+                            // The frontier says the deployed point is
+                            // still the right one — absorb the drift
+                            // without a switch or a re-tune.
+                            det.rearm(est, completion);
+                            continue;
+                        }
+                        if let Ok(new_alloc) =
+                            CpuAllocation::new(&self.device, new_config.cores, new_config.freq)
+                        {
+                            switches.push(ConfigSwitch {
+                                at: Seconds::new(completion),
+                                estimated_rate: est,
+                                from_batch: config.batch_cap,
+                                to_batch: new_config.batch_cap,
+                                from_cores: config.cores,
+                                to_cores: new_config.cores,
+                                from_freq: config.freq,
+                                to_freq: new_config.freq,
+                                predicted_mean_response: new_config.predicted_mean_response,
+                                source: SwitchSource::Frontier,
+                            });
+                            alloc = new_alloc;
+                            cache.clear();
+                            batcher.rebase(new_config.batch_cap);
+                            let rate = if new_config.tuned_rate > 0.0 {
+                                new_config.tuned_rate
+                            } else {
+                                est
+                            };
+                            det.rearm(rate, completion);
+                            config = new_config;
+                            continue;
+                        }
+                    }
                     let attempt = switches.len() as u64 + retune_failures;
                     if injector
                         .as_ref()
@@ -523,6 +618,7 @@ impl ServingRuntime {
                                     from_freq: config.freq,
                                     to_freq: new_config.freq,
                                     predicted_mean_response: new_config.predicted_mean_response,
+                                    source: SwitchSource::Retune,
                                 });
                                 alloc = new_alloc;
                                 cache.clear();
@@ -786,6 +882,118 @@ mod tests {
             switch.estimated_rate
         );
         assert_eq!(switch.to_batch, 48, "the stub's heavy-load config");
+    }
+
+    /// A tuner that counts how often stage two was actually paid for.
+    struct CountingTuner(std::cell::Cell<u64>);
+    impl OnlineTuner for CountingTuner {
+        fn retune(&self, estimated_rate: f64, seed: SeedStream) -> Option<ServingConfig> {
+            self.0.set(self.0.get() + 1);
+            StepTuner.retune(estimated_rate, seed)
+        }
+    }
+
+    fn frontier() -> crate::selector::ConfigSelector {
+        let device = pi();
+        let entry = |batch: u32, capacity: f64, energy: f64| crate::selector::FrontierEntry {
+            config: ServingConfig::new(batch, device.cores, device.max_freq)
+                .with_tuned_rate(capacity),
+            capacity,
+            energy_per_item: JoulesPerItem::new(energy),
+        };
+        crate::selector::ConfigSelector::new(vec![entry(4, 6.0, 0.2), entry(48, 30.0, 0.5)])
+    }
+
+    #[test]
+    fn a_feasible_frontier_absorbs_drift_without_retuning() {
+        let slo = SloPolicy::new(Seconds::new(4.0));
+        let rt = runtime(RuntimeOptions::new(slo)).with_selector(frontier());
+        let traffic = TrafficProfile::RateShift {
+            initial_rate: 5.0,
+            shifted_rate: 20.0,
+            at: Seconds::new(60.0),
+        };
+        let tuner = CountingTuner(std::cell::Cell::new(0));
+        let report = rt
+            .serve(
+                &traffic,
+                Seconds::new(240.0),
+                Some(&tuner),
+                SeedStream::new(4),
+            )
+            .unwrap();
+        assert!(
+            !report.switches.is_empty(),
+            "the sustained shift must still switch configurations"
+        );
+        assert_eq!(
+            report.switches[0].source,
+            SwitchSource::Frontier,
+            "the switch must come from the frontier, not a re-tune"
+        );
+        assert_eq!(report.switches[0].to_batch, 48);
+        assert_eq!(
+            tuner.0.get(),
+            0,
+            "a feasible frontier must spend zero re-tunes"
+        );
+    }
+
+    #[test]
+    fn an_infeasible_frontier_escalates_to_the_tuner() {
+        let slo = SloPolicy::new(Seconds::new(4.0));
+        let device = pi();
+        // The only frontier point tops out at 6/s: useless at 20/s.
+        let puny = crate::selector::ConfigSelector::new(vec![crate::selector::FrontierEntry {
+            config: ServingConfig::new(4, device.cores, device.max_freq).with_tuned_rate(6.0),
+            capacity: 6.0,
+            energy_per_item: JoulesPerItem::new(0.2),
+        }]);
+        let rt = runtime(RuntimeOptions::new(slo)).with_selector(puny);
+        let traffic = TrafficProfile::RateShift {
+            initial_rate: 5.0,
+            shifted_rate: 20.0,
+            at: Seconds::new(60.0),
+        };
+        let tuner = CountingTuner(std::cell::Cell::new(0));
+        let report = rt
+            .serve(
+                &traffic,
+                Seconds::new(240.0),
+                Some(&tuner),
+                SeedStream::new(4),
+            )
+            .unwrap();
+        assert!(tuner.0.get() >= 1, "no feasible point: stage two must pay");
+        assert!(!report.switches.is_empty());
+        assert_eq!(report.switches[0].source, SwitchSource::Retune);
+    }
+
+    #[test]
+    fn frontier_runs_keep_retune_switch_json_unchanged() {
+        // A run without a selector must serialise exactly as before the
+        // frontier feature existed — no "source" key anywhere.
+        let slo = SloPolicy::new(Seconds::new(4.0));
+        let rt = runtime(RuntimeOptions::new(slo));
+        let traffic = TrafficProfile::RateShift {
+            initial_rate: 5.0,
+            shifted_rate: 20.0,
+            at: Seconds::new(60.0),
+        };
+        let report = rt
+            .serve(
+                &traffic,
+                Seconds::new(240.0),
+                Some(&StepTuner),
+                SeedStream::new(4),
+            )
+            .unwrap();
+        assert!(!report.switches.is_empty());
+        let json = report.to_json().unwrap();
+        assert!(
+            !json.contains("\"source\"") && !json.contains("energy_budget"),
+            "selector-free runs keep the pre-frontier report shape"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 pub mod budget;
 pub mod merge;
 pub mod objective;
+pub mod pareto;
 pub mod sampler;
 pub mod scheduler;
 pub mod space;
@@ -23,9 +24,10 @@ pub mod trial;
 pub use budget::{BudgetPolicy, TrialBudget};
 pub use merge::{HistoryMerge, ShardHistory, StampedTrial};
 pub use objective::{InferenceObjective, Metric, TrainObjective};
+pub use pareto::{FrontPoint, ObjectiveVector, ParetoFront, ParetoTpeSampler};
 pub use sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
 pub use scheduler::{
-    BracketSpec, FixedBudgetSearch, HyperBand, SchedulerConfig, SuccessiveHalving,
+    BracketSpec, FixedBudgetSearch, HyperBand, PromotionRule, SchedulerConfig, SuccessiveHalving,
 };
 pub use space::{Config, Domain, SearchSpace};
 pub use trial::{History, TrialFailure, TrialOutcome, TrialRecord};

@@ -14,12 +14,20 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::space::{Config, Domain, SearchSpace};
+use crate::trial::TrialOutcome;
 
 /// A strategy for proposing the next configuration to evaluate.
 pub trait Sampler: std::fmt::Debug + Send {
     /// Proposes a configuration given `(config, score)` observations so
     /// far (lower score = better).
     fn suggest(&mut self, space: &SearchSpace, observations: &[(&Config, f64)]) -> Config;
+
+    /// Notifies the sampler of a completed trial. The default is a no-op;
+    /// samplers that model more than the scalar score (e.g. the
+    /// multi-objective TPE in [`crate::pareto`]) override this to see the
+    /// full [`TrialOutcome`] — including its objective vector — instead
+    /// of just the `(config, score)` pairs `suggest` receives.
+    fn observe(&mut self, _config: &Config, _outcome: &TrialOutcome) {}
 
     /// Short strategy name ("grid", "random", "tpe").
     fn name(&self) -> &'static str;
@@ -81,6 +89,10 @@ impl Sampler for WarmStartSampler {
             }
         }
         self.inner.suggest(space, observations)
+    }
+
+    fn observe(&mut self, config: &Config, outcome: &TrialOutcome) {
+        self.inner.observe(config, outcome);
     }
 
     fn name(&self) -> &'static str {
@@ -193,8 +205,9 @@ impl TpeSampler {
     }
 
     /// Maps a value into the sampler's working coordinates (log space for
-    /// log domains, index space for choices).
-    fn transform(domain: &Domain, value: f64) -> f64 {
+    /// log domains, index space for choices). Shared with the
+    /// multi-objective sampler in [`crate::pareto`].
+    pub(crate) fn transform(domain: &Domain, value: f64) -> f64 {
         match domain {
             Domain::Int { log: true, .. } | Domain::Float { log: true, .. } => {
                 value.max(1e-12).ln()
@@ -208,7 +221,7 @@ impl TpeSampler {
     }
 
     /// Inverse of [`TpeSampler::transform`], snapped back into the domain.
-    fn untransform(domain: &Domain, coord: f64) -> f64 {
+    pub(crate) fn untransform(domain: &Domain, coord: f64) -> f64 {
         match domain {
             Domain::Int { log: true, .. } | Domain::Float { log: true, .. } => {
                 domain.clamp(coord.exp())
@@ -222,7 +235,7 @@ impl TpeSampler {
     }
 
     /// Working-space extent of a domain (bandwidth scale).
-    fn extent(domain: &Domain) -> f64 {
+    pub(crate) fn extent(domain: &Domain) -> f64 {
         match domain {
             Domain::Int { lo, hi, log } => {
                 if *log {
@@ -244,7 +257,7 @@ impl TpeSampler {
     }
 
     /// Parzen density of `coord` under kernels centred at `centres`.
-    fn density(coord: f64, centres: &[f64], bandwidth: f64) -> f64 {
+    pub(crate) fn density(coord: f64, centres: &[f64], bandwidth: f64) -> f64 {
         if centres.is_empty() {
             return 1e-12;
         }

@@ -7,9 +7,26 @@
 //! [`HyperBand`] yields BOHB.
 
 use crate::budget::{BudgetPolicy, TrialBudget};
+use crate::pareto::promotion_layers;
 use crate::sampler::Sampler;
 use crate::space::{Config, SearchSpace};
 use crate::trial::{History, TrialOutcome, TrialRecord};
+
+/// How a rung ranks its survivors for promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PromotionRule {
+    /// Classic successive halving: sort by the scalar score, keep the
+    /// best `1/η`.
+    #[default]
+    ScalarRank,
+    /// Pareto mode: peel the rung's outcomes into dominance layers
+    /// ([`promotion_layers`]) and promote whole fronts first — the
+    /// SoftNeuro-style pruning that keeps the frontier search tractable.
+    /// Within a layer (and for trials without a vector) the scalar score
+    /// breaks ties, so the rule degrades to `ScalarRank` exactly when no
+    /// vectors exist.
+    FrontMembership,
+}
 
 /// Evaluates one trial: `(trial_id, config, budget) → outcome`.
 ///
@@ -108,13 +125,24 @@ impl SchedulerConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuccessiveHalving {
     config: SchedulerConfig,
+    promotion: PromotionRule,
 }
 
 impl SuccessiveHalving {
-    /// Creates a successive-halving scheduler.
+    /// Creates a successive-halving scheduler (scalar-rank promotion).
     #[must_use]
     pub fn new(config: SchedulerConfig) -> Self {
-        SuccessiveHalving { config }
+        SuccessiveHalving {
+            config,
+            promotion: PromotionRule::default(),
+        }
+    }
+
+    /// Sets the promotion rule (builder style).
+    #[must_use]
+    pub fn with_promotion(mut self, promotion: PromotionRule) -> Self {
+        self.promotion = promotion;
+        self
     }
 
     /// Runs one bracket, starting from `start_iteration` (1-based budget
@@ -160,7 +188,7 @@ impl SuccessiveHalving {
                 rung.len(),
                 "evaluator must answer every trial"
             );
-            let mut scored: Vec<(Config, f64, bool)> = Vec::with_capacity(rung.len());
+            let mut scored: Vec<(Config, TrialOutcome)> = Vec::with_capacity(rung.len());
             for ((id, config, budget), outcome) in rung.into_iter().zip(outcomes) {
                 history.push(TrialRecord {
                     id,
@@ -168,7 +196,8 @@ impl SuccessiveHalving {
                     budget,
                     outcome,
                 });
-                scored.push((config, outcome.score, outcome.is_failed()));
+                sampler.observe(&config, &outcome);
+                scored.push((config, outcome));
             }
             evaluator.on_rung_complete(history);
             if scored.len() <= 1 || iteration >= self.config.max_iteration {
@@ -184,13 +213,43 @@ impl SuccessiveHalving {
             // promotion is exactly classic successive halving.
             let rung_size = scored.len();
             let keep = ((rung_size as f64 / self.config.eta).ceil() as usize).max(1);
-            let failures = scored.iter().filter(|(_, _, failed)| *failed).count();
-            scored.retain(|(_, _, failed)| !failed);
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
+            let failures = scored.iter().filter(|(_, o)| o.is_failed()).count();
+            scored.retain(|(_, o)| !o.is_failed());
+            match self.promotion {
+                PromotionRule::ScalarRank => {
+                    scored.sort_by(|a, b| {
+                        a.1.score
+                            .partial_cmp(&b.1.score)
+                            .expect("scores are not NaN")
+                    });
+                }
+                PromotionRule::FrontMembership => {
+                    // Rank by dominance layer first (front members lead),
+                    // scalar score within a layer. The sort is stable, so
+                    // equal keys keep evaluation order — deterministic
+                    // whatever the worker/shard split, because
+                    // evaluate_rung answers in input order.
+                    let outcomes: Vec<TrialOutcome> = scored.iter().map(|(_, o)| *o).collect();
+                    let layers = promotion_layers(&outcomes);
+                    let mut indexed: Vec<usize> = (0..scored.len()).collect();
+                    indexed.sort_by(|&a, &b| {
+                        layers[a].cmp(&layers[b]).then(
+                            scored[a]
+                                .1
+                                .score
+                                .partial_cmp(&scored[b].1.score)
+                                .expect("scores are not NaN"),
+                        )
+                    });
+                    let reordered: Vec<(Config, TrialOutcome)> =
+                        indexed.into_iter().map(|i| scored[i].clone()).collect();
+                    scored = reordered;
+                }
+            }
             cohort = scored
                 .into_iter()
                 .take(keep)
-                .map(|(config, _, _)| config)
+                .map(|(config, _)| config)
                 .collect();
             if failures > 0 {
                 while cohort.len() < keep {
@@ -280,6 +339,7 @@ impl FixedBudgetSearch {
             let config = sampler.suggest(space, &obs_refs);
             let id = history.len() as u64;
             let outcome = evaluator.evaluate(id, &config, budget);
+            sampler.observe(&config, &outcome);
             history.push(TrialRecord {
                 id,
                 config,
@@ -298,13 +358,24 @@ impl FixedBudgetSearch {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HyperBand {
     config: SchedulerConfig,
+    promotion: PromotionRule,
 }
 
 impl HyperBand {
-    /// Creates a HyperBand scheduler.
+    /// Creates a HyperBand scheduler (scalar-rank promotion).
     #[must_use]
     pub fn new(config: SchedulerConfig) -> Self {
-        HyperBand { config }
+        HyperBand {
+            config,
+            promotion: PromotionRule::default(),
+        }
+    }
+
+    /// Sets the promotion rule every bracket runs under (builder style).
+    #[must_use]
+    pub fn with_promotion(mut self, promotion: PromotionRule) -> Self {
+        self.promotion = promotion;
+        self
     }
 
     /// Number of brackets this configuration produces.
@@ -350,7 +421,7 @@ impl HyperBand {
         evaluator: &mut dyn Evaluate,
     ) -> History {
         let mut history = History::new();
-        let sha = SuccessiveHalving::new(self.config);
+        let sha = SuccessiveHalving::new(self.config).with_promotion(self.promotion);
         for spec in self.bracket_specs() {
             evaluator.on_bracket_start(spec.index);
             sha.run_bracket(
@@ -597,6 +668,135 @@ mod tests {
         }
         // The study still produces a meaningful winner.
         assert!(history.winner().unwrap().outcome.score.is_finite());
+    }
+
+    #[test]
+    fn front_membership_promotes_the_front_a_scalar_rank_would_drop() {
+        use crate::pareto::ObjectiveVector;
+        use crate::sampler::GridSampler;
+        // Accuracy rises with x up to 0.5 then collapses to zero; cost
+        // rises with x throughout. So every x > 0.5 point is strictly
+        // dominated (x = 0 matches its accuracy at lower cost) while
+        // x <= 0.5 is the true trade-off front. The scalar score is
+        // rigged to favour x near 0.75 — deep inside the dominated half.
+        let eval = |_id: u64, config: &Config, _budget: TrialBudget| {
+            let x = config.get("x").unwrap();
+            let accuracy = if x <= 0.5 { x } else { 0.0 };
+            let cost = 1.0 + 10.0 * x;
+            TrialOutcome::new(
+                (x - 0.75).abs(),
+                accuracy,
+                Seconds::new(cost),
+                Joules::new(cost),
+            )
+            .with_vector(ObjectiveVector::new(accuracy, cost, 1.0))
+        };
+        let run = |promotion: PromotionRule| {
+            let sha =
+                SuccessiveHalving::new(SchedulerConfig::new(8, 2.0, 2)).with_promotion(promotion);
+            // Grid sampling makes the rung-0 cohort x = 0, 1/7, ..., 1.
+            let mut sampler = GridSampler::new(8);
+            let mut eval = eval;
+            sha.run(
+                &mut sampler,
+                &space(),
+                &BudgetPolicy::epoch_default(),
+                &mut eval,
+            )
+        };
+        let promoted = |h: &History| -> Vec<f64> {
+            let rung0 = h
+                .records()
+                .iter()
+                .map(|r| r.budget.effective_epochs())
+                .fold(f64::INFINITY, f64::min);
+            h.records()
+                .iter()
+                .filter(|r| r.budget.effective_epochs() > rung0)
+                .map(|r| r.config.get("x").unwrap())
+                .collect()
+        };
+        let scalar = promoted(&run(PromotionRule::ScalarRank));
+        let front = promoted(&run(PromotionRule::FrontMembership));
+        assert_eq!(scalar.len(), 4);
+        assert_eq!(front.len(), 4);
+        assert!(
+            scalar.iter().all(|&x| x > 0.5),
+            "scalar rank promotes the dominated half: {scalar:?}"
+        );
+        assert!(
+            front.iter().all(|&x| x <= 0.5),
+            "front membership promotes the Pareto front: {front:?}"
+        );
+    }
+
+    #[test]
+    fn front_membership_without_vectors_matches_scalar_rank() {
+        // No outcome carries a vector, so the dominance layers are all
+        // u32::MAX and promotion must fall back to scalar order exactly.
+        let run = |promotion: PromotionRule| {
+            let sha =
+                SuccessiveHalving::new(SchedulerConfig::new(12, 2.0, 8)).with_promotion(promotion);
+            let mut sampler = RandomSampler::new(SeedStream::new(32));
+            let mut eval = evaluator();
+            sha.run(
+                &mut sampler,
+                &space(),
+                &BudgetPolicy::multi_default(),
+                &mut eval,
+            )
+        };
+        assert_eq!(
+            run(PromotionRule::ScalarRank),
+            run(PromotionRule::FrontMembership)
+        );
+    }
+
+    #[test]
+    fn scheduler_feeds_every_outcome_to_the_sampler() {
+        #[derive(Debug)]
+        struct CountingSampler {
+            inner: RandomSampler,
+            observed: usize,
+        }
+        impl Sampler for CountingSampler {
+            fn suggest(&mut self, space: &SearchSpace, observations: &[(&Config, f64)]) -> Config {
+                self.inner.suggest(space, observations)
+            }
+            fn observe(&mut self, _config: &Config, _outcome: &TrialOutcome) {
+                self.observed += 1;
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let sha = SuccessiveHalving::new(SchedulerConfig::new(8, 2.0, 4));
+        let mut sampler = CountingSampler {
+            inner: RandomSampler::new(SeedStream::new(33)),
+            observed: 0,
+        };
+        let mut eval = evaluator();
+        let history = sha.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::multi_default(),
+            &mut eval,
+        );
+        assert_eq!(sampler.observed, history.len());
+
+        let fixed = FixedBudgetSearch::new(5, 2);
+        let mut sampler = CountingSampler {
+            inner: RandomSampler::new(SeedStream::new(34)),
+            observed: 0,
+        };
+        let mut eval = evaluator();
+        let history = fixed.run(
+            &mut sampler,
+            &space(),
+            &BudgetPolicy::multi_default(),
+            &mut eval,
+        );
+        assert_eq!(sampler.observed, history.len());
     }
 
     #[test]

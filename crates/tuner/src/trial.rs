@@ -4,6 +4,7 @@ use edgetune_util::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::budget::TrialBudget;
+use crate::pareto::ObjectiveVector;
 use crate::space::Config;
 
 /// Why a trial was abandoned by the fault-tolerance layer.
@@ -37,6 +38,11 @@ pub struct TrialOutcome {
     /// fault-free reports are unchanged by its existence.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub failure: Option<TrialFailure>,
+    /// The trial's multi-objective coordinates, set only when the study
+    /// runs in Pareto mode. `None` in scalar mode and omitted from JSON
+    /// so scalar reports are unchanged by its existence.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vector: Option<ObjectiveVector>,
 }
 
 impl TrialOutcome {
@@ -55,7 +61,15 @@ impl TrialOutcome {
             runtime,
             energy,
             failure: None,
+            vector: None,
         }
+    }
+
+    /// Attaches the trial's objective-space coordinates (Pareto mode).
+    #[must_use]
+    pub fn with_vector(mut self, vector: ObjectiveVector) -> Self {
+        self.vector = Some(vector);
+        self
     }
 
     /// An abandoned trial: infinite penalty score, zero accuracy, and the
@@ -68,6 +82,7 @@ impl TrialOutcome {
             runtime,
             energy,
             failure: Some(failure),
+            vector: None,
         }
     }
 
@@ -320,6 +335,21 @@ mod tests {
         );
         let back: TrialOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(healthy, back);
+    }
+
+    #[test]
+    fn vector_is_absent_from_scalar_json() {
+        let scalar = TrialOutcome::new(1.0, 0.9, Seconds::new(5.0), Joules::new(2.0));
+        let json = serde_json::to_string(&scalar).unwrap();
+        assert!(
+            !json.contains("vector"),
+            "scalar outcomes must serialize exactly as before: {json}"
+        );
+        let vectored = scalar.with_vector(ObjectiveVector::new(0.9, 5.0, 0.1));
+        let json = serde_json::to_string(&vectored).unwrap();
+        assert!(json.contains("\"vector\""));
+        let back: TrialOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(vectored, back);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use edgetune_serving::{RuntimeOptions, ServingConfig, ServingRuntime, SloPolicy,
 use edgetune_trace::{monotone_per_track, well_nested, Tracer};
 use edgetune_tuner::budget::{BudgetPolicy, TrialBudget};
 use edgetune_tuner::merge::{HistoryMerge, ShardHistory, StampedTrial};
+use edgetune_tuner::pareto::{FrontPoint, ObjectiveVector, ParetoFront};
 use edgetune_tuner::space::{Config, Domain, SearchSpace};
 use edgetune_tuner::trial::{TrialOutcome, TrialRecord};
 use edgetune_util::rng::SeedStream;
@@ -319,6 +320,89 @@ proptest! {
         prop_assert_eq!(ids, expected, "merge must restore the global execution order");
     }
 
+    // --- pareto fronts ---
+
+    #[test]
+    fn pareto_fronts_are_mutually_non_dominated_and_order_invariant(
+        coords in prop::collection::vec((0.0f64..=1.0, 0.0f64..=100.0, 0.0f64..=10.0), 1..40),
+        shuffle_seed in 0u64..10_000,
+    ) {
+        let points: Vec<FrontPoint> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(acc, train, infer))| FrontPoint {
+                config: Config::new().with("x", i as f64),
+                vector: ObjectiveVector::new(acc, train, infer),
+                trial: i as u64,
+            })
+            .collect();
+
+        let mut forward = ParetoFront::new();
+        for p in points.iter().cloned() {
+            forward.insert(p);
+        }
+
+        // Every surviving pair is mutually non-dominated.
+        for (i, a) in forward.points().iter().enumerate() {
+            for (j, b) in forward.points().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.vector.dominates(&b.vector),
+                        "front point {i} dominates {j}");
+                }
+            }
+        }
+        // Every dropped candidate is dominated by some survivor.
+        for p in &points {
+            let survived = forward.points().iter().any(|q| q.trial == p.trial);
+            if !survived {
+                prop_assert!(
+                    forward.points().iter().any(|q| q.vector.dominates(&p.vector)),
+                    "trial {} was dropped but nothing dominates it", p.trial
+                );
+            }
+        }
+
+        // Insertion order must not matter: shuffle and re-insert.
+        let mut shuffled = points;
+        let mut lcg = shuffle_seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            lcg >> 33
+        };
+        for i in (1..shuffled.len()).rev() {
+            let j = (next() as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut backward = ParetoFront::new();
+        for p in shuffled {
+            backward.insert(p);
+        }
+        prop_assert_eq!(forward.points(), backward.points(),
+            "insertion order changed the canonical front");
+    }
+
+    #[test]
+    fn pareto_top_k_is_a_prefix_of_the_canonical_front(
+        coords in prop::collection::vec((0.0f64..=1.0, 0.0f64..=100.0, 0.0f64..=10.0), 1..30),
+        k in 1usize..8,
+    ) {
+        let mut front = ParetoFront::new();
+        for (i, &(acc, train, infer)) in coords.iter().enumerate() {
+            front.insert(FrontPoint {
+                config: Config::new().with("x", i as f64),
+                vector: ObjectiveVector::new(acc, train, infer),
+                trial: i as u64,
+            });
+        }
+        let top = front.top(k);
+        prop_assert!(top.len() <= k);
+        prop_assert_eq!(top, &front.points()[..top.len()]);
+        // Hypervolume against a reference dominating every sample range
+        // is finite and non-negative.
+        let hv = front.hypervolume([1.0, 101.0, 11.0]);
+        prop_assert!(hv >= 0.0 && hv.is_finite());
+    }
+
     // --- statistics ---
 
     #[test]
@@ -393,6 +477,29 @@ proptest! {
             "{:?}",
             monotone_per_track(&events)
         );
+    }
+
+    #[test]
+    fn pareto_frontiers_are_identical_across_workers_and_shards(
+        seed in 0u64..10_000,
+    ) {
+        let base = || EdgeTuneConfig::for_workload(WorkloadId::Ic)
+            .with_scheduler(SchedulerConfig::new(3, 2.0, 3))
+            .without_hyperband()
+            .with_seed(seed)
+            .with_pareto(4);
+        let solo = EdgeTune::new(base()).run().expect("study completes");
+        let threaded = EdgeTune::new(base().with_trial_workers(4))
+            .run()
+            .expect("study completes");
+        let sharded = EdgeTune::new(base().with_study_shards(2))
+            .run()
+            .expect("study completes");
+        prop_assert!(!solo.frontier().is_empty(), "pareto studies report a frontier");
+        prop_assert_eq!(solo.frontier(), threaded.frontier(),
+            "trial workers changed the frontier");
+        prop_assert_eq!(solo.frontier(), sharded.frontier(),
+            "study shards changed the frontier");
     }
 
     #[test]
