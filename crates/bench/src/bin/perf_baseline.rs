@@ -34,6 +34,20 @@
 //!   traced study; the Chrome trace lands in `--trace-out` for
 //!   `edgetune trace-summary`.
 //!
+//! `perf_baseline --net` measures the socket fabric's fixed costs
+//! against a live in-process shard-host on loopback (default
+//! `BENCH_net.json`):
+//!
+//! - `handshake_ns`: one TCP connect plus versioned hello — the cost
+//!   of opening a remote session.
+//! - `tcp_frame_roundtrip_ns`: one ~1 KiB checksummed frame echoed
+//!   over an established loopback connection.
+//! - `rung_rpc_ms`: one keyed two-trial rung executed end-to-end over
+//!   an established session, heartbeats included.
+//! - `cached_replay_ns`: resending an already-executed rung key — the
+//!   host answers from its idempotency cache without re-executing,
+//!   which is what a reconnect resend costs.
+//!
 //! `perf_baseline --pareto` measures the vector-objective hot spots
 //! (default `BENCH_pareto.json`):
 //!
@@ -43,8 +57,8 @@
 //! - `selector_decision_ns`: one `ConfigSelector::select` over a
 //!   16-entry frontier — the whole stage-one drift response.
 //!
-//! Usage: `perf_baseline [--fabric|--hotpath|--pareto] [--out FILE]
-//! [--trace-out FILE]` (defaults `BENCH_service.json` /
+//! Usage: `perf_baseline [--fabric|--hotpath|--net|--pareto]
+//! [--out FILE] [--trace-out FILE]` (defaults `BENCH_service.json` /
 //! `hotpath.trace.json`). Numbers are host-dependent; the committed
 //! baseline anchors the trend, it is not a cross-machine contract.
 
@@ -383,6 +397,167 @@ fn run_hotpath_baseline(out: &str, trace_out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One TCP connect plus versioned hello against a live shard-host —
+/// the fixed cost of opening a remote session.
+fn bench_handshake(addr: &str, spec_json: &str) -> u128 {
+    use edgetune_net::{client_hello, FramedTcp, Hello};
+    use std::time::Duration;
+    median_ns(300, || {
+        let mut conn = FramedTcp::connect(addr, Duration::from_secs(5)).expect("host reachable");
+        let ack = client_hello(&mut conn, &Hello::new(7, spec_json)).expect("hello accepted");
+        black_box(ack);
+    })
+}
+
+/// One ~1 KiB checksummed frame echoed over an established loopback
+/// connection — the socket analogue of `frame_roundtrip_ns`, with the
+/// kernel's TCP stack in the measurement.
+fn bench_tcp_frame_roundtrip() -> u128 {
+    use edgetune_net::FramedTcp;
+    use edgetune_runtime::frame::{read_frame, write_frame, FrameKind};
+    use std::time::Duration;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound address").to_string();
+    let echo = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("one client");
+        stream.set_nodelay(true).expect("nodelay");
+        while let Ok(Some(frame)) = read_frame(&mut stream) {
+            if write_frame(&mut stream, frame.kind, &frame.payload).is_err() {
+                break;
+            }
+        }
+    });
+    let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+    let mut conn = FramedTcp::connect(&addr, Duration::from_secs(5)).expect("echo reachable");
+    let ns = median_ns(5_000, || {
+        conn.send(FrameKind::Heartbeat, black_box(&payload))
+            .expect("frame sent");
+        let frame = conn.recv().expect("echo alive").expect("echoed frame");
+        black_box(frame);
+    });
+    conn.shutdown();
+    drop(conn);
+    echo.join().expect("echo thread exits");
+    ns
+}
+
+/// One keyed two-trial rung executed end-to-end over an established
+/// session (`rung_rpc_ms`, heartbeats included), and one resend of an
+/// already-executed key answered from the host's idempotency cache
+/// without re-execution (`cached_replay_ns`). Returns
+/// `(rung_rpc_ms, cached_replay_ns)`.
+fn bench_rung_rpc(addr: &str, spec_json: &str) -> (f64, u128) {
+    use edgetune::backend::{SimTrainingBackend, TrainingBackend};
+    use edgetune::engine::ShardPlan;
+    use edgetune::fabric::{RungKey, ShardTask, TaskTrial};
+    use edgetune_net::{client_hello, FramedTcp, Hello};
+    use edgetune_runtime::frame::FrameKind;
+    use edgetune_tuner::budget::TrialBudget;
+    use edgetune_util::rng::SeedStream;
+    use edgetune_util::units::Seconds;
+    use edgetune_workloads::catalog::Workload;
+    use std::time::Duration;
+
+    let backend = SimTrainingBackend::new(Workload::by_id(WorkloadId::Ic), SeedStream::new(7));
+    let space = backend.search_space();
+    let trials: Vec<TaskTrial> = (0..2u64)
+        .map(|id| TaskTrial {
+            id,
+            config: space.sample(&mut SeedStream::new(6).rng(&format!("trial-{id}"))),
+            budget: TrialBudget::new(2.0, 1.0),
+        })
+        .collect();
+    let spec = backend
+        .process_spec()
+        .expect("fault-free backend has a process spec");
+    let task_for = |rung: u32| ShardTask {
+        attempt: 1,
+        plan: ShardPlan {
+            shard: 0,
+            start: 0,
+            len: trials.len(),
+        },
+        spec: spec.clone(),
+        now: Seconds::ZERO,
+        trials: trials.clone(),
+        chaos: None,
+        key: Some(RungKey {
+            study: 7,
+            bracket: 0,
+            rung,
+            shard: 0,
+        }),
+    };
+
+    let mut conn = FramedTcp::connect(addr, Duration::from_secs(5)).expect("host reachable");
+    client_hello(&mut conn, &Hello::new(7, spec_json)).expect("hello accepted");
+    let mut roundtrip = |task: &ShardTask| {
+        let payload = serde_json::to_string(task)
+            .expect("task serialises")
+            .into_bytes();
+        conn.send(FrameKind::Task, &payload).expect("task sent");
+        loop {
+            let frame = conn
+                .recv()
+                .expect("session alive")
+                .expect("frame before EOF");
+            match frame.kind {
+                FrameKind::Result => break black_box(frame),
+                FrameKind::Heartbeat => continue,
+                other => panic!("unexpected {other:?} frame from the host"),
+            }
+        }
+    };
+
+    // Distinct keys per sample: every timed round-trip executes.
+    let mut rung = 0u32;
+    let rpc_ns = median_ns(50, || {
+        rung += 1;
+        roundtrip(&task_for(rung));
+    });
+    // Then pin one executed key and time pure cache replays.
+    let replay_task = task_for(1_000);
+    roundtrip(&replay_task);
+    let cached_replay_ns = median_ns(300, || {
+        roundtrip(&replay_task);
+    });
+    conn.shutdown();
+    (rpc_ns as f64 / 1e6, cached_replay_ns)
+}
+
+fn run_net_baseline(out: &str) -> ExitCode {
+    use edgetune::fabric::ShardHost;
+    let mut host = ShardHost::bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn in-process shard-host");
+    let addr = host.addr().to_string();
+    let spec_json = serde_json::to_string(&sample_spec()).expect("spec serialises");
+
+    eprintln!("measuring session handshake against {addr}...");
+    let handshake_ns = bench_handshake(&addr, &spec_json);
+    eprintln!("measuring loopback frame round-trip...");
+    let tcp_frame_roundtrip_ns = bench_tcp_frame_roundtrip();
+    eprintln!("measuring keyed rung RPC and cached replay...");
+    let (rung_rpc_ms, cached_replay_ns) = bench_rung_rpc(&addr, &spec_json);
+    host.shutdown();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"net-baseline\",\n  \
+         \"handshake_ns\": {handshake_ns},\n  \
+         \"tcp_frame_roundtrip_ns\": {tcp_frame_roundtrip_ns},\n  \
+         \"rung_rpc_ms\": {rung_rpc_ms:.3},\n  \
+         \"cached_replay_ns\": {cached_replay_ns}\n}}\n"
+    );
+    eprint!("{json}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("baseline written to {out}");
+    ExitCode::SUCCESS
+}
+
 /// A deterministic 256-point insertion stream with enough dominance
 /// churn to exercise both the reject path and the eviction path: the
 /// amortised per-point cost a `--pareto` study pays on every finished
@@ -476,12 +651,14 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut fabric = false;
     let mut hotpath = false;
+    let mut net = false;
     let mut pareto = false;
     let mut args = argv;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fabric" => fabric = true,
             "--hotpath" => hotpath = true,
+            "--net" => net = true,
             "--pareto" => pareto = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
@@ -499,7 +676,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: perf_baseline [--fabric|--hotpath|--pareto] [--out FILE] \
+                    "usage: perf_baseline [--fabric|--hotpath|--net|--pareto] [--out FILE] \
                      [--trace-out FILE]"
                 );
                 return ExitCode::SUCCESS;
@@ -518,6 +695,10 @@ fn main() -> ExitCode {
         let out = out.unwrap_or_else(|| "BENCH_hotpath.json".to_string());
         let trace_out = trace_out.unwrap_or_else(|| "hotpath.trace.json".to_string());
         return run_hotpath_baseline(&out, &trace_out);
+    }
+    if net {
+        let out = out.unwrap_or_else(|| "BENCH_net.json".to_string());
+        return run_net_baseline(&out);
     }
     if pareto {
         let out = out.unwrap_or_else(|| "BENCH_pareto.json".to_string());

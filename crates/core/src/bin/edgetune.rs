@@ -11,6 +11,10 @@
 //! edgetune --workload ic --study-shards 4      # shard the study across engine
 //!                                              # instances; report bytes are
 //!                                              # unchanged
+//! edgetune shard-host --listen 127.0.0.1:7070  # a standing shard-execution
+//!                                              # daemon; pair with
+//!                                              # --shard-exec remote
+//!                                              # --shard-hosts 127.0.0.1:7070
 //! edgetune --workload ic --scenario multistream:10
 //!                                              # add a scenario-aware batching
 //!                                              # recommendation (§3.4); also
@@ -69,6 +73,7 @@ struct Args {
     trial_slots: usize,
     study_shards: usize,
     shard_exec: ShardExec,
+    shard_hosts: Vec<String>,
     fabric_trace: Option<String>,
     cache: Option<String>,
     json: Option<String>,
@@ -168,6 +173,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         trial_slots: 1,
         study_shards: 1,
         shard_exec: ShardExec::Thread,
+        shard_hosts: Vec::new(),
         fabric_trace: None,
         cache: None,
         json: None,
@@ -238,6 +244,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--shard-exec" => {
                 args.shard_exec = ShardExec::parse(&value(&mut argv, "--shard-exec")?)?;
             }
+            "--shard-hosts" => {
+                args.shard_hosts = value(&mut argv, "--shard-hosts")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|host| !host.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if args.shard_hosts.is_empty() {
+                    return Err("--shard-hosts needs at least one host:port address".into());
+                }
+            }
             "--fabric-trace" => args.fabric_trace = Some(value(&mut argv, "--fabric-trace")?),
             "--cache" => args.cache = Some(value(&mut argv, "--cache")?),
             "--json" => args.json = Some(value(&mut argv, "--json")?),
@@ -261,19 +278,23 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     "usage: edgetune [--workload ic|sr|nlp|od] [--device NAME] \
                      [--metric runtime|energy] [--budget epoch|dataset|multi] [--seed N] \
                      [--trials N] [--max-iter N] [--trial-workers N] [--trial-slots N] \
-                     [--study-shards N] [--shard-exec thread|process] \
-                     [--fabric-trace FILE] [--cache FILE] \
+                     [--study-shards N] [--shard-exec thread|process|remote] \
+                     [--shard-hosts HOST:PORT,...] [--fabric-trace FILE] [--cache FILE] \
                      [--json FILE] [--no-pipelining] [--no-cache] \
                      [--checkpoint FILE] [--resume] [--trace FILE] [--pareto K] \
                      [--scenario server:<samples>:<period>|multistream:<rate>]\n\
                      \n\
                      --shard-exec process runs each engine shard in a supervised child\n\
                      process (heartbeats, capped retry, in-process fallback); report and\n\
-                     trace bytes are identical to thread mode. EDGETUNE_FABRIC_KILL,\n\
-                     EDGETUNE_FABRIC_PANIC or EDGETUNE_FABRIC_HANG=<shard> plant a fault\n\
-                     in that shard's first attempt to exercise crash containment.\n\
+                     trace bytes are identical to thread mode. --shard-exec remote dials\n\
+                     standing `edgetune shard-host` daemons (--shard-hosts, shard i uses\n\
+                     host i mod N) under the same supervision and the same bytes.\n\
+                     EDGETUNE_FABRIC_KILL, EDGETUNE_FABRIC_PANIC or\n\
+                     EDGETUNE_FABRIC_HANG=<shard> plant a fault in that shard's first\n\
+                     attempt to exercise crash containment.\n\
                      \n\
                      subcommands:\n  \
+                     edgetune shard-host [--listen ADDR]\n  \
                      edgetune serve [--workload ic|sr|nlp|od] [--device NAME] \
                      [--traffic poisson|server|burst|diurnal|shift] [--rate R] [--horizon S] \
                      [--slo S] [--seed N] [--workers N] [--static] [--no-shed] [--json FILE] \
@@ -703,6 +724,29 @@ fn run_trace_summary(mut args: impl Iterator<Item = String>) -> Result<(), Strin
     Ok(())
 }
 
+/// `edgetune shard-host --listen ADDR`: a standing shard-execution
+/// daemon. Binds the listener, prints the bound address to stdout (the
+/// one stdout line, parseable — `--listen 127.0.0.1:0` gets a
+/// kernel-assigned port), and serves coordinator sessions forever.
+fn run_shard_host(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    const USAGE: &str = "usage: edgetune shard-host [--listen ADDR]";
+    let mut listen = "127.0.0.1:0".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" | "-l" => {
+                listen = args.next().ok_or("--listen requires an address")?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument '{other}'; {USAGE}")),
+        }
+    }
+    let host = fabric::ShardHost::bind(&listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    host.run().map_err(|e| e.to_string())
+}
+
 /// Reads a planted fabric fault from the environment:
 /// `EDGETUNE_FABRIC_KILL`, `EDGETUNE_FABRIC_PANIC` or
 /// `EDGETUNE_FABRIC_HANG`, each naming a shard index. Environment
@@ -732,6 +776,16 @@ fn main() -> ExitCode {
     // and must never touch the normal CLI surface.
     if argv.peek().map(String::as_str) == Some(fabric::WORKER_SUBCOMMAND) {
         fabric::worker_main();
+    }
+    if argv.peek().map(String::as_str) == Some(fabric::HOST_SUBCOMMAND) {
+        argv.next();
+        return match run_shard_host(argv) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if argv.peek().map(String::as_str) == Some("chaos") {
         argv.next();
@@ -828,6 +882,9 @@ fn main() -> ExitCode {
         config = config.with_pareto(k);
     }
     config = config.with_shard_exec(args.shard_exec);
+    if !args.shard_hosts.is_empty() {
+        config = config.with_shard_hosts(args.shard_hosts.clone());
+    }
     if let Some(path) = &args.fabric_trace {
         config = config.with_fabric_trace_path(path);
     }

@@ -36,10 +36,15 @@ pub enum ShardExec {
     /// backend kills one worker, never the study. Report and trace
     /// bytes are identical to thread mode.
     Process,
+    /// Standing `edgetune shard-host` daemons dialed over TCP
+    /// (requires [`shard_hosts`](EdgeTuneConfig::shard_hosts)). Same
+    /// supervision, same bytes; a dead host degrades through retries to
+    /// in-process execution.
+    Remote,
 }
 
 impl ShardExec {
-    /// Parses the CLI spelling (`thread` | `process`).
+    /// Parses the CLI spelling (`thread` | `process` | `remote`).
     ///
     /// # Errors
     ///
@@ -48,8 +53,9 @@ impl ShardExec {
         match text {
             "thread" | "threads" => Ok(ShardExec::Thread),
             "process" | "processes" => Ok(ShardExec::Process),
+            "remote" => Ok(ShardExec::Remote),
             other => Err(format!(
-                "unknown shard executor '{other}' (expected 'thread' or 'process')"
+                "unknown shard executor '{other}' (expected 'thread', 'process' or 'remote')"
             )),
         }
     }
@@ -137,8 +143,12 @@ pub struct EdgeTuneConfig {
     /// Supervision policy of the process shard fabric: retry budget,
     /// heartbeat deadline, straggler grace, worker-executable override,
     /// and planted chaos. Only consulted in
-    /// [`ShardExec::Process`] mode.
+    /// [`ShardExec::Process`] and [`ShardExec::Remote`] modes.
     pub fabric: FabricPolicy,
+    /// `host:port` addresses of standing shard hosts, for
+    /// [`ShardExec::Remote`]. Shard `i` dials
+    /// `shard_hosts[i % shard_hosts.len()]`.
+    pub shard_hosts: Vec<String>,
     /// Write the fabric's supervision telemetry (spawn/heartbeat/crash/
     /// retry instants, wall-clock offsets) as Chrome trace-event JSON
     /// here after the run, if set. Kept separate from
@@ -215,6 +225,7 @@ impl EdgeTuneConfig {
             study_shards: 1,
             shard_exec: ShardExec::Thread,
             fabric: FabricPolicy::default(),
+            shard_hosts: Vec::new(),
             fabric_trace_path: None,
             seed: SeedStream::default().seed(),
             fault_plan: FaultPlan::none(),
@@ -371,6 +382,13 @@ impl EdgeTuneConfig {
     #[must_use]
     pub fn with_shard_exec(mut self, exec: ShardExec) -> Self {
         self.shard_exec = exec;
+        self
+    }
+
+    /// Sets the shard-host addresses for [`ShardExec::Remote`] mode.
+    #[must_use]
+    pub fn with_shard_hosts(mut self, hosts: Vec<String>) -> Self {
+        self.shard_hosts = hosts;
         self
     }
 

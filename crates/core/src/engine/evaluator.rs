@@ -53,7 +53,7 @@ use crate::backend::{TrainingBackend, TrialMeasurement};
 use crate::cache::CacheKey;
 use crate::checkpoint::{ShardManifest, StudyCheckpoint, StudyGlobals};
 use crate::engine::coordinator::{StudyCoordinator, TrialStamp};
-use crate::fabric::ShardFabric;
+use crate::fabric::{RungScope, ShardFabric};
 use crate::inference::fallback_recommendation;
 use crate::trace::{
     timeline_from_trace, CAT_BRACKET, CAT_CACHE, CAT_FAULT, CAT_INFERENCE, CAT_MODEL, CAT_RUNG,
@@ -571,8 +571,22 @@ impl OnefoldEvaluator<'_> {
             // bytes either way.
             if let Some(fabric) = self.fabric.as_deref_mut() {
                 if let Some(spec) = self.backend.process_spec() {
-                    let raw =
-                        fabric.measure_rung(&spec, self.clock.now(), trials, self.study_shards);
+                    // The scope names this exact rung execution — the
+                    // remote transport's idempotency key. `rungs_traced`
+                    // was already bumped for this rung, so it is unique
+                    // across brackets.
+                    let scope = RungScope {
+                        study: self.root_seed,
+                        bracket: self.current_bracket,
+                        rung: self.rungs_traced,
+                    };
+                    let raw = fabric.measure_rung(
+                        scope,
+                        &spec,
+                        self.clock.now(),
+                        trials,
+                        self.study_shards,
+                    );
                     measured.extend(raw.into_iter().map(Some));
                     return;
                 }

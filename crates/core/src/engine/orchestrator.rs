@@ -30,7 +30,7 @@ use crate::config::{EdgeTuneConfig, ShardExec};
 use crate::engine::coordinator::StudyCoordinator;
 use crate::engine::evaluator::OnefoldEvaluator;
 use crate::engine::report::{FaultReport, TuningReport};
-use crate::fabric::ShardFabric;
+use crate::fabric::{FabricTransport, ShardFabric};
 use crate::inference::{InferenceSpace, InferenceTuningServer};
 use crate::timeline::Timeline;
 use crate::trace::{seed_tracer_from_timeline, timeline_from_trace};
@@ -141,6 +141,11 @@ impl<'a> Engine<'a> {
                  enable at most one of them",
                 self.config.study_shards, self.config.trial_workers
             )));
+        }
+        if self.config.shard_exec == ShardExec::Remote && self.config.shard_hosts.is_empty() {
+            return Err(Error::invalid_config(
+                "--shard-exec remote needs at least one --shard-hosts address",
+            ));
         }
         let faults_enabled = !self.config.fault_plan.is_none();
 
@@ -273,19 +278,25 @@ impl<'a> Engine<'a> {
         let mut sampler = self.config.build_sampler();
         let device_name = self.config.edge_device.name.clone();
 
-        // Under `--shard-exec process` the evaluator hands each rung's
-        // shard slices to the fabric, which runs them in supervised
-        // child processes. The fabric keeps its own tracer: process
-        // telemetry (spawns, heartbeats, crashes, retries) is
+        // Under `--shard-exec process|remote` the evaluator hands each
+        // rung's shard slices to the fabric, which runs them in
+        // supervised child processes or on standing shard hosts. The
+        // fabric keeps its own tracer: supervision telemetry (spawns,
+        // heartbeats, crashes, retries, RPC legs) is
         // wall-clock-dependent and must never leak into the study trace,
         // whose bytes are an exec-mode-independent contract.
-        let mut fabric = (self.config.shard_exec == ShardExec::Process
-            && self.config.study_shards > 1)
+        let mut fabric = (matches!(
+            self.config.shard_exec,
+            ShardExec::Process | ShardExec::Remote
+        ) && self.config.study_shards > 1)
             .then(|| {
-                ShardFabric::new(
-                    self.config.fabric.clone(),
-                    SeedStream::new(self.config.seed).child("fabric"),
-                )
+                let mut policy = self.config.fabric.clone();
+                if self.config.shard_exec == ShardExec::Remote {
+                    policy.transport = FabricTransport::Remote {
+                        hosts: self.config.shard_hosts.clone(),
+                    };
+                }
+                ShardFabric::new(policy, SeedStream::new(self.config.seed).child("fabric"))
             });
 
         let (history, stamps, makespan, stall, inference_energy, degradation, rungs_completed) = {

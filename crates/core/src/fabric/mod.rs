@@ -1,7 +1,8 @@
-//! The process shard fabric: [`EngineShard`](crate::engine::EngineShard)
-//! execution in supervised child OS processes.
+//! The shard fabric: [`EngineShard`](crate::engine::EngineShard)
+//! execution in supervised child OS processes or on remote shard hosts
+//! over TCP.
 //!
-//! Step one of the ROADMAP's remote study fabric. Where the thread-based
+//! Steps one and two of the ROADMAP's remote study fabric. Where the thread-based
 //! [`StudyCoordinator`](crate::engine::StudyCoordinator) runs each
 //! [`ShardPlan`](crate::engine::ShardPlan) on a scoped thread of the
 //! orchestrator process, the fabric spawns a **shard worker** — the
@@ -34,11 +35,26 @@
 //! mid-rung kill followed by a successful retry. Fabric telemetry
 //! (spawn/heartbeat/crash/retry instants) goes to a **separate** tracer
 //! for exactly that reason.
+//!
+//! The socket transport generalises the same frames to standing
+//! [`ShardHost`] daemons (`edgetune shard-host --listen ADDR`): the
+//! coordinator dials one host per shard, opens a versioned session with
+//! an [`edgetune_net`] handshake, and ships the identical task
+//! vocabulary — plus a [`RungKey`] idempotency key so a host replays a
+//! cached result instead of double-executing when a reconnect resends a
+//! rung it already finished. The same invariant holds across
+//! `--shard-exec thread|process|remote`, including a SIGKILLed shard
+//! host mid-rung (retry budget spends, the ladder degrades to
+//! in-process execution, bytes stay identical).
 
+pub mod host;
 pub mod protocol;
 pub mod supervisor;
 pub mod worker;
 
-pub use protocol::{ChaosAction, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial};
-pub use supervisor::{FabricChaos, FabricPolicy, FabricStats, ShardFabric};
+pub use host::{HostHandle, HostStats, ShardHost, HOST_SUBCOMMAND};
+pub use protocol::{
+    ChaosAction, RungKey, RungScope, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial,
+};
+pub use supervisor::{FabricChaos, FabricPolicy, FabricStats, FabricTransport, ShardFabric};
 pub use worker::{serve, worker_main, WORKER_SUBCOMMAND};

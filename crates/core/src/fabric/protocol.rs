@@ -31,6 +31,49 @@ pub enum ChaosAction {
     Hang,
 }
 
+/// Identity of one rung execution on one shard — the idempotency key
+/// of the remote fabric. A coordinator that reconnects after a lost
+/// session resends the task under the same key; a host that already
+/// executed it replays the cached [`ShardResultMsg`] instead of
+/// measuring again, so reconnect-and-resend can never double-execute
+/// a rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RungKey {
+    /// The study's root seed.
+    pub study: u64,
+    /// HyperBand bracket index within the study.
+    pub bracket: u32,
+    /// Study-global rung counter (unique across brackets).
+    pub rung: u32,
+    /// Shard index within the rung.
+    pub shard: usize,
+}
+
+/// The rung-level part of a [`RungKey`], carried by the supervisor into
+/// `measure_rung`; each shard fills in its own index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RungScope {
+    /// The study's root seed.
+    pub study: u64,
+    /// HyperBand bracket index within the study.
+    pub bracket: u32,
+    /// Study-global rung counter (unique across brackets).
+    pub rung: u32,
+}
+
+impl RungScope {
+    /// The full idempotency key for `shard`.
+    #[must_use]
+    pub fn key_for(self, shard: usize) -> RungKey {
+        RungKey {
+            study: self.study,
+            bracket: self.bracket,
+            rung: self.rung,
+            shard,
+        }
+    }
+}
+
 /// One trial of a shard's slice, in execution order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskTrial {
@@ -60,6 +103,12 @@ pub struct ShardTask {
     /// Planted fault, if the supervisor is chaos-testing itself.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub chaos: Option<ChaosAction>,
+    /// Idempotency key for remote dispatch. Pipe workers ignore it (a
+    /// worker process lives exactly as long as its supervisor's
+    /// attempt, so resends cannot reach a stale execution); shard hosts
+    /// use it to replay cached results on reconnect-and-resend.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub key: Option<RungKey>,
 }
 
 /// Worker → orchestrator: liveness plus progress, sent after every
@@ -132,6 +181,7 @@ mod tests {
             now: Seconds::new(40.0),
             trials,
             chaos: None,
+            key: None,
         }
     }
 
@@ -150,6 +200,31 @@ mod tests {
         task.chaos = Some(ChaosAction::Kill);
         let decoded: ShardTask = decode(&encode(&task)).unwrap();
         assert_eq!(decoded.chaos, Some(ChaosAction::Kill));
+    }
+
+    #[test]
+    fn rung_key_round_trips_and_absence_is_omitted() {
+        let mut task = sample_task();
+        let bytes = encode(&task);
+        assert!(!String::from_utf8(bytes).unwrap().contains("key"));
+        task.key = Some(
+            RungScope {
+                study: 11,
+                bracket: 2,
+                rung: 5,
+            }
+            .key_for(3),
+        );
+        let decoded: ShardTask = decode(&encode(&task)).unwrap();
+        assert_eq!(
+            decoded.key,
+            Some(RungKey {
+                study: 11,
+                bracket: 2,
+                rung: 5,
+                shard: 3
+            })
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use edgetune_faults::{Deadline, DegradationLadder, Fallback, RetryPolicy, Supervisor};
+use edgetune_net::{client_hello, FramedTcp, Hello};
 use edgetune_runtime::frame::{read_frame, write_frame, Frame, FrameKind};
 use edgetune_runtime::{parallel_map_ordered, SharedClock, SimClock};
 use edgetune_trace::Tracer;
@@ -35,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use crate::backend::{BackendSpec, TrialMeasurement};
 use crate::engine::coordinator::{EngineShard, ShardPlan};
 use crate::fabric::protocol::{
-    decode, encode, ChaosAction, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial,
+    decode, encode, ChaosAction, RungScope, ShardHeartbeat, ShardResultMsg, ShardTask, TaskTrial,
     WorkerFailure,
 };
 use crate::fabric::worker::WORKER_SUBCOMMAND;
@@ -50,6 +51,22 @@ pub struct FabricChaos {
     pub shard: usize,
     /// What the worker does to itself.
     pub action: ChaosAction,
+}
+
+/// Where shard attempts execute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FabricTransport {
+    /// Spawn a local `__shard-worker` child process per attempt and
+    /// speak frames over its stdin/stdout pipes.
+    #[default]
+    Process,
+    /// Dial a standing `edgetune shard-host` daemon per attempt and
+    /// speak the same frames over TCP. Shard `i` uses
+    /// `hosts[i % hosts.len()]`.
+    Remote {
+        /// `host:port` addresses of the shard hosts.
+        hosts: Vec<String>,
+    },
 }
 
 /// How the fabric supervises its workers.
@@ -71,6 +88,9 @@ pub struct FabricPolicy {
     pub worker_exe: Option<PathBuf>,
     /// Planted chaos, if the run is testing containment.
     pub chaos: Option<FabricChaos>,
+    /// Where attempts execute: local worker processes (the default) or
+    /// remote shard hosts over TCP.
+    pub transport: FabricTransport,
 }
 
 impl Default for FabricPolicy {
@@ -88,6 +108,7 @@ impl Default for FabricPolicy {
             straggler_grace: 4.0,
             worker_exe: None,
             chaos: None,
+            transport: FabricTransport::Process,
         }
     }
 }
@@ -113,11 +134,34 @@ pub struct FabricStats {
 }
 
 /// One telemetry event, recorded off-thread and emitted onto the fabric
-/// tracer in deterministic shard order afterwards.
+/// tracer in deterministic shard order afterwards. Instants mark what
+/// happened; spans (`until` set) additionally cover how long an RPC leg
+/// took.
 struct FabricEvent {
     name: String,
     offset: Seconds,
+    until: Option<Seconds>,
     args: Vec<(String, String)>,
+}
+
+impl FabricEvent {
+    fn instant(name: &str, offset: Seconds, args: Vec<(String, String)>) -> Self {
+        FabricEvent {
+            name: name.to_string(),
+            offset,
+            until: None,
+            args,
+        }
+    }
+
+    fn span(name: &str, offset: Seconds, until: Seconds, args: Vec<(String, String)>) -> Self {
+        FabricEvent {
+            name: name.to_string(),
+            offset,
+            until: Some(until),
+            args,
+        }
+    }
 }
 
 /// One supervised shard's outcome.
@@ -190,6 +234,7 @@ impl ShardFabric {
     #[must_use]
     pub fn measure_rung(
         &mut self,
+        scope: RungScope,
         spec: &BackendSpec,
         now: Seconds,
         trials: &[(u64, Config, TrialBudget)],
@@ -203,7 +248,7 @@ impl ShardFabric {
             .collect();
         let lanes: Vec<()> = vec![(); work.len()];
         let runs = parallel_map_ordered(&work, lanes, |(), _index, (plan, slice)| {
-            self.supervise_shard(*plan, spec, now, slice)
+            self.supervise_shard(scope, *plan, spec, now, slice)
         });
 
         // Post-hoc straggler detection against the median sibling.
@@ -216,24 +261,34 @@ impl ShardFabric {
         for (shard, mut run) in runs.into_iter().enumerate() {
             if run.wall > median * grace && run.wall - median > 0.05 {
                 run.stats.stragglers += 1;
-                run.events.push(FabricEvent {
-                    name: "straggler".to_string(),
-                    offset: Seconds::new(self.epoch.elapsed().as_secs_f64()),
-                    args: vec![
+                run.events.push(FabricEvent::instant(
+                    "straggler",
+                    Seconds::new(self.epoch.elapsed().as_secs_f64()),
+                    vec![
                         ("wall_s".to_string(), format!("{:.3}", run.wall)),
                         ("median_s".to_string(), format!("{median:.3}")),
                     ],
-                });
+                ));
             }
             let track = self.tracer.track(PROCESS_FABRIC, &format!("shard-{shard}"));
             for event in run.events {
-                self.tracer.instant_with_args(
-                    track,
-                    event.name,
-                    CAT_FABRIC,
-                    event.offset,
-                    event.args,
-                );
+                match event.until {
+                    Some(until) => self.tracer.span_with_args(
+                        track,
+                        event.name,
+                        CAT_FABRIC,
+                        event.offset,
+                        until,
+                        event.args,
+                    ),
+                    None => self.tracer.instant_with_args(
+                        track,
+                        event.name,
+                        CAT_FABRIC,
+                        event.offset,
+                        event.args,
+                    ),
+                }
             }
             self.stats.spawns += run.stats.spawns;
             self.stats.heartbeats += run.stats.heartbeats;
@@ -259,6 +314,7 @@ impl ShardFabric {
     /// returned and merged on the calling thread).
     fn supervise_shard(
         &self,
+        scope: RungScope,
         plan: ShardPlan,
         spec: &BackendSpec,
         now: Seconds,
@@ -267,6 +323,10 @@ impl ShardFabric {
         let started = Instant::now();
         let mut events = Vec::new();
         let mut stats = FabricStats::default();
+        // The backoff jitter stream is supervisor-local by construction:
+        // it derives from the fabric's own seed child, never from the
+        // study's trial streams, so however many reconnects happen the
+        // study bytes cannot move.
         let shard_seed = self.seed.child_indexed("shard", plan.shard as u64);
         let exe = self
             .policy
@@ -282,8 +342,20 @@ impl ShardFabric {
                 .chaos
                 .filter(|c| c.shard == plan.shard && attempt == 1)
                 .map(|c| c.action);
-            let end = match &exe {
-                Some(exe) => self.run_attempt(
+            let end = match (&self.policy.transport, &exe) {
+                (FabricTransport::Remote { hosts }, _) => self.run_remote_attempt(
+                    hosts,
+                    scope,
+                    plan,
+                    spec,
+                    now,
+                    slice,
+                    attempt,
+                    chaos,
+                    &mut events,
+                    &mut stats,
+                ),
+                (FabricTransport::Process, Some(exe)) => self.run_attempt(
                     exe,
                     plan,
                     spec,
@@ -294,18 +366,18 @@ impl ShardFabric {
                     &mut events,
                     &mut stats,
                 ),
-                None => AttemptEnd::Failed {
+                (FabricTransport::Process, None) => AttemptEnd::Failed {
                     reason: "no worker executable available".to_string(),
                     timed_out: false,
                 },
             };
             match end {
                 AttemptEnd::Done(measurements) => {
-                    events.push(FabricEvent {
-                        name: "result".to_string(),
-                        offset: self.offset(),
-                        args: vec![("attempt".to_string(), attempt.to_string())],
-                    });
+                    events.push(FabricEvent::instant(
+                        "result",
+                        self.offset(),
+                        vec![("attempt".to_string(), attempt.to_string())],
+                    ));
                     return ShardRun {
                         measurements,
                         events,
@@ -318,21 +390,21 @@ impl ShardFabric {
                     if timed_out {
                         stats.timeouts += 1;
                     }
-                    events.push(FabricEvent {
-                        name: "crash".to_string(),
-                        offset: self.offset(),
-                        args: vec![
+                    events.push(FabricEvent::instant(
+                        "crash",
+                        self.offset(),
+                        vec![
                             ("attempt".to_string(), attempt.to_string()),
                             ("reason".to_string(), reason),
                         ],
-                    });
+                    ));
                     if self.policy.supervisor.give_up(attempt) {
                         stats.fallbacks += 1;
-                        events.push(FabricEvent {
-                            name: Fallback::InProcess.trace_label().to_string(),
-                            offset: self.offset(),
-                            args: vec![("after_attempts".to_string(), attempt.to_string())],
-                        });
+                        events.push(FabricEvent::instant(
+                            Fallback::InProcess.trace_label(),
+                            self.offset(),
+                            vec![("after_attempts".to_string(), attempt.to_string())],
+                        ));
                         let mut shard = EngineShard::new(
                             plan,
                             spec.instantiate(),
@@ -348,14 +420,14 @@ impl ShardFabric {
                     stats.retries += 1;
                     let delay = self.policy.supervisor.backoff(attempt, shard_seed, draw);
                     draw += 1;
-                    events.push(FabricEvent {
-                        name: "retry".to_string(),
-                        offset: self.offset(),
-                        args: vec![
+                    events.push(FabricEvent::instant(
+                        "retry",
+                        self.offset(),
+                        vec![
                             ("attempt".to_string(), attempt.to_string()),
                             ("backoff_s".to_string(), format!("{:.3}", delay.value())),
                         ],
-                    });
+                    ));
                     std::thread::sleep(Duration::from_secs_f64(delay.value().max(0.0)));
                     attempt += 1;
                 }
@@ -394,29 +466,15 @@ impl ShardFabric {
             }
         };
         stats.spawns += 1;
-        events.push(FabricEvent {
-            name: "spawn".to_string(),
-            offset: self.offset(),
-            args: vec![("attempt".to_string(), attempt.to_string())],
-        });
+        events.push(FabricEvent::instant(
+            "spawn",
+            self.offset(),
+            vec![("attempt".to_string(), attempt.to_string())],
+        ));
         let mut stdin = child.stdin.take().expect("stdin was piped");
         let stdout = child.stdout.take().expect("stdout was piped");
 
-        let task = ShardTask {
-            attempt,
-            plan,
-            spec: spec.clone(),
-            now,
-            trials: slice
-                .iter()
-                .map(|(id, config, budget)| TaskTrial {
-                    id: *id,
-                    config: config.clone(),
-                    budget: *budget,
-                })
-                .collect(),
-            chaos,
-        };
+        let task = Self::task_for(plan, spec, now, slice, attempt, chaos, None);
         if let Err(e) = write_frame(&mut stdin, FrameKind::Task, &encode(&task)) {
             return Self::fail_attempt(&mut child, format!("writing task: {e}"), false);
         }
@@ -434,83 +492,7 @@ impl ShardFabric {
             }
         });
 
-        let timeout = self
-            .policy
-            .supervisor
-            .deadline
-            .map(|d| Duration::from_secs_f64(d.limit.value().max(0.0)));
-        let end = loop {
-            let received = match timeout {
-                Some(timeout) => rx.recv_timeout(timeout),
-                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
-            };
-            match received {
-                Ok(frame) => match frame.kind {
-                    FrameKind::Heartbeat => {
-                        if let Ok(heartbeat) = decode::<ShardHeartbeat>(&frame.payload) {
-                            stats.heartbeats += 1;
-                            events.push(FabricEvent {
-                                name: "heartbeat".to_string(),
-                                offset: self.offset(),
-                                args: vec![(
-                                    "completed".to_string(),
-                                    heartbeat.completed.to_string(),
-                                )],
-                            });
-                        }
-                    }
-                    FrameKind::Result => match decode::<ShardResultMsg>(&frame.payload) {
-                        Ok(result) if result.measurements.len() == slice.len() => {
-                            break AttemptEnd::Done(result.measurements);
-                        }
-                        Ok(result) => {
-                            break AttemptEnd::Failed {
-                                reason: format!(
-                                    "short result: {} of {} measurements",
-                                    result.measurements.len(),
-                                    slice.len()
-                                ),
-                                timed_out: false,
-                            };
-                        }
-                        Err(e) => {
-                            break AttemptEnd::Failed {
-                                reason: format!("undecodable result: {e}"),
-                                timed_out: false,
-                            };
-                        }
-                    },
-                    FrameKind::Error => {
-                        let reason = decode::<WorkerFailure>(&frame.payload).map_or_else(
-                            |e| format!("undecodable error frame: {e}"),
-                            |f| f.message,
-                        );
-                        break AttemptEnd::Failed {
-                            reason,
-                            timed_out: false,
-                        };
-                    }
-                    FrameKind::Task => {
-                        break AttemptEnd::Failed {
-                            reason: "worker sent a task frame".to_string(),
-                            timed_out: false,
-                        };
-                    }
-                },
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    break AttemptEnd::Failed {
-                        reason: "heartbeat deadline exceeded".to_string(),
-                        timed_out: true,
-                    };
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    break AttemptEnd::Failed {
-                        reason: "worker pipe closed before result".to_string(),
-                        timed_out: false,
-                    };
-                }
-            }
-        };
+        let end = self.watch(&rx, slice.len(), events, stats);
 
         // Cleanup — identical for success and failure: close the
         // worker's stdin (its loop exits on EOF), make sure it is dead,
@@ -522,6 +504,241 @@ impl ShardFabric {
         let _ = child.wait();
         let _ = reader.join();
         end
+    }
+
+    /// One remote attempt: dial the shard's host, handshake, ship the
+    /// keyed task, watch the socket under the same heartbeat deadline as
+    /// a pipe worker. Each RPC leg (connect+handshake, task send, result
+    /// wait) is recorded as a span on the fabric tracer.
+    #[allow(clippy::too_many_arguments)]
+    fn run_remote_attempt(
+        &self,
+        hosts: &[String],
+        scope: RungScope,
+        plan: ShardPlan,
+        spec: &BackendSpec,
+        now: Seconds,
+        slice: &[(u64, Config, TrialBudget)],
+        attempt: u32,
+        chaos: Option<ChaosAction>,
+        events: &mut Vec<FabricEvent>,
+        stats: &mut FabricStats,
+    ) -> AttemptEnd {
+        let host = &hosts[plan.shard % hosts.len()];
+        let connect_timeout = self
+            .policy
+            .supervisor
+            .deadline
+            .map_or(Duration::from_secs(5), |d| {
+                Duration::from_secs_f64(d.limit.value().clamp(0.1, 30.0))
+            });
+
+        let connect_from = self.offset();
+        let mut conn = match FramedTcp::connect(host, connect_timeout) {
+            Ok(conn) => conn,
+            Err(e) => {
+                return AttemptEnd::Failed {
+                    reason: format!("connecting to {host}: {e}"),
+                    timed_out: false,
+                }
+            }
+        };
+        let spec_json =
+            serde_json::to_string(spec).expect("backend specs are plain data and always serialise");
+        if let Err(e) = client_hello(&mut conn, &Hello::new(scope.study, spec_json)) {
+            return AttemptEnd::Failed {
+                reason: format!("handshake with {host}: {e}"),
+                timed_out: false,
+            };
+        }
+        // A session is the remote fabric's unit of spawning: each
+        // accepted handshake counts like one worker process.
+        stats.spawns += 1;
+        events.push(FabricEvent::span(
+            "rpc-connect",
+            connect_from,
+            self.offset(),
+            vec![
+                ("host".to_string(), host.clone()),
+                ("attempt".to_string(), attempt.to_string()),
+            ],
+        ));
+
+        let send_from = self.offset();
+        let task = Self::task_for(
+            plan,
+            spec,
+            now,
+            slice,
+            attempt,
+            chaos,
+            Some(scope.key_for(plan.shard)),
+        );
+        if let Err(e) = conn.send(FrameKind::Task, &encode(&task)) {
+            return AttemptEnd::Failed {
+                reason: format!("sending task to {host}: {e}"),
+                timed_out: false,
+            };
+        }
+        events.push(FabricEvent::span(
+            "rpc-send",
+            send_from,
+            self.offset(),
+            vec![("trials".to_string(), slice.len().to_string())],
+        ));
+
+        // Same reader-thread-plus-channel shape as the pipe transport,
+        // so the watch loop (and therefore every deadline and failure
+        // classification) is literally shared code.
+        let receiver = match conn.split_recv() {
+            Ok(receiver) => receiver,
+            Err(e) => {
+                return AttemptEnd::Failed {
+                    reason: format!("splitting socket to {host}: {e}"),
+                    timed_out: false,
+                }
+            }
+        };
+        let (tx, rx) = mpsc::channel::<Frame>();
+        let reader = std::thread::spawn(move || {
+            let mut receiver = receiver;
+            while let Ok(Some(frame)) = receiver.recv() {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let recv_from = self.offset();
+        let end = self.watch(&rx, slice.len(), events, stats);
+        events.push(FabricEvent::span(
+            "rpc-recv",
+            recv_from,
+            self.offset(),
+            vec![("attempt".to_string(), attempt.to_string())],
+        ));
+
+        // Shutdown unblocks the reader (both halves clone one socket),
+        // then the thread can be joined without waiting on the peer.
+        conn.shutdown();
+        drop(conn);
+        let _ = reader.join();
+        end
+    }
+
+    /// Builds the wire task for one attempt.
+    fn task_for(
+        plan: ShardPlan,
+        spec: &BackendSpec,
+        now: Seconds,
+        slice: &[(u64, Config, TrialBudget)],
+        attempt: u32,
+        chaos: Option<ChaosAction>,
+        key: Option<crate::fabric::protocol::RungKey>,
+    ) -> ShardTask {
+        ShardTask {
+            attempt,
+            plan,
+            spec: spec.clone(),
+            now,
+            trials: slice
+                .iter()
+                .map(|(id, config, budget)| TaskTrial {
+                    id: *id,
+                    config: config.clone(),
+                    budget: *budget,
+                })
+                .collect(),
+            chaos,
+            key,
+        }
+    }
+
+    /// Watches one attempt's frame stream under the heartbeat deadline.
+    /// Transport-agnostic: the pipe and socket paths both pump frames
+    /// into a channel and wait here, so a hung host and a hung worker
+    /// are classified identically.
+    fn watch(
+        &self,
+        rx: &mpsc::Receiver<Frame>,
+        expected: usize,
+        events: &mut Vec<FabricEvent>,
+        stats: &mut FabricStats,
+    ) -> AttemptEnd {
+        let timeout = self
+            .policy
+            .supervisor
+            .deadline
+            .map(|d| Duration::from_secs_f64(d.limit.value().max(0.0)));
+        loop {
+            let received = match timeout {
+                Some(timeout) => rx.recv_timeout(timeout),
+                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            };
+            match received {
+                Ok(frame) => match frame.kind {
+                    FrameKind::Heartbeat => {
+                        if let Ok(heartbeat) = decode::<ShardHeartbeat>(&frame.payload) {
+                            stats.heartbeats += 1;
+                            events.push(FabricEvent::instant(
+                                "heartbeat",
+                                self.offset(),
+                                vec![("completed".to_string(), heartbeat.completed.to_string())],
+                            ));
+                        }
+                    }
+                    FrameKind::Result => match decode::<ShardResultMsg>(&frame.payload) {
+                        Ok(result) if result.measurements.len() == expected => {
+                            return AttemptEnd::Done(result.measurements);
+                        }
+                        Ok(result) => {
+                            return AttemptEnd::Failed {
+                                reason: format!(
+                                    "short result: {} of {} measurements",
+                                    result.measurements.len(),
+                                    expected
+                                ),
+                                timed_out: false,
+                            };
+                        }
+                        Err(e) => {
+                            return AttemptEnd::Failed {
+                                reason: format!("undecodable result: {e}"),
+                                timed_out: false,
+                            };
+                        }
+                    },
+                    FrameKind::Error => {
+                        let reason = decode::<WorkerFailure>(&frame.payload).map_or_else(
+                            |e| format!("undecodable error frame: {e}"),
+                            |f| f.message,
+                        );
+                        return AttemptEnd::Failed {
+                            reason,
+                            timed_out: false,
+                        };
+                    }
+                    FrameKind::Task | FrameKind::Hello | FrameKind::HelloAck => {
+                        return AttemptEnd::Failed {
+                            reason: format!("worker sent an unexpected {:?} frame", frame.kind),
+                            timed_out: false,
+                        };
+                    }
+                },
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return AttemptEnd::Failed {
+                        reason: "heartbeat deadline exceeded".to_string(),
+                        timed_out: true,
+                    };
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return AttemptEnd::Failed {
+                        reason: "worker pipe closed before result".to_string(),
+                        timed_out: false,
+                    };
+                }
+            }
+        }
     }
 
     /// Kills and reaps a child after a pre-watch failure.
@@ -594,7 +811,13 @@ mod tests {
         policy.worker_exe = Some(PathBuf::from("/nonexistent/edgetune-worker"));
         let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
 
-        let measured = fabric.measure_rung(&backend().process_spec().unwrap(), now, &trials, 2);
+        let measured = fabric.measure_rung(
+            RungScope::default(),
+            &backend().process_spec().unwrap(),
+            now,
+            &trials,
+            2,
+        );
         assert_eq!(measured, expected_measurements(&trials, now, 2));
 
         let stats = fabric.stats();
@@ -618,7 +841,13 @@ mod tests {
         policy.worker_exe = Some(PathBuf::from("/bin/false"));
         let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
 
-        let measured = fabric.measure_rung(&backend().process_spec().unwrap(), now, &trials, 2);
+        let measured = fabric.measure_rung(
+            RungScope::default(),
+            &backend().process_spec().unwrap(),
+            now,
+            &trials,
+            2,
+        );
         assert_eq!(measured, expected_measurements(&trials, now, 2));
         let stats = fabric.stats();
         assert_eq!(stats.fallbacks, 2);
@@ -633,6 +862,7 @@ mod tests {
         policy.worker_exe = Some(PathBuf::from("/nonexistent/edgetune-worker"));
         let mut fabric = ShardFabric::new(policy, SeedStream::new(9));
         let _ = fabric.measure_rung(
+            RungScope::default(),
             &backend().process_spec().unwrap(),
             Seconds::ZERO,
             &trials,

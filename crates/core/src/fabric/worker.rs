@@ -40,6 +40,51 @@ fn execute_chaos(action: ChaosAction) {
     }
 }
 
+/// Measures one task's slice trial by trial, calling `heartbeat` after
+/// every trial and firing any planted chaos mid-slice. This is the one
+/// measurement discipline of every fabric transport — the pipe worker
+/// and the shard-host executor both run it, so a rung measures
+/// identically whether the task arrived over stdin or a socket.
+///
+/// # Errors
+///
+/// Propagates the first heartbeat-delivery failure (a dead pipe or
+/// socket), so a detached supervisor stops the slice early.
+pub(crate) fn execute_task(
+    task: &ShardTask,
+    mut heartbeat: impl FnMut(ShardHeartbeat) -> Result<(), String>,
+) -> Result<ShardResultMsg, String> {
+    let mut shard = EngineShard::new(
+        task.plan,
+        task.spec.instantiate(),
+        SharedClock::from_clock(SimClock::at(task.now)),
+    );
+    let mut measurements = Vec::with_capacity(task.trials.len());
+    for (index, trial) in task.trials.iter().enumerate() {
+        measurements.extend(shard.measure(&[(trial.id, trial.config.clone(), trial.budget)]));
+        heartbeat(ShardHeartbeat {
+            shard: task.plan.shard,
+            completed: index + 1,
+        })?;
+        if index == 0 {
+            if let Some(action) = task.chaos {
+                execute_chaos(action);
+            }
+        }
+    }
+    if task.trials.is_empty() {
+        // Chaos still fires on an empty slice, so kill tests do not
+        // silently depend on the partition shape.
+        if let Some(action) = task.chaos {
+            execute_chaos(action);
+        }
+    }
+    Ok(ShardResultMsg {
+        shard: task.plan.shard,
+        measurements,
+    })
+}
+
 /// Runs the worker loop over arbitrary streams until EOF.
 ///
 /// # Errors
@@ -68,37 +113,10 @@ pub fn serve<R: Read, W: Write>(mut reader: R, mut writer: W) -> Result<(), Stri
                 return Err(format!("undecodable task: {e}"));
             }
         };
-        let mut shard = EngineShard::new(
-            task.plan,
-            task.spec.instantiate(),
-            SharedClock::from_clock(SimClock::at(task.now)),
-        );
-        let mut measurements = Vec::with_capacity(task.trials.len());
-        for (index, trial) in task.trials.iter().enumerate() {
-            measurements.extend(shard.measure(&[(trial.id, trial.config.clone(), trial.budget)]));
-            let heartbeat = ShardHeartbeat {
-                shard: task.plan.shard,
-                completed: index + 1,
-            };
+        let result = execute_task(&task, |heartbeat| {
             write_frame(&mut writer, FrameKind::Heartbeat, &encode(&heartbeat))
-                .map_err(|e| format!("sending heartbeat: {e}"))?;
-            if index == 0 {
-                if let Some(action) = task.chaos {
-                    execute_chaos(action);
-                }
-            }
-        }
-        if task.trials.is_empty() {
-            // Chaos still fires on an empty slice, so kill tests do not
-            // silently depend on the partition shape.
-            if let Some(action) = task.chaos {
-                execute_chaos(action);
-            }
-        }
-        let result = ShardResultMsg {
-            shard: task.plan.shard,
-            measurements,
-        };
+                .map_err(|e| format!("sending heartbeat: {e}"))
+        })?;
         write_frame(&mut writer, FrameKind::Result, &encode(&result))
             .map_err(|e| format!("sending result: {e}"))?;
     }
@@ -170,6 +188,7 @@ mod tests {
                 })
                 .collect(),
             chaos: None,
+            key: None,
         }
     }
 

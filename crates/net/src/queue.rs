@@ -1,0 +1,177 @@
+//! A bounded MPSC work queue with explicit overflow and close.
+//!
+//! Each shard-host session feeds tasks from its socket reader into one
+//! of these; the executor drains it. The capacity is a hard bound on
+//! how much work a single session can park on a host — overflow is
+//! *rejected*, not blocked on, so a runaway coordinator surfaces as a
+//! protocol error instead of unbounded memory growth (the bounded-queue
+//! discipline the ROADMAP borrows from openclaw's gateway).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePushError {
+    /// The queue is at capacity; the item was not enqueued.
+    Full,
+    /// The queue was closed; no further items are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for QueuePushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full => write!(f, "work queue is full"),
+            Self::Closed => write!(f, "work queue is closed"),
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity queue: non-blocking bounded push, blocking pop,
+/// close-to-drain semantics.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a work queue needs capacity >= 1");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` if there is room.
+    ///
+    /// # Errors
+    ///
+    /// [`QueuePushError::Full`] at capacity, [`QueuePushError::Closed`]
+    /// after [`close`](Self::close). The item is returned to the caller
+    /// in neither case — it is simply not enqueued.
+    pub fn push(&self, item: T) -> Result<(), QueuePushError> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(QueuePushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(QueuePushError::Full);
+        }
+        state.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and
+    /// open. `None` means closed *and* drained — the consumer's clean
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pushes_and_pops_in_order() {
+        let queue = BoundedQueue::new(4);
+        for i in 0..4 {
+            queue.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_blocked() {
+        let queue = BoundedQueue::new(2);
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.push(3), Err(QueuePushError::Full));
+        // The rejected push did not disturb the queued items.
+        assert_eq!(queue.pop(), Some(1));
+        queue.push(3).unwrap();
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let queue = BoundedQueue::new(4);
+        queue.push("work").unwrap();
+        queue.close();
+        assert_eq!(queue.push("late"), Err(QueuePushError::Closed));
+        assert_eq!(queue.pop(), Some("work"));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u32>::new(0);
+    }
+}

@@ -42,6 +42,11 @@ pub enum FrameKind {
     Result,
     /// Worker → orchestrator: a structured failure description.
     Error,
+    /// Client → server: the session-opening handshake (protocol magic,
+    /// version, study seed). Only ever the first frame on a socket.
+    Hello,
+    /// Server → client: the handshake acceptance.
+    HelloAck,
 }
 
 impl FrameKind {
@@ -51,6 +56,8 @@ impl FrameKind {
             Self::Heartbeat => 2,
             Self::Result => 3,
             Self::Error => 4,
+            Self::Hello => 5,
+            Self::HelloAck => 6,
         }
     }
 
@@ -60,6 +67,8 @@ impl FrameKind {
             2 => Some(Self::Heartbeat),
             3 => Some(Self::Result),
             4 => Some(Self::Error),
+            5 => Some(Self::Hello),
+            6 => Some(Self::HelloAck),
             _ => None,
         }
     }
@@ -349,6 +358,16 @@ mod tests {
         let payload = vec![0u8; MAX_FRAME_LEN + 1];
         let err = write_frame(&mut NullSink, FrameKind::Task, &payload).unwrap_err();
         assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[test]
+    fn handshake_kinds_round_trip() {
+        for kind in [FrameKind::Hello, FrameKind::HelloAck] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, kind, b"{\"magic\":1}").unwrap();
+            let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+            assert_eq!(frame.kind, kind);
+        }
     }
 
     #[test]
